@@ -1,0 +1,31 @@
+//! Ablation: inference cost of the three region-subtyping modes (Sec 3.2)
+//! on a representative pair of programs — the design choice DESIGN.md
+//! calls out. Field subtyping buys space reuse (Fig 8) for a modest
+//! constraint-solving overhead, measured here.
+
+use cj_bench::frontend;
+use cj_benchmarks::by_name;
+use cj_infer::{infer, InferOptions, SubtypeMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_modes");
+    for name in ["Reynolds3", "Merge Sort"] {
+        let b = by_name(name).expect("benchmark exists");
+        let kp = frontend(&b);
+        for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
+            group.bench_function(format!("{name}/{mode}"), |bench| {
+                bench.iter(|| {
+                    let (p, _) =
+                        infer(black_box(&kp), InferOptions::with_mode(mode)).expect("infers");
+                    black_box(p.localized_region_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

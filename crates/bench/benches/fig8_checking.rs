@@ -1,0 +1,23 @@
+//! Criterion benchmark: region checking time on each Fig 8 program
+//! (the "Compile-Time Checking" column).
+
+use cj_bench::{frontend, timed_infer};
+use cj_benchmarks::regjava_benchmarks;
+use cj_infer::SubtypeMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_checking");
+    for b in regjava_benchmarks() {
+        let kp = frontend(&b);
+        let (p, _, _) = timed_infer(&kp, SubtypeMode::Field);
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| cj_check::check(black_box(&p)).expect("checks"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checking);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark: region inference time on each Fig 8 program
+//! (the "Compile-Time Inference" column).
+
+use cj_bench::{frontend, timed_infer};
+use cj_benchmarks::regjava_benchmarks;
+use cj_infer::{infer, InferOptions, SubtypeMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_inference");
+    for b in regjava_benchmarks() {
+        let kp = frontend(&b);
+        // Sanity: inference must succeed before we measure it.
+        let _ = timed_infer(&kp, SubtypeMode::Field);
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let (p, _) = infer(black_box(&kp), InferOptions::with_mode(SubtypeMode::Field))
+                    .expect("infers");
+                black_box(p.localized_region_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark: region inference time on each Olden conversion
+//! (Fig 9).
+
+use cj_bench::frontend;
+use cj_benchmarks::olden_benchmarks;
+use cj_infer::{infer, InferOptions, SubtypeMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_olden(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_olden");
+    group.sample_size(20);
+    for b in olden_benchmarks() {
+        let kp = frontend(&b);
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let (p, _) = infer(black_box(&kp), InferOptions::with_mode(SubtypeMode::Field))
+                    .expect("infers");
+                black_box(p.localized_region_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_olden);
+criterion_main!(benches);

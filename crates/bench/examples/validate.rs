@@ -1,0 +1,35 @@
+//! Quick validation: every benchmark parses, typechecks, infers, checks, runs.
+use cj_benchmarks::all_benchmarks;
+use cj_infer::{infer_source, InferOptions, SubtypeMode};
+use cj_runtime::{run_main_big_stack, RunConfig, Value};
+
+fn main() {
+    for b in all_benchmarks() {
+        print!("{:30}", b.name);
+        let t0 = std::time::Instant::now();
+        match infer_source(b.source, InferOptions::with_mode(SubtypeMode::Field)) {
+            Ok((p, stats)) => {
+                let infer_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                let t1 = std::time::Instant::now();
+                let check = cj_check::check(&p);
+                let check_ms = t1.elapsed().as_secs_f64() * 1000.0;
+                let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+                match check {
+                    Ok(()) => match run_main_big_stack(&p, &args, RunConfig::default()) {
+                        Ok(out) => println!(
+                            " infer {:7.2}ms check {:6.2}ms letregs {:2} ratio {:.3} result {}",
+                            infer_ms,
+                            check_ms,
+                            stats.localized_regions,
+                            out.space.space_ratio(),
+                            out.value
+                        ),
+                        Err(e) => println!(" RUNTIME ERROR: {e}"),
+                    },
+                    Err(e) => println!(" CHECK FAILED: {}", e.items[0]),
+                }
+            }
+            Err(e) => println!(" INFER FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates Fig 8: "Comparative Statistics on Inference/Checking and
+//! Region Subtyping".
+//!
+//! Usage: `cargo run -p cj-bench --release --bin fig8_table`
+
+use cj_bench::fig8_row;
+use cj_benchmarks::regjava_benchmarks;
+
+fn main() {
+    println!(
+        "Fig 8 — Comparative statistics on inference/checking and region subtyping\n\
+         (space usage = peak-live / total-allocated when running the paper input)\n"
+    );
+    println!(
+        "{:<26} {:>5} {:>4}  {:>10} {:>10}  {:>7}  {:>8} {:>8} {:>8}  {:>5}",
+        "Program",
+        "Lines",
+        "Ann",
+        "Infer(ms)",
+        "Check(ms)",
+        "Input",
+        "NoSub",
+        "ObjSub",
+        "FieldSub",
+        "Diff"
+    );
+    println!("{}", "-".repeat(108));
+    for b in regjava_benchmarks() {
+        let row = fig8_row(&b, true);
+        let ratio = |i: usize| match row.modes[i].space_ratio {
+            Some(r) => format!("{r:.3}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<26} {:>5} {:>4}  {:>10.2} {:>10.2}  {:>7}  {:>8} {:>8} {:>8}  {:>5}",
+            row.name,
+            row.source_lines,
+            row.ann_lines,
+            row.modes[2].infer_time.as_secs_f64() * 1000.0,
+            row.modes[2].check_time.as_secs_f64() * 1000.0,
+            row.input,
+            ratio(0),
+            ratio(1),
+            ratio(2),
+            row.diff_vs_hand,
+        );
+    }
+    println!(
+        "\nDiff column: localized-region difference vs RegJava's hand annotation\n\
+         (paper-derived; -1 for optimized life (dangling) reflects the\n\
+         no-dangling vs no-dangling-access policy gap, Sec 6)."
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig 9: "Region Inference Times for the Olden Benchmark
+//! Programs".
+//!
+//! Usage: `cargo run -p cj-bench --release --bin fig9_table`
+
+use cj_bench::fig9_row;
+use cj_benchmarks::olden_benchmarks;
+
+fn main() {
+    println!("Fig 9 — Region inference times for the Olden benchmark programs\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>6} {:>14}",
+        "Program", "Lines (ours)", "Lines (paper)", "Ann", "Inference (ms)"
+    );
+    println!("{}", "-".repeat(62));
+    for b in olden_benchmarks() {
+        let row = fig9_row(&b);
+        println!(
+            "{:<12} {:>12} {:>13} {:>6} {:>14.2}",
+            row.name,
+            row.source_lines,
+            row.paper_source_lines,
+            row.ann_lines,
+            row.infer_time.as_secs_f64() * 1000.0
+        );
+    }
+    println!(
+        "\nShape target (paper): all times well under interactive thresholds,\n\
+         with health and voronoi among the slowest."
+    );
+}

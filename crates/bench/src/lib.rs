@@ -1,0 +1,199 @@
+//! # cj-bench — the harness that regenerates the paper's tables
+//!
+//! - `cargo run -p cj-bench --release --bin fig8_table` reproduces **Fig 8**
+//!   (comparative statistics on inference, checking and region subtyping);
+//! - `cargo run -p cj-bench --release --bin fig9_table` reproduces **Fig 9**
+//!   (Olden inference times);
+//! - `cargo bench -p cj-bench` runs the Criterion benchmarks
+//!   (`fig8_inference`, `fig8_checking`, `fig9_olden`, `ablation_modes`).
+//!
+//! Absolute numbers differ from the paper (different decade, language and
+//! machine); the *shape* — which programs reuse space, under which
+//! subtyping mode, and how inference time scales — is the reproduction
+//! target (see EXPERIMENTS.md).
+#![forbid(unsafe_code)]
+
+use cj_benchmarks::Benchmark;
+use cj_frontend::typecheck::check_source;
+use cj_frontend::KProgram;
+use cj_infer::{infer, InferOptions, RProgram, SubtypeMode};
+use cj_runtime::{run_main_big_stack, RunConfig, Value};
+use std::time::{Duration, Instant};
+
+/// Result of measuring one benchmark under one subtyping mode.
+#[derive(Debug, Clone)]
+pub struct ModeMeasurement {
+    /// Subtyping mode used.
+    pub mode: SubtypeMode,
+    /// Wall-clock inference time (parse + normal typecheck excluded).
+    pub infer_time: Duration,
+    /// Wall-clock region-checking time.
+    pub check_time: Duration,
+    /// `letreg`-localized region count.
+    pub localized: usize,
+    /// Peak-live / total-allocated after running the paper input.
+    pub space_ratio: Option<f64>,
+}
+
+/// One full Fig 8 row.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Lines in *our* Core-Java source.
+    pub source_lines: usize,
+    /// Annotated declaration sites (class headers, class-typed fields,
+    /// method signatures) — our analogue of Fig 8's "Ann." column.
+    pub ann_lines: usize,
+    /// Input display string.
+    pub input: &'static str,
+    /// Per-mode measurements (no-sub, object-sub, field-sub).
+    pub modes: Vec<ModeMeasurement>,
+    /// Localized-region difference vs the hand annotation (paper-encoded;
+    /// see DESIGN.md substitution 2).
+    pub diff_vs_hand: i64,
+}
+
+/// Parses and normal-typechecks a benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark source does not typecheck (a bug in the suite).
+pub fn frontend(b: &Benchmark) -> KProgram {
+    check_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name))
+}
+
+/// Runs inference under `mode`, returning the program and elapsed time.
+///
+/// # Panics
+///
+/// Panics on inference failure.
+pub fn timed_infer(kp: &KProgram, mode: SubtypeMode) -> (RProgram, Duration, usize) {
+    let t0 = Instant::now();
+    let (p, stats) = infer(kp, InferOptions::with_mode(mode)).expect("inference succeeds");
+    (p, t0.elapsed(), stats.localized_regions)
+}
+
+/// Runs the region checker, returning elapsed time.
+///
+/// # Panics
+///
+/// Panics if checking fails (Theorem 1 violation — a bug).
+pub fn timed_check(p: &RProgram) -> Duration {
+    let t0 = Instant::now();
+    cj_check::check(p).expect("inferred program must check");
+    t0.elapsed()
+}
+
+/// Executes the benchmark on its paper input, returning the space ratio.
+pub fn space_ratio(p: &RProgram, input: &[i64]) -> Option<f64> {
+    let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+    run_main_big_stack(p, &args, RunConfig::default())
+        .ok()
+        .map(|out| out.space.space_ratio())
+}
+
+/// Counts the declaration sites that receive region annotations in the
+/// target language: class headers, class- or array-typed fields, and
+/// method signatures.
+pub fn annotation_sites(kp: &KProgram) -> usize {
+    let table = &kp.table;
+    let mut n = 0;
+    for info in table.classes() {
+        if info.id == cj_frontend::ClassId::OBJECT {
+            continue;
+        }
+        n += 1; // class header
+        n += info
+            .own_fields
+            .iter()
+            .filter(|f| f.ty.is_reference())
+            .count();
+        n += info.own_methods.len();
+    }
+    n += table.statics().len();
+    n
+}
+
+/// Measures one benchmark under all three subtyping modes.
+pub fn fig8_row(b: &Benchmark, run_programs: bool) -> Fig8Row {
+    let kp = frontend(b);
+    let modes = [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field]
+        .into_iter()
+        .map(|mode| {
+            let (p, infer_time, localized) = timed_infer(&kp, mode);
+            let check_time = timed_check(&p);
+            let space_ratio = if run_programs {
+                space_ratio(&p, b.paper_input)
+            } else {
+                None
+            };
+            ModeMeasurement {
+                mode,
+                infer_time,
+                check_time,
+                localized,
+                space_ratio,
+            }
+        })
+        .collect();
+    Fig8Row {
+        name: b.name,
+        source_lines: cj_benchmarks::source_lines(b),
+        ann_lines: annotation_sites(&kp),
+        input: b.input_display,
+        modes,
+        diff_vs_hand: b.localized_diff_vs_hand,
+    }
+}
+
+/// One Fig 9 row: our source size and inference time.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Our conversion's line count.
+    pub source_lines: usize,
+    /// The paper conversion's line count (Fig 9 "Source (lines)").
+    pub paper_source_lines: u32,
+    /// Annotated declaration sites.
+    pub ann_lines: usize,
+    /// Inference wall-clock time (field subtyping).
+    pub infer_time: Duration,
+}
+
+/// Measures one Olden benchmark.
+pub fn fig9_row(b: &Benchmark) -> Fig9Row {
+    let kp = frontend(b);
+    let (_, infer_time, _) = timed_infer(&kp, SubtypeMode::Field);
+    Fig9Row {
+        name: b.name,
+        source_lines: cj_benchmarks::source_lines(b),
+        paper_source_lines: b.paper_source_lines,
+        ann_lines: annotation_sites(&kp),
+        infer_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_row_measures_without_running() {
+        let b = cj_benchmarks::by_name("Ackermann").unwrap();
+        let row = fig8_row(&b, false);
+        assert_eq!(row.modes.len(), 3);
+        assert!(row.modes.iter().all(|m| m.space_ratio.is_none()));
+        assert!(row.source_lines > 10);
+        assert!(row.ann_lines >= 3);
+    }
+
+    #[test]
+    fn fig9_row_measures_inference() {
+        let b = cj_benchmarks::by_name("treeadd").unwrap();
+        let row = fig9_row(&b);
+        assert!(row.infer_time.as_nanos() > 0);
+        assert_eq!(row.paper_source_lines, 195);
+    }
+}

@@ -1,0 +1,318 @@
+//! # cj-benchmarks — the paper's evaluation programs, in Core-Java
+//!
+//! Two suites, exactly mirroring the evaluation section:
+//!
+//! - [`regjava`]: the ten programs of **Fig 8** (comparative statistics on
+//!   inference/checking time, space reuse under the three subtyping modes,
+//!   and localized-region counts vs hand annotation);
+//! - [`olden`]: the ten programs of **Fig 9** (inference scalability).
+//!
+//! Each [`Benchmark`] carries the inputs used by the paper-shaped tables,
+//! smaller inputs for fast tests, and the paper's reference numbers where
+//! Fig 8/9 state them (line counts, expected space ratios, the
+//! localized-region diff against RegJava's hand annotations).
+#![forbid(unsafe_code)]
+
+pub mod olden;
+pub mod regjava;
+
+/// Which figure a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Fig 8 (RegJava-derived programs).
+    RegJava,
+    /// Fig 9 (Olden-derived programs).
+    Olden,
+}
+
+/// Expected space ratios from Fig 8 (`None` where the paper prints `-`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRatios {
+    /// "No Sub" column.
+    pub no_sub: Option<f64>,
+    /// "Object Sub" column.
+    pub object_sub: Option<f64>,
+    /// "Field Sub" column.
+    pub field_sub: Option<f64>,
+}
+
+/// One benchmark program and its metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Display name (matching the paper's tables).
+    pub name: &'static str,
+    /// Which figure it reproduces.
+    pub suite: Suite,
+    /// Core-Java source text.
+    pub source: &'static str,
+    /// Input for regenerating the paper's table rows.
+    pub paper_input: &'static [i64],
+    /// Smaller input for fast test runs.
+    pub test_input: &'static [i64],
+    /// How Fig 8/9 displays the input.
+    pub input_display: &'static str,
+    /// The paper's "Size (lines) Source" column.
+    pub paper_source_lines: u32,
+    /// The paper's "Size (lines) Ann." column.
+    pub paper_ann_lines: u32,
+    /// Fig 8's "Diff. in RegJava" column (localized regions vs hand
+    /// annotation); 0 for Olden programs (not reported there).
+    pub localized_diff_vs_hand: i64,
+    /// Fig 8's space-ratio columns, where reported.
+    pub paper_ratios: PaperRatios,
+}
+
+const NO_RATIOS: PaperRatios = PaperRatios {
+    no_sub: None,
+    object_sub: None,
+    field_sub: None,
+};
+
+const fn uniform(r: f64) -> PaperRatios {
+    PaperRatios {
+        no_sub: Some(r),
+        object_sub: Some(r),
+        field_sub: Some(r),
+    }
+}
+
+/// The Fig 8 suite.
+pub fn regjava_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Sieve of Eratosthenes",
+            suite: Suite::RegJava,
+            source: regjava::SIEVE,
+            paper_input: &[50000],
+            test_input: &[500],
+            input_display: "50000",
+            paper_source_lines: 80,
+            paper_ann_lines: 12,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(1.0),
+        },
+        Benchmark {
+            name: "Ackermann",
+            suite: Suite::RegJava,
+            source: regjava::ACKERMANN,
+            // The paper lists (4,7); the naive doubly-recursive Ackermann
+            // is infeasible at that size on an AST interpreter, so the
+            // harness runs (3,6) — the reuse structure is identical.
+            paper_input: &[3, 6],
+            test_input: &[2, 3],
+            input_display: "(3,6)",
+            paper_source_lines: 67,
+            paper_ann_lines: 5,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(0.004),
+        },
+        Benchmark {
+            name: "Merge Sort",
+            suite: Suite::RegJava,
+            source: regjava::MERGE_SORT,
+            paper_input: &[50000],
+            test_input: &[200],
+            input_display: "50000",
+            paper_source_lines: 170,
+            paper_ann_lines: 16,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(0.179),
+        },
+        Benchmark {
+            name: "Mandelbrot",
+            suite: Suite::RegJava,
+            source: regjava::MANDELBROT,
+            paper_input: &[100],
+            test_input: &[10],
+            input_display: "100",
+            paper_source_lines: 110,
+            paper_ann_lines: 14,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(0.002),
+        },
+        Benchmark {
+            name: "Naive Life",
+            suite: Suite::RegJava,
+            source: regjava::NAIVE_LIFE,
+            paper_input: &[10],
+            test_input: &[3],
+            input_display: "10",
+            paper_source_lines: 114,
+            paper_ann_lines: 14,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(1.0),
+        },
+        Benchmark {
+            name: "Optimized Life (array)",
+            suite: Suite::RegJava,
+            source: regjava::OPT_LIFE_ARRAY,
+            paper_input: &[10],
+            test_input: &[3],
+            input_display: "10",
+            paper_source_lines: 121,
+            paper_ann_lines: 15,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(0.196),
+        },
+        Benchmark {
+            name: "Optimized Life (dangling)",
+            suite: Suite::RegJava,
+            source: regjava::OPT_LIFE_DANGLING,
+            paper_input: &[10],
+            test_input: &[3],
+            input_display: "10",
+            paper_source_lines: 35,
+            paper_ann_lines: 5,
+            localized_diff_vs_hand: -1,
+            paper_ratios: uniform(1.0),
+        },
+        Benchmark {
+            name: "Optimized Life (stack)",
+            suite: Suite::RegJava,
+            source: regjava::OPT_LIFE_STACK,
+            paper_input: &[10],
+            test_input: &[3],
+            input_display: "10",
+            paper_source_lines: 80,
+            paper_ann_lines: 10,
+            localized_diff_vs_hand: 0,
+            paper_ratios: uniform(1.0),
+        },
+        Benchmark {
+            name: "Reynolds3",
+            suite: Suite::RegJava,
+            source: regjava::REYNOLDS3,
+            paper_input: &[10],
+            test_input: &[5],
+            input_display: "10",
+            paper_source_lines: 59,
+            paper_ann_lines: 12,
+            localized_diff_vs_hand: 0,
+            paper_ratios: PaperRatios {
+                no_sub: Some(1.0),
+                object_sub: Some(1.0),
+                field_sub: Some(0.004),
+            },
+        },
+        Benchmark {
+            name: "foo-sum",
+            suite: Suite::RegJava,
+            source: regjava::FOO_SUM,
+            paper_input: &[100],
+            test_input: &[10],
+            input_display: "100",
+            paper_source_lines: 65,
+            paper_ann_lines: 10,
+            localized_diff_vs_hand: 0,
+            paper_ratios: PaperRatios {
+                no_sub: Some(0.340),
+                object_sub: Some(0.010),
+                field_sub: Some(0.010),
+            },
+        },
+    ]
+}
+
+/// The Fig 9 suite. `paper_source_lines`/`paper_ann_lines` are Fig 9's
+/// "Source (lines)" and "Ann. (lines)" rows.
+pub fn olden_benchmarks() -> Vec<Benchmark> {
+    let mk = |name,
+              source,
+              paper_input: &'static [i64],
+              test_input: &'static [i64],
+              input_display,
+              src_lines,
+              ann_lines| Benchmark {
+        name,
+        suite: Suite::Olden,
+        source,
+        paper_input,
+        test_input,
+        input_display,
+        paper_source_lines: src_lines,
+        paper_ann_lines: ann_lines,
+        localized_diff_vs_hand: 0,
+        paper_ratios: NO_RATIOS,
+    };
+    vec![
+        mk("bisort", olden::BISORT, &[127], &[15], "127", 340, 7),
+        mk("em3d", olden::EM3D, &[64], &[8], "64", 462, 32),
+        mk("health", olden::HEALTH, &[4], &[2], "4", 562, 24),
+        mk("mst", olden::MST, &[64], &[8], "64", 473, 34),
+        mk("power", olden::POWER, &[8], &[2], "8", 765, 35),
+        mk("treeadd", olden::TREEADD, &[12], &[4], "12", 195, 7),
+        mk("tsp", olden::TSP, &[8], &[4], "8", 545, 12),
+        mk("perimeter", olden::PERIMETER, &[6], &[3], "6", 745, 21),
+        mk("n-body", olden::NBODY, &[32], &[6], "32", 1128, 38),
+        mk("voronoi", olden::VORONOI, &[8], &[4], "8", 1000, 50),
+    ]
+}
+
+/// Every benchmark from both suites.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = regjava_benchmarks();
+    v.extend(olden_benchmarks());
+    v
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// Number of non-blank source lines (the "Size (lines)" we measure for our
+/// conversions, as opposed to the paper's).
+pub fn source_lines(b: &Benchmark) -> usize {
+    b.source.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_cardinality() {
+        assert_eq!(regjava_benchmarks().len(), 10);
+        assert_eq!(olden_benchmarks().len(), 10);
+        assert_eq!(all_benchmarks().len(), 20);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Reynolds3").is_some());
+        assert!(by_name("treeadd").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn only_dangling_life_differs_from_hand_annotation() {
+        for b in regjava_benchmarks() {
+            let expected = if b.name == "Optimized Life (dangling)" {
+                -1
+            } else {
+                0
+            };
+            assert_eq!(b.localized_diff_vs_hand, expected, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn sources_are_nontrivial() {
+        for b in all_benchmarks() {
+            assert!(
+                source_lines(&b) >= 15,
+                "{} is suspiciously small ({} lines)",
+                b.name,
+                source_lines(&b)
+            );
+        }
+    }
+}

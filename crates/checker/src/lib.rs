@@ -1,0 +1,816 @@
+//! # cj-check — the region type checker
+//!
+//! The separate checking system of Sec 4.5 (and the companion report): a
+//! region-annotated program is *well-region-typed* when
+//!
+//! - every class invariant entails the **no-dangling** requirement (each
+//!   component region outlives the object's region) and the instantiated
+//!   invariants of its field types;
+//! - every subclass invariant entails its superclass's (class subsumption);
+//! - every method body's operations are justified by the assumption
+//!   `inv.cn ∧ pre.m ∧ signature invariants`, extended at each
+//!   `letreg r` with the stack-discipline axiom that every region already
+//!   in scope outlives `r`;
+//! - every region mentioned in a body is in scope (a signature region, the
+//!   heap, or a `letreg`-bound region) — this is what rules out dangling
+//!   *stack* references;
+//! - every override satisfies `inv.B ∧ pre.A.mn ⊨ pre.B.mn` (Sec 3.4).
+//!
+//! Theorem 1 states that inference always produces programs that pass this
+//! checker; the integration suite verifies that on every benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_infer::{infer_source, InferOptions};
+//! use cj_check::check;
+//!
+//! let (program, _) = infer_source(
+//!     "class Cell { Object item; Object get() { this.item } }",
+//!     InferOptions::default(),
+//! ).unwrap();
+//! check(&program).unwrap();
+//! ```
+#![forbid(unsafe_code)]
+
+use cj_frontend::kernel::FieldRef;
+use cj_frontend::types::{ClassId, MethodId, VarId};
+use cj_infer::rast::{RExpr, RExprKind, RProgram, RType};
+use cj_infer::SubtypeMode;
+use cj_regions::constraint::{Atom, ConstraintSet};
+use cj_regions::solve::Solver;
+use cj_regions::subst::RegSubst;
+use cj_regions::var::RegVar;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Where the violation was found (class, method or expression).
+    pub context: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// All violations found in a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckErrors {
+    /// The violations, in discovery order.
+    pub items: Vec<CheckError>,
+}
+
+impl fmt::Display for CheckErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.items {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckErrors {}
+
+/// Checks that `p` is well-region-typed.
+///
+/// # Errors
+///
+/// Returns every violation found; an empty result means the program is
+/// region-safe (never creates a dangling reference, Theorem 1).
+pub fn check(p: &RProgram) -> Result<(), CheckErrors> {
+    let mut errors = Vec::new();
+    let rec_read_only = cj_infer::recro::rec_read_only(&p.kernel);
+    check_classes(p, &mut errors);
+    check_overrides(p, &mut errors);
+    for (id, _) in p.all_rmethods() {
+        MethodChecker {
+            p,
+            id,
+            rec_read_only: &rec_read_only,
+            errors: &mut errors,
+        }
+        .run();
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckErrors { items: errors })
+    }
+}
+
+// ---- classes --------------------------------------------------------------
+
+fn check_classes(p: &RProgram, errors: &mut Vec<CheckError>) {
+    for info in p.kernel.table.classes() {
+        let rc = p.rclass(info.id);
+        let cname = info.name.to_string();
+        if rc.params.is_empty() {
+            errors.push(CheckError {
+                context: format!("class {cname}"),
+                message: "class must have at least the object region".into(),
+            });
+            continue;
+        }
+        let mut inv = Solver::from_set(&rc.invariant);
+        // No-dangling: every component region outlives the first.
+        for &r in &rc.params[1..] {
+            if !inv.entails_atom(Atom::outlives(r, rc.params[0])) {
+                errors.push(CheckError {
+                    context: format!("class {cname}"),
+                    message: format!(
+                        "invariant does not entail no-dangling: {r} >= {}",
+                        rc.params[0]
+                    ),
+                });
+            }
+        }
+        // Field type invariants.
+        for (i, ft) in rc.field_types.iter().enumerate() {
+            if let RType::Class { class, regions, .. } = ft {
+                let fc = p.rclass(*class);
+                if regions.len() != fc.params.len() {
+                    errors.push(CheckError {
+                        context: format!("class {cname}"),
+                        message: format!("field {i} has wrong region arity"),
+                    });
+                    continue;
+                }
+                let s = RegSubst::instantiation(&fc.params, regions);
+                if !inv.entails(&fc.invariant.subst(&s)) {
+                    errors.push(CheckError {
+                        context: format!("class {cname}"),
+                        message: format!("invariant does not entail field {i}'s class invariant"),
+                    });
+                }
+            }
+        }
+        // Superclass invariant (class subsumption).
+        if let Some(sup) = info.superclass {
+            let sc = p.rclass(sup);
+            if rc.params.len() < sc.params.len() || rc.params[..sc.params.len()] != sc.params[..] {
+                errors.push(CheckError {
+                    context: format!("class {cname}"),
+                    message: "superclass regions must be a prefix".into(),
+                });
+            } else if !inv.entails(&sc.invariant) {
+                errors.push(CheckError {
+                    context: format!("class {cname}"),
+                    message: "invariant does not entail the superclass invariant".into(),
+                });
+            }
+        }
+    }
+}
+
+// ---- overrides -------------------------------------------------------------
+
+fn check_overrides(p: &RProgram, errors: &mut Vec<CheckError>) {
+    for (a_id, b_id) in cj_infer::override_res::override_pairs(&p.kernel) {
+        let (MethodId::Instance(_, _), MethodId::Instance(b_class, _)) = (a_id, b_id) else {
+            continue;
+        };
+        let a = p.rmethod(a_id);
+        let b = p.rmethod(b_id);
+        let n = a.mparams.len().min(b.mparams.len());
+        let align = RegSubst::instantiation(&b.mparams[..n], &a.mparams[..n]);
+        let mut lhs = Solver::from_set(&p.rclass(b_class).invariant);
+        lhs.add_set(&a.precondition);
+        let rhs = b.precondition.subst(&align);
+        for atom in rhs.iter() {
+            if atom.vars().iter().any(|v| b.mparams[n..].contains(v)) {
+                continue; // unalignable padded region
+            }
+            if !lhs.entails_atom(atom) {
+                errors.push(CheckError {
+                    context: format!(
+                        "override {} / {}",
+                        p.kernel.method_name(a_id),
+                        p.kernel.method_name(b_id)
+                    ),
+                    message: format!("inv.B ∧ pre.A.mn does not entail {atom}"),
+                });
+            }
+        }
+    }
+}
+
+// ---- method bodies -----------------------------------------------------------
+
+struct MethodChecker<'a> {
+    p: &'a RProgram,
+    id: MethodId,
+    rec_read_only: &'a [bool],
+    errors: &'a mut Vec<CheckError>,
+}
+
+impl<'a> MethodChecker<'a> {
+    fn run(mut self) {
+        let rm = self.p.rmethod(self.id);
+        let mut assume = Solver::new();
+        // pre.m
+        assume.add_set(&rm.precondition);
+        // inv of the receiver class, and consistency of the annotated
+        // `this` type with the declared class signature: any collapsed
+        // regions must be justified by the precondition (e.g. `swap`'s
+        // r2 = r3).
+        if let MethodId::Instance(c, _) = self.id {
+            assume.add_set(&self.p.rclass(c).invariant);
+            let declared = &self.p.rclass(c).params;
+            if let RType::Class { regions, .. } = &rm.var_types[0] {
+                for (&d, &a) in declared.iter().zip(regions.iter()) {
+                    if !assume.entails_atom(Atom::eq(d, a)) {
+                        self.err(format!(
+                            "this-type region {a} diverges from declared {d} \
+                             without precondition support (atom {} not entailed)",
+                            Atom::eq(d, a)
+                        ));
+                    }
+                }
+            }
+        }
+        // invariants of signature types (recoverable from the signature).
+        let km = self.p.kernel.method(self.id);
+        for &pv in &km.params {
+            self.assume_type_invariant(&mut assume, &rm.var_types[pv.index()]);
+        }
+        self.assume_type_invariant(&mut assume, &rm.ret_type);
+
+        let mut scope: BTreeSet<RegVar> = rm.abs_params.iter().copied().collect();
+        scope.insert(RegVar::HEAP);
+
+        let body = rm.body.clone();
+        let result = self.expr(&mut assume, &mut scope, &body);
+        if let Some(rt) = result {
+            if !matches!(rm.ret_type, RType::Void) {
+                self.require_subtype(&mut assume, &rt, &rm.ret_type, "method result");
+            }
+        }
+    }
+
+    fn assume_type_invariant(&self, assume: &mut Solver, t: &RType) {
+        if let RType::Class { class, regions, .. } = t {
+            let rc = self.p.rclass(*class);
+            let s = RegSubst::instantiation(&rc.params, regions);
+            assume.add_set(&rc.invariant.subst(&s));
+        }
+    }
+
+    fn err(&mut self, message: String) {
+        self.errors.push(CheckError {
+            context: format!("method {}", self.p.kernel.method_name(self.id)),
+            message,
+        });
+    }
+
+    fn var_type(&self, v: VarId) -> RType {
+        self.p.rmethod(self.id).var_types[v.index()].clone()
+    }
+
+    fn check_scope(&mut self, scope: &BTreeSet<RegVar>, regions: &[RegVar], what: &str) {
+        for r in regions {
+            if !scope.contains(r) {
+                self.err(format!("region {r} used in {what} is not in scope"));
+            }
+        }
+    }
+
+    /// Required constraints for `sub ≤ sup` under the checker's (sound,
+    /// most-permissive) variance: first region covariant, recursive region
+    /// covariant when the class is rec-read-only, all else equivariant.
+    fn require_subtype(&mut self, assume: &mut Solver, sub: &RType, sup: &RType, what: &str) {
+        let mut need = ConstraintSet::new();
+        match (sub, sup) {
+            (RType::Void, RType::Void) => {}
+            (RType::Prim(a), RType::Prim(b)) if a == b => {}
+            (
+                RType::Array {
+                    elem: a,
+                    region: ra,
+                },
+                RType::Array {
+                    elem: b,
+                    region: rb,
+                },
+            ) if a == b => {
+                need.add_outlives(*ra, *rb);
+            }
+            (
+                RType::Class {
+                    class: ca,
+                    regions: ra,
+                    pads: pa,
+                },
+                RType::Class {
+                    class: cb,
+                    regions: rb,
+                    pads: pb,
+                },
+            ) if self.p.kernel.table.is_subclass(*ca, *cb) => {
+                let m = rb.len();
+                if ra.len() < m {
+                    self.err(format!("{what}: region arity mismatch"));
+                    return;
+                }
+                let rec_pos = self.p.rclass(*cb).rec_region.and_then(|rr| {
+                    if self.rec_read_only[cb.index()] {
+                        self.p.rclass(*cb).params.iter().position(|&q| q == rr)
+                    } else {
+                        None
+                    }
+                });
+                for i in 0..m {
+                    if i == 0 || Some(i) == rec_pos {
+                        need.add_outlives(ra[i], rb[i]);
+                    } else {
+                        need.add_eq(ra[i], rb[i]);
+                    }
+                }
+                // Pads: equivariant where both sides have them.
+                let extras: Vec<RegVar> = ra[m..].iter().chain(pa.iter()).copied().collect();
+                for (&x, &q) in extras.iter().zip(pb.iter()) {
+                    need.add_eq(x, q);
+                }
+            }
+            (a, b) => {
+                self.err(format!("{what}: incompatible types {a} and {b}"));
+                return;
+            }
+        }
+        for atom in need.iter() {
+            if !assume.entails_atom(atom) {
+                self.err(format!("{what}: constraint {atom} not entailed"));
+            }
+        }
+    }
+
+    fn field_type(&self, class: ClassId, fref: FieldRef, recv_regions: &[RegVar]) -> RType {
+        let rc = self.p.rclass(class);
+        let s = RegSubst::instantiation(&rc.params, recv_regions);
+        rc.field_types[fref.index as usize].subst(&s)
+    }
+
+    /// Checks an expression and returns its annotated type (`None` on an
+    /// unrecoverable local error).
+    fn expr(
+        &mut self,
+        assume: &mut Solver,
+        scope: &mut BTreeSet<RegVar>,
+        e: &RExpr,
+    ) -> Option<RType> {
+        self.check_scope(scope, &e.rtype.regions(), "expression type");
+        match &e.kind {
+            RExprKind::Unit
+            | RExprKind::Int(_)
+            | RExprKind::Bool(_)
+            | RExprKind::Float(_)
+            | RExprKind::Null
+            | RExprKind::Var(_) => {}
+            RExprKind::Field(v, fref) => {
+                let (class, regions) = match self.var_type(*v) {
+                    RType::Class { class, regions, .. } => (class, regions),
+                    other => {
+                        self.err(format!("field read on non-object {other}"));
+                        return None;
+                    }
+                };
+                let ft = self.field_type(class, *fref, &regions);
+                // The annotated node type must match the declared field type.
+                if ft != e.rtype {
+                    self.err(format!(
+                        "field read annotated {} but declared {ft}",
+                        e.rtype
+                    ));
+                }
+            }
+            RExprKind::AssignVar(v, rhs) => {
+                let rt = self.expr(assume, scope, rhs)?;
+                let vt = self.var_type(*v);
+                if !matches!(vt, RType::Void | RType::Prim(_)) {
+                    self.require_subtype(assume, &rt, &vt, "assignment");
+                }
+            }
+            RExprKind::AssignField(v, fref, rhs) => {
+                let rt = self.expr(assume, scope, rhs)?;
+                let (class, regions) = match self.var_type(*v) {
+                    RType::Class { class, regions, .. } => (class, regions),
+                    other => {
+                        self.err(format!("field write on non-object {other}"));
+                        return None;
+                    }
+                };
+                let ft = self.field_type(class, *fref, &regions);
+                if !matches!(ft, RType::Void | RType::Prim(_)) {
+                    self.require_subtype(assume, &rt, &ft, "field write");
+                }
+            }
+            RExprKind::New {
+                class,
+                regions,
+                args,
+            } => {
+                self.check_scope(scope, regions, "new");
+                let rc = self.p.rclass(*class);
+                if regions.len() != rc.params.len() {
+                    self.err("new with wrong region arity".into());
+                    return None;
+                }
+                let s = RegSubst::instantiation(&rc.params, regions);
+                // Instantiated class invariant must hold here.
+                for atom in rc.invariant.subst(&s).iter() {
+                    if !assume.entails_atom(atom) {
+                        self.err(format!("new: invariant atom {atom} not entailed"));
+                    }
+                }
+                for (i, &a) in args.iter().enumerate() {
+                    let ft = rc.field_types[i].subst(&s);
+                    if !matches!(ft, RType::Void | RType::Prim(_)) {
+                        self.require_subtype(assume, &self.var_type(a), &ft, "constructor arg");
+                    }
+                }
+            }
+            RExprKind::NewArray { region, len, .. } => {
+                self.check_scope(scope, &[*region], "new array");
+                self.expr(assume, scope, len)?;
+            }
+            RExprKind::Index(_, idx) => {
+                self.expr(assume, scope, idx)?;
+            }
+            RExprKind::AssignIndex(_, idx, val) => {
+                self.expr(assume, scope, idx)?;
+                self.expr(assume, scope, val)?;
+            }
+            RExprKind::ArrayLen(_) => {}
+            RExprKind::CallVirtual {
+                recv,
+                method,
+                inst,
+                args,
+            } => {
+                self.check_scope(scope, inst, "call instantiation");
+                let callee = self.p.rmethod(*method);
+                if inst.len() != callee.abs_params.len() {
+                    self.err("call with wrong region arity".into());
+                    return None;
+                }
+                let s = RegSubst::instantiation(&callee.abs_params, inst);
+                // Receiver type must match the instantiated this-type (up to
+                // subtyping on its class prefix).
+                let decl_class = match method {
+                    MethodId::Instance(c, _) => *c,
+                    MethodId::Static(_) => unreachable!(),
+                };
+                let decl_params = &self.p.rclass(decl_class).params;
+                let this_t = RType::class(decl_class, s.apply_all(decl_params));
+                self.require_subtype(assume, &self.var_type(*recv), &this_t, "receiver");
+                self.check_call_common(assume, callee, &s, args);
+            }
+            RExprKind::CallStatic { method, inst, args } => {
+                self.check_scope(scope, inst, "call instantiation");
+                let callee = self.p.rmethod(*method);
+                if inst.len() != callee.abs_params.len() {
+                    self.err("call with wrong region arity".into());
+                    return None;
+                }
+                let s = RegSubst::instantiation(&callee.abs_params, inst);
+                self.check_call_common(assume, callee, &s, args);
+            }
+            RExprKind::Seq(a, b) => {
+                self.expr(assume, scope, a)?;
+                self.expr(assume, scope, b)?;
+            }
+            RExprKind::Let { var, init, body } => {
+                let vt = self.var_type(*var);
+                self.check_scope(scope, &vt.regions(), "declaration");
+                if let Some(init) = init {
+                    let it = self.expr(assume, scope, init)?;
+                    if !matches!(vt, RType::Void | RType::Prim(_)) {
+                        self.require_subtype(assume, &it, &vt, "initializer");
+                    }
+                }
+                self.expr(assume, scope, body)?;
+            }
+            RExprKind::Letreg(r, inner) => {
+                if scope.contains(r) {
+                    self.err(format!("letreg rebinds in-scope region {r}"));
+                }
+                // Stack discipline: everything currently in scope outlives
+                // the new region.
+                for &s in scope.iter() {
+                    assume.add_outlives(s, *r);
+                }
+                scope.insert(*r);
+                let it = self.expr(assume, scope, inner);
+                scope.remove(r);
+                // The letreg region must not escape through the value.
+                if let Some(it) = it {
+                    if it.regions().contains(r) {
+                        self.err(format!("letreg region {r} escapes through the value"));
+                    }
+                }
+            }
+            RExprKind::If {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                self.expr(assume, scope, cond)?;
+                let tt = self.expr(assume, scope, then_e)?;
+                let et = self.expr(assume, scope, else_e)?;
+                if !matches!(e.rtype, RType::Void | RType::Prim(_)) {
+                    self.require_subtype(assume, &tt, &e.rtype, "then branch");
+                    self.require_subtype(assume, &et, &e.rtype, "else branch");
+                }
+            }
+            RExprKind::While { cond, body } => {
+                self.expr(assume, scope, cond)?;
+                self.expr(assume, scope, body)?;
+            }
+            RExprKind::Cast {
+                class,
+                regions,
+                var,
+            } => {
+                self.check_scope(scope, regions, "cast");
+                let src = self.var_type(*var);
+                let (src_class, src_regions) = match &src {
+                    RType::Class { class, regions, .. } => (*class, regions.clone()),
+                    other => {
+                        self.err(format!("cast of non-object {other}"));
+                        return None;
+                    }
+                };
+                if self.p.kernel.table.is_subclass(src_class, *class) {
+                    // Upcast.
+                    let target = RType::class(*class, regions.clone());
+                    self.require_subtype(assume, &src, &target, "upcast");
+                } else {
+                    // Downcast: shared prefix must agree; the target's
+                    // invariant must hold for the recovered regions.
+                    for (i, &r) in src_regions.iter().enumerate() {
+                        if !assume.entails_atom(Atom::eq(r, regions[i])) {
+                            self.err(format!("downcast: prefix region {i} must be preserved"));
+                        }
+                    }
+                    let rc = self.p.rclass(*class);
+                    let s = RegSubst::instantiation(&rc.params, regions);
+                    for atom in rc.invariant.subst(&s).iter() {
+                        if !assume.entails_atom(atom) {
+                            self.err(format!("downcast: invariant atom {atom} not entailed"));
+                        }
+                    }
+                }
+            }
+            RExprKind::Unary(_, a) | RExprKind::Print(a) => {
+                self.expr(assume, scope, a)?;
+            }
+            RExprKind::Binary(_, a, b) => {
+                self.expr(assume, scope, a)?;
+                self.expr(assume, scope, b)?;
+            }
+        }
+        Some(e.rtype.clone())
+    }
+
+    fn check_call_common(
+        &mut self,
+        assume: &mut Solver,
+        callee: &cj_infer::rast::RMethod,
+        s: &RegSubst,
+        args: &[VarId],
+    ) {
+        // Instantiated precondition must be entailed at the call site.
+        for atom in callee.precondition.subst(s).iter() {
+            if !assume.entails_atom(atom) {
+                self.err(format!("call: precondition atom {atom} not entailed"));
+            }
+        }
+        let km = self.p.kernel.method(callee.id);
+        for (&pv, &a) in km.params.iter().zip(args) {
+            let expected = callee.var_types[pv.index()].subst(s);
+            if !matches!(expected, RType::Void | RType::Prim(_)) {
+                self.require_subtype(assume, &self.var_type(a), &expected, "argument");
+            }
+        }
+    }
+}
+
+/// Convenience: infer then check, returning the annotated program.
+///
+/// # Errors
+///
+/// Front-end, inference or checking failures, boxed.
+pub fn infer_and_check(
+    src: &str,
+    opts: cj_infer::InferOptions,
+) -> Result<RProgram, Box<dyn std::error::Error>> {
+    let (p, _) = cj_infer::infer_source(src, opts)?;
+    check(&p)?;
+    Ok(p)
+}
+
+/// The subtyping modes, re-exported for test matrices.
+pub const ALL_MODES: [SubtypeMode; 3] =
+    [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cj_infer::{infer_source, DowncastPolicy, InferOptions};
+
+    const PAIR: &str = "
+        class Pair { Object fst; Object snd;
+          Object getFst() { this.fst }
+          void setSnd(Object o) { this.snd = o; }
+          Pair cloneRev() {
+            Pair tmp = new Pair(null, null);
+            tmp.fst = this.snd; tmp.snd = this.fst; tmp
+          }
+          void swap() { Object t = this.fst; this.fst = this.snd; this.snd = t; }
+        }
+        class Main {
+          static Pair build() {
+            Pair p4 = new Pair(null, null);
+            Pair p3 = new Pair(p4, null);
+            Pair p2 = new Pair(null, p4);
+            Pair p1 = new Pair(p2, null);
+            p1.setSnd(p3);
+            p2
+          }
+        }";
+
+    #[test]
+    fn inferred_pair_program_checks_in_all_modes() {
+        for mode in ALL_MODES {
+            let (p, _) = infer_source(
+                PAIR,
+                InferOptions {
+                    mode,
+                    downcast: DowncastPolicy::EquateFirst,
+                },
+            )
+            .unwrap();
+            check(&p).unwrap_or_else(|e| panic!("mode {mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursive_join_checks() {
+        let src = "
+        class List { Object value; List next;
+          Object getValue() { this.value }
+          List getNext() { this.next }
+          static bool isNull(List l) { l == null }
+          static List join(List xs, List ys) {
+            if (isNull(xs)) {
+              if (isNull(ys)) { (List) null } else { join(ys, xs) }
+            } else {
+              Object x; List res;
+              x = xs.getValue();
+              xs = xs.getNext();
+              res = join(ys, xs);
+              new List(x, res)
+            }
+          }
+        }";
+        for mode in ALL_MODES {
+            let (p, _) = infer_source(src, InferOptions::with_mode(mode)).unwrap();
+            check(&p).unwrap_or_else(|e| panic!("mode {mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn override_program_checks() {
+        let src = "
+        class Pair { Object fst; Object snd;
+          Pair cloneRev() {
+            Pair tmp = new Pair(null, null);
+            tmp.fst = this.snd; tmp.snd = this.fst; tmp
+          }
+        }
+        class Triple extends Pair { Object thd;
+          Pair cloneRev() {
+            Pair tmp = new Pair(null, null);
+            tmp.fst = this.thd; tmp.snd = this.fst; tmp
+          }
+        }
+        class Main {
+          static Pair use(Triple t) { t.cloneRev() }
+        }";
+        for mode in ALL_MODES {
+            let (p, _) = infer_source(src, InferOptions::with_mode(mode)).unwrap();
+            check(&p).unwrap_or_else(|e| panic!("mode {mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn downcast_padding_checks() {
+        let src = "
+        class A { Object f1; }
+        class B extends A { Object f2; }
+        class C extends A { Object f3; }
+        class D extends C { Object f4; }
+        class M {
+          static void main(bool c1) {
+            A a;
+            if (c1) { a = new B(null, null); } else { a = new D(null, null, null); }
+            B b = (B) a;
+            C c = (C) a;
+            D d = (D) c;
+          }
+        }";
+        for policy in [DowncastPolicy::EquateFirst, DowncastPolicy::Padding] {
+            let (p, _) = infer_source(
+                src,
+                InferOptions {
+                    mode: SubtypeMode::Object,
+                    downcast: policy,
+                },
+            )
+            .unwrap();
+            check(&p).unwrap_or_else(|e| panic!("policy {policy}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corrupted_precondition_fails() {
+        let (mut p, _) = infer_source(PAIR, InferOptions::default()).unwrap();
+        // Erase swap's precondition (it needs r2 = r3): the body must no
+        // longer check.
+        let pair = p.kernel.table.class_id("Pair").unwrap();
+        let swap_slot = p
+            .kernel
+            .table
+            .class(pair)
+            .own_methods
+            .iter()
+            .position(|m| m.name.as_str() == "swap")
+            .unwrap();
+        p.methods[pair.index()][swap_slot].precondition = ConstraintSet::new();
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("not entailed"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_invariant_fails_no_dangling() {
+        let (mut p, _) = infer_source(PAIR, InferOptions::default()).unwrap();
+        let pair = p.kernel.table.class_id("Pair").unwrap();
+        p.classes[pair.index()].invariant = ConstraintSet::new();
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("no-dangling"), "{err}");
+    }
+
+    #[test]
+    fn out_of_scope_region_fails() {
+        let (mut p, _) = infer_source(
+            "class Cell { Object item; }
+             class M { static int f() { Cell c = new Cell(null); 7 } }",
+            InferOptions::default(),
+        )
+        .unwrap();
+        // Strip the letreg wrapper so the localized region is out of scope.
+        let m = &mut p.statics[0];
+        fn strip(e: &mut RExpr) -> bool {
+            if let RExprKind::Letreg(_, inner) = &mut e.kind {
+                *e = (**inner).clone();
+                return true;
+            }
+            match &mut e.kind {
+                RExprKind::Let { init, body, .. } => {
+                    init.as_deref_mut().map(strip);
+                    strip(body)
+                }
+                RExprKind::Seq(a, b) => strip(a) || strip(b),
+                _ => false,
+            }
+        }
+        assert!(strip(&mut m.body), "expected a letreg to strip");
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("not in scope"), "{err}");
+    }
+
+    #[test]
+    fn letreg_region_must_not_escape_value() {
+        // Hand-build a body where the letreg region escapes via the result.
+        let (mut p, _) = infer_source(
+            "class Cell { Object item; }
+             class M { static Cell mk() { new Cell(null) } }",
+            InferOptions::default(),
+        )
+        .unwrap();
+        let m = &mut p.statics[0];
+        let body = m.body.clone();
+        let bad = cj_infer::localize::wrap_letreg(m.ret_type.object_region().unwrap(), body);
+        m.body = bad;
+        let err = check(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("escapes") || msg.contains("rebinds"), "{msg}");
+    }
+}

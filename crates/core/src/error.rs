@@ -1,0 +1,34 @@
+//! Inference errors.
+
+use cj_frontend::span::Span;
+use std::fmt;
+
+/// An error produced by region inference.
+///
+/// Well-normal-typed programs almost always infer successfully (Theorem 1);
+/// the exceptions are policy-driven, e.g. downcasts under
+/// [`DowncastPolicy::Reject`](crate::options::DowncastPolicy::Reject).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// A downcast was found but the active policy rejects downcasts.
+    DowncastRejected {
+        /// Method containing the cast.
+        method: String,
+        /// Location of the cast.
+        span: Span,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::DowncastRejected { method, .. } => write!(
+                f,
+                "downcast in `{method}` rejected: enable the equate-first or \
+                 padding downcast policy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}

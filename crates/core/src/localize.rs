@@ -1,0 +1,570 @@
+//! `letreg` localization (rule \[exp-block\]) and the mapping of escaping
+//! local regions onto signature regions.
+//!
+//! After the constraint system is solved, each method's regions divide into:
+//!
+//! - **signature regions** (class parameters, method parameters, heap);
+//! - **escaping locals** — body regions that must outlive something visible
+//!   to the caller ("those regions that may escape the block can be traced
+//!   to regions that exist in either the type environment or the result
+//!   type; all regions that outlive these regions also escape"). These are
+//!   instantiated onto signature regions ("all regions used in each method
+//!   will thus be mapped to these region parameters, or to the heap",
+//!   Sec 3.3);
+//! - **localizable locals** — everything else. These are grouped per
+//!   expression block (method body, conditional branches, loop bodies) and
+//!   bound by a fresh `letreg` region; all regions localized at the same
+//!   block coalesce into one region, as in Fig 4(d).
+//!
+//! Blocks are processed innermost-first so that a region used only inside a
+//! loop body is reclaimed *each iteration* rather than once per call — this
+//! is the mechanism behind the space-reuse numbers of Fig 8.
+
+use crate::ctx::Ctx;
+use crate::exprinfer::BodyResult;
+use crate::rast::{RExpr, RExprKind, RType};
+use cj_regions::constraint::{Atom, ConstraintSet};
+use cj_regions::solve::Solver;
+use cj_regions::var::RegVar;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The set of signature regions of a method (abstraction parameters plus
+/// the heap).
+pub fn sig_set(abs_params: &[RegVar]) -> BTreeSet<RegVar> {
+    let mut s: BTreeSet<RegVar> = abs_params.iter().copied().collect();
+    s.insert(RegVar::HEAP);
+    s
+}
+
+/// The method's region universe: signature regions plus everything minted
+/// while inferring the body.
+pub fn universe(abs_params: &[RegVar], res: &BodyResult) -> BTreeSet<RegVar> {
+    let mut u = sig_set(abs_params);
+    for i in res.region_lo..res.region_hi {
+        u.insert(RegVar(i));
+    }
+    u
+}
+
+/// Instantiates escaping local regions onto signature regions: for every
+/// escaping region not already equal to a signature region, adds an
+/// equality with its *longest-lived* signature lower bound (the choice that
+/// strengthens the precondition least). Returns the added atoms.
+pub fn instantiate_escaping(
+    solver: &mut Solver,
+    abs_params: &[RegVar],
+    res: &BodyResult,
+) -> ConstraintSet {
+    let sigs = sig_set(abs_params);
+    let u = universe(abs_params, res);
+    let escaping = solver.escape_closure(sigs.iter().copied(), &u);
+    let mut added = ConstraintSet::new();
+    for &r in &escaping {
+        if sigs.contains(&r) {
+            continue;
+        }
+        let rep = solver.find(r);
+        // Already instantiated if its class contains a signature region.
+        if sigs.iter().any(|&s| solver.find(s) == rep) {
+            continue;
+        }
+        // Signature lower bounds of r.
+        let lower: Vec<RegVar> = sigs
+            .iter()
+            .copied()
+            .filter(|&s| solver.outlives_holds(r, s))
+            .collect();
+        debug_assert!(
+            !lower.is_empty(),
+            "escaping region {r} must reach a signature seed"
+        );
+        // Pick the bound that dominates the most other bounds (ties by
+        // smallest id, for determinism).
+        let best = lower
+            .iter()
+            .copied()
+            .max_by_key(|&s| {
+                let dominated = lower
+                    .iter()
+                    .filter(|&&s2| solver.outlives_holds(s, s2))
+                    .count();
+                (dominated, std::cmp::Reverse(s))
+            })
+            .expect("nonempty");
+        solver.add_eq(r, best);
+        added.add(Atom::eq(r, best));
+    }
+    added
+}
+
+/// Result of the localization pass over one method.
+pub struct Localized {
+    /// Rewritten body with `letreg` nodes and resolved regions.
+    pub body: RExpr,
+    /// Rewritten variable types.
+    pub var_types: Vec<RType>,
+    /// Rewritten return type.
+    pub ret_type: RType,
+    /// One region per inserted `letreg`.
+    pub letregs: Vec<RegVar>,
+}
+
+/// Runs the \[exp-block\] localization over a solved method body and rewrites
+/// every region through the final resolution (escaping regions to their
+/// canonical signature region, localized regions to their block's `letreg`
+/// region).
+pub fn localize(
+    ctx: &mut Ctx<'_>,
+    solver: &mut Solver,
+    abs_params: &[RegVar],
+    res: &BodyResult,
+    ret_type: &RType,
+) -> Localized {
+    let sigs = sig_set(abs_params);
+    let u = universe(abs_params, res);
+    let escaping = solver.escape_closure(sigs.iter().copied(), &u);
+    let locals: BTreeSet<RegVar> = u.difference(&escaping).copied().collect();
+
+    // ---- pass 1: block tree + occurrence LCA ---------------------------
+    let mut blocks = BlockTree::new();
+    let mut lca: HashMap<RegVar, usize> = HashMap::new();
+    collect_occurrences(res, &res.body, 0, &mut blocks, &mut lca, &locals);
+
+    // ---- group regions per block, innermost first ----------------------
+    let order = blocks.post_order();
+    let mut remaining: BTreeSet<RegVar> = locals.iter().copied().filter(|r| !r.is_heap()).collect();
+    let mut consumed: BTreeSet<RegVar> = BTreeSet::new();
+    let mut groups: BTreeMap<usize, (RegVar, BTreeSet<RegVar>)> = BTreeMap::new();
+    let mut resolve: HashMap<RegVar, RegVar> = HashMap::new();
+    for &b in &order {
+        // Candidates: remaining locals whose occurrences all fall inside b.
+        let mut x: BTreeSet<RegVar> = remaining
+            .iter()
+            .copied()
+            .filter(|r| blocks.is_within(*lca.get(r).unwrap_or(&0), b))
+            .collect();
+        // Greatest fixpoint: drop regions that outlive a region surviving b.
+        loop {
+            let outside: Vec<RegVar> = remaining
+                .iter()
+                .copied()
+                .filter(|r| !x.contains(r))
+                .collect();
+            let mut dropped = false;
+            let members: Vec<RegVar> = x.iter().copied().collect();
+            for r in members {
+                if outside.iter().any(|&s| solver.outlives_holds(r, s)) {
+                    x.remove(&r);
+                    dropped = true;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+        if x.is_empty() {
+            continue;
+        }
+        let rho = ctx.gen.fresh();
+        for &r in &x {
+            resolve.insert(r, rho);
+            remaining.remove(&r);
+            consumed.insert(r);
+        }
+        groups.insert(b, (rho, x));
+    }
+
+    // ---- final region resolution ---------------------------------------
+    let resolve_fn = |r: RegVar| -> RegVar {
+        if let Some(&rho) = resolve.get(&r) {
+            rho
+        } else {
+            solver.find(r)
+        }
+    };
+
+    // ---- pass 2: rebuild the tree with letregs and resolved regions ----
+    let mut counter = BlockCounter { next: 1 };
+    let mut body = rewrite(&res.body, 0, &mut counter, &groups, &resolve_fn);
+    if let Some((rho, _)) = groups.get(&0) {
+        body = wrap_letreg(*rho, body);
+    }
+    let var_types: Vec<RType> = res
+        .var_types
+        .iter()
+        .map(|t| resolve_rtype(t, &resolve_fn))
+        .collect();
+    let ret_type = resolve_rtype(ret_type, &resolve_fn);
+    let letregs = groups.values().map(|(rho, _)| *rho).collect();
+    Localized {
+        body,
+        var_types,
+        ret_type,
+        letregs,
+    }
+}
+
+// ---- block tree ---------------------------------------------------------
+
+struct BlockTree {
+    parent: Vec<Option<usize>>,
+}
+
+impl BlockTree {
+    fn new() -> BlockTree {
+        BlockTree {
+            parent: vec![None], // block 0 = method body
+        }
+    }
+
+    fn child(&mut self, parent: usize) -> usize {
+        self.parent.push(Some(parent));
+        self.parent.len() - 1
+    }
+
+    fn is_within(&self, b: usize, ancestor: usize) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent[c];
+        }
+        false
+    }
+
+    fn depth(&self, mut b: usize) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.parent[b] {
+            d += 1;
+            b = p;
+        }
+        d
+    }
+
+    fn lca(&self, a: usize, b: usize) -> usize {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent[a].expect("deeper node has parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent[b].expect("deeper node has parent");
+        }
+        while a != b {
+            a = self.parent[a].expect("roots meet");
+            b = self.parent[b].expect("roots meet");
+        }
+        a
+    }
+
+    /// Children-before-parents order.
+    fn post_order(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.parent.len()).collect();
+        ids.sort_by_key(|&b| std::cmp::Reverse(self.depth(b)));
+        ids
+    }
+}
+
+struct BlockCounter {
+    next: usize,
+}
+
+// ---- pass 1: occurrences -------------------------------------------------
+
+fn note(
+    regions: impl IntoIterator<Item = RegVar>,
+    block: usize,
+    tree: &BlockTree,
+    lca: &mut HashMap<RegVar, usize>,
+    locals: &BTreeSet<RegVar>,
+) {
+    for r in regions {
+        if !locals.contains(&r) {
+            continue;
+        }
+        let entry = lca.entry(r).or_insert(block);
+        *entry = tree.lca(*entry, block);
+    }
+}
+
+fn collect_occurrences(
+    res: &BodyResult,
+    e: &RExpr,
+    block: usize,
+    tree: &mut BlockTree,
+    lca: &mut HashMap<RegVar, usize>,
+    locals: &BTreeSet<RegVar>,
+) {
+    note(e.rtype.regions(), block, tree, lca, locals);
+    let var_regions = |v: cj_frontend::VarId| res.var_types[v.index()].regions();
+    match &e.kind {
+        RExprKind::Unit
+        | RExprKind::Int(_)
+        | RExprKind::Bool(_)
+        | RExprKind::Float(_)
+        | RExprKind::Null => {}
+        RExprKind::Var(v) | RExprKind::Field(v, _) | RExprKind::ArrayLen(v) => {
+            note(var_regions(*v), block, tree, lca, locals)
+        }
+        RExprKind::AssignVar(v, rhs) => {
+            note(var_regions(*v), block, tree, lca, locals);
+            collect_occurrences(res, rhs, block, tree, lca, locals);
+        }
+        RExprKind::AssignField(v, _, rhs) => {
+            note(var_regions(*v), block, tree, lca, locals);
+            collect_occurrences(res, rhs, block, tree, lca, locals);
+        }
+        RExprKind::New { regions, args, .. } => {
+            note(regions.iter().copied(), block, tree, lca, locals);
+            for &a in args {
+                note(var_regions(a), block, tree, lca, locals);
+            }
+        }
+        RExprKind::NewArray { region, len, .. } => {
+            note([*region], block, tree, lca, locals);
+            collect_occurrences(res, len, block, tree, lca, locals);
+        }
+        RExprKind::Index(v, idx) => {
+            note(var_regions(*v), block, tree, lca, locals);
+            collect_occurrences(res, idx, block, tree, lca, locals);
+        }
+        RExprKind::AssignIndex(v, idx, val) => {
+            note(var_regions(*v), block, tree, lca, locals);
+            collect_occurrences(res, idx, block, tree, lca, locals);
+            collect_occurrences(res, val, block, tree, lca, locals);
+        }
+        RExprKind::CallVirtual {
+            recv, inst, args, ..
+        } => {
+            note(var_regions(*recv), block, tree, lca, locals);
+            note(inst.iter().copied(), block, tree, lca, locals);
+            for &a in args {
+                note(var_regions(a), block, tree, lca, locals);
+            }
+        }
+        RExprKind::CallStatic { inst, args, .. } => {
+            note(inst.iter().copied(), block, tree, lca, locals);
+            for &a in args {
+                note(var_regions(a), block, tree, lca, locals);
+            }
+        }
+        RExprKind::Seq(a, b) => {
+            collect_occurrences(res, a, block, tree, lca, locals);
+            collect_occurrences(res, b, block, tree, lca, locals);
+        }
+        RExprKind::Let { var, init, body } => {
+            note(var_regions(*var), block, tree, lca, locals);
+            if let Some(i) = init {
+                collect_occurrences(res, i, block, tree, lca, locals);
+            }
+            collect_occurrences(res, body, block, tree, lca, locals);
+        }
+        RExprKind::Letreg(_, inner) => collect_occurrences(res, inner, block, tree, lca, locals),
+        RExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            collect_occurrences(res, cond, block, tree, lca, locals);
+            let tb = tree.child(block);
+            collect_occurrences(res, then_e, tb, tree, lca, locals);
+            let eb = tree.child(block);
+            collect_occurrences(res, else_e, eb, tree, lca, locals);
+        }
+        RExprKind::While { cond, body } => {
+            collect_occurrences(res, cond, block, tree, lca, locals);
+            let bb = tree.child(block);
+            collect_occurrences(res, body, bb, tree, lca, locals);
+        }
+        RExprKind::Cast { regions, var, .. } => {
+            note(regions.iter().copied(), block, tree, lca, locals);
+            note(var_regions(*var), block, tree, lca, locals);
+        }
+        RExprKind::Unary(_, a) | RExprKind::Print(a) => {
+            collect_occurrences(res, a, block, tree, lca, locals)
+        }
+        RExprKind::Binary(_, a, b) => {
+            collect_occurrences(res, a, block, tree, lca, locals);
+            collect_occurrences(res, b, block, tree, lca, locals);
+        }
+    }
+}
+
+// ---- pass 2: rewrite ------------------------------------------------------
+
+fn resolve_rtype(t: &RType, f: &impl Fn(RegVar) -> RegVar) -> RType {
+    match t {
+        RType::Void => RType::Void,
+        RType::Prim(p) => RType::Prim(*p),
+        RType::Class {
+            class,
+            regions,
+            pads,
+        } => RType::Class {
+            class: *class,
+            regions: regions.iter().map(|&r| f(r)).collect(),
+            pads: pads.iter().map(|&r| f(r)).collect(),
+        },
+        RType::Array { elem, region } => RType::Array {
+            elem: *elem,
+            region: f(*region),
+        },
+    }
+}
+
+/// Rebuilds the tree mirroring the pass-1 traversal (so block ids match),
+/// wrapping each grouped block in `letreg` and resolving every region.
+#[allow(clippy::only_used_in_recursion)]
+fn rewrite(
+    e: &RExpr,
+    block: usize,
+    counter: &mut BlockCounter,
+    groups: &BTreeMap<usize, (RegVar, BTreeSet<RegVar>)>,
+    f: &impl Fn(RegVar) -> RegVar,
+) -> RExpr {
+    let rtype = resolve_rtype(&e.rtype, f);
+    let span = e.span;
+    let kind = match &e.kind {
+        RExprKind::Unit => RExprKind::Unit,
+        RExprKind::Int(v) => RExprKind::Int(*v),
+        RExprKind::Bool(v) => RExprKind::Bool(*v),
+        RExprKind::Float(v) => RExprKind::Float(*v),
+        RExprKind::Null => RExprKind::Null,
+        RExprKind::Var(v) => RExprKind::Var(*v),
+        RExprKind::Field(v, fr) => RExprKind::Field(*v, *fr),
+        RExprKind::AssignVar(v, rhs) => {
+            RExprKind::AssignVar(*v, Box::new(rewrite(rhs, block, counter, groups, f)))
+        }
+        RExprKind::AssignField(v, fr, rhs) => {
+            RExprKind::AssignField(*v, *fr, Box::new(rewrite(rhs, block, counter, groups, f)))
+        }
+        RExprKind::New {
+            class,
+            regions,
+            args,
+        } => RExprKind::New {
+            class: *class,
+            regions: regions.iter().map(|&r| f(r)).collect(),
+            args: args.clone(),
+        },
+        RExprKind::NewArray { elem, region, len } => RExprKind::NewArray {
+            elem: *elem,
+            region: f(*region),
+            len: Box::new(rewrite(len, block, counter, groups, f)),
+        },
+        RExprKind::Index(v, idx) => {
+            RExprKind::Index(*v, Box::new(rewrite(idx, block, counter, groups, f)))
+        }
+        RExprKind::AssignIndex(v, idx, val) => RExprKind::AssignIndex(
+            *v,
+            Box::new(rewrite(idx, block, counter, groups, f)),
+            Box::new(rewrite(val, block, counter, groups, f)),
+        ),
+        RExprKind::ArrayLen(v) => RExprKind::ArrayLen(*v),
+        RExprKind::CallVirtual {
+            recv,
+            method,
+            inst,
+            args,
+        } => RExprKind::CallVirtual {
+            recv: *recv,
+            method: *method,
+            inst: inst.iter().map(|&r| f(r)).collect(),
+            args: args.clone(),
+        },
+        RExprKind::CallStatic { method, inst, args } => RExprKind::CallStatic {
+            method: *method,
+            inst: inst.iter().map(|&r| f(r)).collect(),
+            args: args.clone(),
+        },
+        RExprKind::Seq(a, b) => RExprKind::Seq(
+            Box::new(rewrite(a, block, counter, groups, f)),
+            Box::new(rewrite(b, block, counter, groups, f)),
+        ),
+        RExprKind::Let { var, init, body } => RExprKind::Let {
+            var: *var,
+            init: init
+                .as_ref()
+                .map(|i| Box::new(rewrite(i, block, counter, groups, f))),
+            body: Box::new(rewrite(body, block, counter, groups, f)),
+        },
+        RExprKind::Letreg(r, inner) => {
+            RExprKind::Letreg(*r, Box::new(rewrite(inner, block, counter, groups, f)))
+        }
+        RExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let cond = Box::new(rewrite(cond, block, counter, groups, f));
+            let tb = counter.next;
+            counter.next += 1;
+            let mut then_r = rewrite(then_e, tb, counter, groups, f);
+            if let Some((rho, _)) = groups.get(&tb) {
+                then_r = wrap_letreg(*rho, then_r);
+            }
+            let eb = counter.next;
+            counter.next += 1;
+            let mut else_r = rewrite(else_e, eb, counter, groups, f);
+            if let Some((rho, _)) = groups.get(&eb) {
+                else_r = wrap_letreg(*rho, else_r);
+            }
+            RExprKind::If {
+                cond,
+                then_e: Box::new(then_r),
+                else_e: Box::new(else_r),
+            }
+        }
+        RExprKind::While { cond, body } => {
+            let cond = Box::new(rewrite(cond, block, counter, groups, f));
+            let bb = counter.next;
+            counter.next += 1;
+            let mut body_r = rewrite(body, bb, counter, groups, f);
+            if let Some((rho, _)) = groups.get(&bb) {
+                body_r = wrap_letreg(*rho, body_r);
+            }
+            RExprKind::While {
+                cond,
+                body: Box::new(body_r),
+            }
+        }
+        RExprKind::Cast {
+            class,
+            regions,
+            var,
+        } => RExprKind::Cast {
+            class: *class,
+            regions: regions.iter().map(|&r| f(r)).collect(),
+            var: *var,
+        },
+        RExprKind::Unary(op, a) => {
+            RExprKind::Unary(*op, Box::new(rewrite(a, block, counter, groups, f)))
+        }
+        RExprKind::Binary(op, a, b) => RExprKind::Binary(
+            *op,
+            Box::new(rewrite(a, block, counter, groups, f)),
+            Box::new(rewrite(b, block, counter, groups, f)),
+        ),
+        RExprKind::Print(a) => RExprKind::Print(Box::new(rewrite(a, block, counter, groups, f))),
+    };
+    RExpr { kind, rtype, span }
+}
+
+/// Wraps `inner` in `letreg rho in inner`.
+pub fn wrap_letreg(rho: RegVar, inner: RExpr) -> RExpr {
+    let rtype = inner.rtype.clone();
+    let span = inner.span;
+    RExpr {
+        kind: RExprKind::Letreg(rho, Box::new(inner)),
+        rtype,
+        span,
+    }
+}
+
+/// Applies the root-block letreg, if any, to a rewritten body.
+pub fn apply_root_letreg(groups_root: Option<RegVar>, body: RExpr) -> RExpr {
+    match groups_root {
+        Some(rho) => wrap_letreg(rho, body),
+        None => body,
+    }
+}

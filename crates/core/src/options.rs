@@ -1,0 +1,103 @@
+//! Inference configuration.
+
+use std::fmt;
+
+/// Which region-subtyping rule the inference uses (Sec 3.2).
+///
+/// The three variants trade annotation simplicity against region-lifetime
+/// precision; Fig 8 compares their space reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SubtypeMode {
+    /// No region subtyping: all region parameters unify equivariantly
+    /// (the rule of Boyapati et al. and RegJava).
+    None,
+    /// Object subtyping (Cyclone): the object's own (first) region is
+    /// covariant, field regions equivariant.
+    Object,
+    /// Field subtyping (this paper): additionally, the dedicated recursive
+    /// region is covariant for classes whose recursive fields are immutable
+    /// after construction (`isRecReadOnly`).
+    #[default]
+    Field,
+}
+
+impl fmt::Display for SubtypeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SubtypeMode::None => "no-sub",
+            SubtypeMode::Object => "object-sub",
+            SubtypeMode::Field => "field-sub",
+        })
+    }
+}
+
+/// How downcasts are made region-safe (Sec 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DowncastPolicy {
+    /// Reject programs containing downcasts (the Sec 4 core system).
+    Reject,
+    /// Technique 1: at every upcast, equate the regions that would be lost
+    /// with the object's first region, so any later downcast can recover
+    /// them. Simple and modular, loses some lifetime precision.
+    #[default]
+    EquateFirst,
+    /// Technique 2: run the global backward-flow analysis and pad only the
+    /// variables and allocation sites that may actually be downcast.
+    Padding,
+}
+
+impl fmt::Display for DowncastPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DowncastPolicy::Reject => "reject",
+            DowncastPolicy::EquateFirst => "equate-first",
+            DowncastPolicy::Padding => "padding",
+        })
+    }
+}
+
+/// Options controlling a run of region inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferOptions {
+    /// Region-subtyping rule.
+    pub mode: SubtypeMode,
+    /// Downcast-safety strategy.
+    pub downcast: DowncastPolicy,
+}
+
+impl InferOptions {
+    /// The paper's recommended configuration: field subtyping with
+    /// flow-based downcast padding.
+    pub fn recommended() -> InferOptions {
+        InferOptions {
+            mode: SubtypeMode::Field,
+            downcast: DowncastPolicy::Padding,
+        }
+    }
+
+    /// Options with the given subtyping mode and default downcast policy.
+    pub fn with_mode(mode: SubtypeMode) -> InferOptions {
+        InferOptions {
+            mode,
+            ..InferOptions::default()
+        }
+    }
+}
+
+/// Statistics reported by a run of region inference (used by the Fig 8/9
+/// harnesses).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InferStats {
+    /// Iterations of the outer (resolution/instantiation) loop.
+    pub global_iterations: usize,
+    /// Total Kleene iterations across all abstraction SCC solves.
+    pub fixpoint_iterations: usize,
+    /// Total region variables allocated.
+    pub regions_created: usize,
+    /// Number of `letreg`s inserted program-wide.
+    pub localized_regions: usize,
+    /// Override-resolution repairs applied.
+    pub override_repairs: usize,
+    /// Number of downcast sites analysed.
+    pub downcast_sites: usize,
+}

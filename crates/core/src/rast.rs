@@ -1,0 +1,436 @@
+//! The region-annotated target language (Fig 1(b)).
+//!
+//! Region inference turns a kernel program into an [`RProgram`]: every class
+//! carries region parameters and an invariant, every method carries region
+//! parameters and a precondition, every type is an [`RType`] with explicit
+//! regions, and `letreg` nodes introduce lexically scoped local regions.
+
+use cj_frontend::ast::{BinOp, UnOp};
+use cj_frontend::kernel::{FieldRef, KProgram};
+use cj_frontend::span::Span;
+use cj_frontend::types::{ClassId, MethodId, Prim, VarId};
+use cj_regions::abstraction::AbsEnv;
+use cj_regions::constraint::ConstraintSet;
+use cj_regions::subst::RegSubst;
+use cj_regions::var::RegVar;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A region-annotated type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RType {
+    /// `void`.
+    Void,
+    /// A primitive (no regions — primitives are copied).
+    Prim(Prim),
+    /// A class type `cn⟨r₁…rₙ⟩`. The first region is where the object
+    /// itself lives; `pads` are the extra regions of the Sec 5 padding
+    /// strategy (empty unless downcast padding is enabled).
+    Class {
+        /// The class.
+        class: ClassId,
+        /// Region arguments, first = object region.
+        regions: Vec<RegVar>,
+        /// Padded regions `[r…]` for downcast preservation.
+        pads: Vec<RegVar>,
+    },
+    /// A primitive array `p[]⟨r⟩` — one region for the whole object.
+    Array {
+        /// Element type.
+        elem: Prim,
+        /// The array object's region.
+        region: RegVar,
+    },
+}
+
+impl RType {
+    /// A class type without pads.
+    pub fn class(class: ClassId, regions: Vec<RegVar>) -> RType {
+        RType::Class {
+            class,
+            regions,
+            pads: Vec::new(),
+        }
+    }
+
+    /// All regions mentioned, in order (pads last).
+    pub fn regions(&self) -> Vec<RegVar> {
+        match self {
+            RType::Void | RType::Prim(_) => Vec::new(),
+            RType::Class { regions, pads, .. } => {
+                regions.iter().chain(pads.iter()).copied().collect()
+            }
+            RType::Array { region, .. } => vec![*region],
+        }
+    }
+
+    /// The region of the object itself (first region), if any.
+    pub fn object_region(&self) -> Option<RegVar> {
+        match self {
+            RType::Class { regions, .. } => regions.first().copied(),
+            RType::Array { region, .. } => Some(*region),
+            _ => None,
+        }
+    }
+
+    /// Applies a region substitution.
+    pub fn subst(&self, s: &RegSubst) -> RType {
+        match self {
+            RType::Void => RType::Void,
+            RType::Prim(p) => RType::Prim(*p),
+            RType::Class {
+                class,
+                regions,
+                pads,
+            } => RType::Class {
+                class: *class,
+                regions: s.apply_all(regions),
+                pads: s.apply_all(pads),
+            },
+            RType::Array { elem, region } => RType::Array {
+                elem: *elem,
+                region: s.apply(*region),
+            },
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RType::Void => f.write_str("void"),
+            RType::Prim(p) => write!(f, "{p}"),
+            RType::Class {
+                class,
+                regions,
+                pads,
+            } => {
+                write!(f, "class#{}<", class.0)?;
+                for (i, r) in regions.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                f.write_str(">")?;
+                if !pads.is_empty() {
+                    f.write_str("[")?;
+                    for (i, r) in pads.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                    f.write_str("]")?;
+                }
+                Ok(())
+            }
+            RType::Array { elem, region } => write!(f, "{elem}[]<{region}>"),
+        }
+    }
+}
+
+/// Region signature of a class: `class cn⟨params⟩ extends … where inv`.
+#[derive(Debug, Clone)]
+pub struct RClass {
+    /// The class.
+    pub id: ClassId,
+    /// Region parameters; the superclass's parameters are a prefix.
+    pub params: Vec<RegVar>,
+    /// Annotated types of *all* fields in constructor order, expressed over
+    /// `params`.
+    pub field_types: Vec<RType>,
+    /// The closed-form class invariant `inv.cn` over `params`.
+    pub invariant: ConstraintSet,
+    /// The dedicated recursive region (last parameter) if the class is
+    /// recursive.
+    pub rec_region: Option<RegVar>,
+}
+
+impl RClass {
+    /// Number of region parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// Region signature and annotated body of a method.
+#[derive(Debug, Clone)]
+pub struct RMethod {
+    /// Which method this is.
+    pub id: MethodId,
+    /// The method's own region parameters (for parameters and result).
+    pub mparams: Vec<RegVar>,
+    /// Full abstraction parameters: owning class's region parameters
+    /// (instance methods only) followed by `mparams`.
+    pub abs_params: Vec<RegVar>,
+    /// Annotated type per kernel variable slot.
+    pub var_types: Vec<RType>,
+    /// Annotated return type.
+    pub ret_type: RType,
+    /// The closed-form precondition `pre.m` over `abs_params`.
+    pub precondition: ConstraintSet,
+    /// The annotated body.
+    pub body: RExpr,
+    /// Regions localized by `letreg` in this method (one entry per letreg).
+    pub localized: Vec<RegVar>,
+}
+
+/// A region-annotated expression.
+#[derive(Debug, Clone)]
+pub struct RExpr {
+    /// The annotated form.
+    pub kind: RExprKind,
+    /// The expression's annotated type.
+    pub rtype: RType,
+    /// Source location (from the kernel).
+    pub span: Span,
+}
+
+/// Annotated expression forms; mirrors
+/// [`KExprKind`](cj_frontend::kernel::KExprKind) with region information
+/// added, plus the `letreg` construct of the target language.
+#[derive(Debug, Clone)]
+pub enum RExprKind {
+    /// Unit value.
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Float literal.
+    Float(f64),
+    /// `(cn⟨r…⟩) null` — regions are in `rtype`.
+    Null,
+    /// Variable read.
+    Var(VarId),
+    /// Field read `v.f`.
+    Field(VarId, FieldRef),
+    /// `v = e`.
+    AssignVar(VarId, Box<RExpr>),
+    /// `v.f = e`.
+    AssignField(VarId, FieldRef, Box<RExpr>),
+    /// `new cn⟨regions⟩(args)` — the object is allocated in `regions[0]`.
+    New {
+        /// Class being constructed.
+        class: ClassId,
+        /// Region arguments of the constructed type.
+        regions: Vec<RegVar>,
+        /// Field initializer variables.
+        args: Vec<VarId>,
+    },
+    /// `new p[len]⟨region⟩`.
+    NewArray {
+        /// Element primitive.
+        elem: Prim,
+        /// Region the array lives in.
+        region: RegVar,
+        /// Length expression.
+        len: Box<RExpr>,
+    },
+    /// `v[e]`.
+    Index(VarId, Box<RExpr>),
+    /// `v[e₁] = e₂`.
+    AssignIndex(VarId, Box<RExpr>, Box<RExpr>),
+    /// `v.length`.
+    ArrayLen(VarId),
+    /// `v.mn⟨inst⟩(args)`: `inst` instantiates the callee's full
+    /// abstraction parameters (class prefix + method regions).
+    CallVirtual {
+        /// Receiver variable.
+        recv: VarId,
+        /// Statically resolved method.
+        method: MethodId,
+        /// Region arguments for the callee's `abs_params`.
+        inst: Vec<RegVar>,
+        /// Argument variables.
+        args: Vec<VarId>,
+    },
+    /// `mn⟨inst⟩(args)` — static call.
+    CallStatic {
+        /// The static method.
+        method: MethodId,
+        /// Region arguments for the callee's `abs_params`.
+        inst: Vec<RegVar>,
+        /// Argument variables.
+        args: Vec<VarId>,
+    },
+    /// `e₁ ; e₂`.
+    Seq(Box<RExpr>, Box<RExpr>),
+    /// `{ t v [= init]; body }`.
+    Let {
+        /// Declared variable (annotated type in the method's `var_types`).
+        var: VarId,
+        /// Optional initializer.
+        init: Option<Box<RExpr>>,
+        /// Scope.
+        body: Box<RExpr>,
+    },
+    /// `letreg r in e` — introduces a lexically scoped region.
+    Letreg(RegVar, Box<RExpr>),
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Box<RExpr>,
+        /// Then branch.
+        then_e: Box<RExpr>,
+        /// Else branch.
+        else_e: Box<RExpr>,
+    },
+    /// Loop.
+    While {
+        /// Condition.
+        cond: Box<RExpr>,
+        /// Body.
+        body: Box<RExpr>,
+    },
+    /// `(cn⟨regions⟩) v` — up- or downcast with explicit target regions.
+    Cast {
+        /// Target class.
+        class: ClassId,
+        /// Target type's regions.
+        regions: Vec<RegVar>,
+        /// Subject.
+        var: VarId,
+    },
+    /// Unary primitive operation.
+    Unary(UnOp, Box<RExpr>),
+    /// Binary primitive operation / reference equality.
+    Binary(BinOp, Box<RExpr>, Box<RExpr>),
+    /// Debug print.
+    Print(Box<RExpr>),
+}
+
+/// Visits every annotated sub-expression (pre-order).
+pub fn walk_rexpr<'a>(e: &'a RExpr, f: &mut impl FnMut(&'a RExpr)) {
+    f(e);
+    match &e.kind {
+        RExprKind::Unit
+        | RExprKind::Int(_)
+        | RExprKind::Bool(_)
+        | RExprKind::Float(_)
+        | RExprKind::Null
+        | RExprKind::Var(_)
+        | RExprKind::Field(_, _)
+        | RExprKind::New { .. }
+        | RExprKind::ArrayLen(_)
+        | RExprKind::CallVirtual { .. }
+        | RExprKind::CallStatic { .. }
+        | RExprKind::Cast { .. } => {}
+        RExprKind::AssignVar(_, e1)
+        | RExprKind::AssignField(_, _, e1)
+        | RExprKind::NewArray { len: e1, .. }
+        | RExprKind::Index(_, e1)
+        | RExprKind::Unary(_, e1)
+        | RExprKind::Print(e1)
+        | RExprKind::Letreg(_, e1) => walk_rexpr(e1, f),
+        RExprKind::AssignIndex(_, e1, e2)
+        | RExprKind::Seq(e1, e2)
+        | RExprKind::Binary(_, e1, e2) => {
+            walk_rexpr(e1, f);
+            walk_rexpr(e2, f);
+        }
+        RExprKind::Let { init, body, .. } => {
+            if let Some(i) = init {
+                walk_rexpr(i, f);
+            }
+            walk_rexpr(body, f);
+        }
+        RExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            walk_rexpr(cond, f);
+            walk_rexpr(then_e, f);
+            walk_rexpr(else_e, f);
+        }
+        RExprKind::While { cond, body } => {
+            walk_rexpr(cond, f);
+            walk_rexpr(body, f);
+        }
+    }
+}
+
+/// A fully region-annotated program — the output of inference and the input
+/// of the region checker and the interpreter.
+#[derive(Debug, Clone)]
+pub struct RProgram {
+    /// The underlying kernel program (class table, normal types, bodies).
+    pub kernel: KProgram,
+    /// Region signatures per class (indexed by `ClassId`).
+    pub classes: Vec<RClass>,
+    /// Annotated instance methods, parallel to `kernel.methods`.
+    pub methods: Vec<Vec<RMethod>>,
+    /// Annotated static methods, parallel to `kernel.statics`.
+    pub statics: Vec<RMethod>,
+    /// The environment `Q` of closed constraint abstractions
+    /// (`inv.cn`, `pre.m`).
+    pub q: AbsEnv,
+}
+
+impl RProgram {
+    /// The annotated class signature for `id`.
+    pub fn rclass(&self, id: ClassId) -> &RClass {
+        &self.classes[id.index()]
+    }
+
+    /// The annotated method for `id`.
+    pub fn rmethod(&self, id: MethodId) -> &RMethod {
+        match id {
+            MethodId::Instance(c, i) => &self.methods[c.index()][i as usize],
+            MethodId::Static(i) => &self.statics[i as usize],
+        }
+    }
+
+    /// Iterates over all annotated methods with their ids.
+    pub fn all_rmethods(&self) -> impl Iterator<Item = (MethodId, &RMethod)> {
+        let inst = self.methods.iter().enumerate().flat_map(|(c, ms)| {
+            ms.iter()
+                .enumerate()
+                .map(move |(i, m)| (MethodId::Instance(ClassId(c as u32), i as u32), m))
+        });
+        let stat = self
+            .statics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId::Static(i as u32), m));
+        inst.chain(stat)
+    }
+
+    /// Total number of `letreg`-localized regions in the program (the
+    /// "localised regions" count of Fig 8).
+    pub fn localized_region_count(&self) -> usize {
+        self.all_rmethods().map(|(_, m)| m.localized.len()).sum()
+    }
+
+    /// All region variables appearing in a method's signature and body.
+    pub fn method_region_universe(&self, id: MethodId) -> BTreeSet<RegVar> {
+        let m = self.rmethod(id);
+        let mut set: BTreeSet<RegVar> = m.abs_params.iter().copied().collect();
+        for t in &m.var_types {
+            set.extend(t.regions());
+        }
+        set.extend(m.ret_type.regions());
+        walk_rexpr(&m.body, &mut |e| {
+            set.extend(e.rtype.regions());
+            match &e.kind {
+                RExprKind::New { regions, .. } | RExprKind::Cast { regions, .. } => {
+                    set.extend(regions.iter().copied())
+                }
+                RExprKind::NewArray { region, .. } => {
+                    set.insert(*region);
+                }
+                RExprKind::CallVirtual { inst, .. } | RExprKind::CallStatic { inst, .. } => {
+                    set.extend(inst.iter().copied())
+                }
+                RExprKind::Letreg(r, _) => {
+                    set.insert(*r);
+                }
+                _ => {}
+            }
+        });
+        set.insert(RegVar::HEAP);
+        set
+    }
+}

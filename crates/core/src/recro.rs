@@ -1,0 +1,115 @@
+//! The `isRecReadOnly` analysis (Sec 3.2).
+//!
+//! Field region subtyping is sound for a class only when its recursive
+//! fields are immutable after object initialization: the covariant
+//! recursive region would otherwise allow a longer-lived chain to be stored
+//! where a shorter-lived one is expected and then *mutated* to point at
+//! shorter-lived data.
+//!
+//! We use a conservative whole-program check: a recursive class is
+//! rec-read-only iff no `v.f = e` assignment anywhere in the program
+//! targets one of its recursive fields (constructor initialization through
+//! `new` does not count, matching "immutable after object initialization").
+
+use cj_frontend::kernel::{walk_expr, KExprKind, KProgram};
+use cj_frontend::types::ClassId;
+use std::collections::BTreeSet;
+
+/// Computes, for every class, whether field region subtyping may be applied
+/// to it. Non-recursive classes are `false` (the rule is about the
+/// recursive region, which they do not have).
+pub fn rec_read_only(kp: &KProgram) -> Vec<bool> {
+    let table = &kp.table;
+    let recursive = table.recursive_classes();
+    // Collect (declaring class, field name) pairs that are ever assigned.
+    let mut assigned: BTreeSet<(ClassId, cj_frontend::Symbol)> = BTreeSet::new();
+    for (_, m) in kp.all_methods() {
+        walk_expr(&m.body, &mut |e| {
+            if let KExprKind::AssignField(_, fref, _) = &e.kind {
+                assigned.insert((fref.owner, fref.name));
+            }
+        });
+    }
+    table
+        .classes()
+        .iter()
+        .map(|info| {
+            if !recursive[info.id.index()] {
+                return false;
+            }
+            table.recursive_fields(info.id).iter().all(|&fname| {
+                // The field may be declared in an ancestor; find its owner.
+                let owner = table
+                    .lookup_field(info.id, fname)
+                    .map(|f| f.owner)
+                    .unwrap_or(info.id);
+                !assigned.contains(&(owner, fname))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cj_frontend::typecheck::check_source;
+
+    #[test]
+    fn immutable_recursive_list_is_read_only() {
+        let kp = check_source(
+            "class RList { Object value; RList next;
+               RList getNext() { this.next } }",
+        )
+        .unwrap();
+        let ro = rec_read_only(&kp);
+        let rl = kp.table.class_id("RList").unwrap();
+        assert!(ro[rl.index()]);
+    }
+
+    #[test]
+    fn mutated_recursive_field_disables_field_sub() {
+        let kp = check_source(
+            "class List { Object value; List next;
+               void setNext(List o) { this.next = o; } }",
+        )
+        .unwrap();
+        let ro = rec_read_only(&kp);
+        let l = kp.table.class_id("List").unwrap();
+        assert!(!ro[l.index()]);
+    }
+
+    #[test]
+    fn nonrecursive_class_is_not_read_only() {
+        let kp = check_source("class Pair { Object fst; Object snd; }").unwrap();
+        let ro = rec_read_only(&kp);
+        let p = kp.table.class_id("Pair").unwrap();
+        assert!(!ro[p.index()]);
+    }
+
+    #[test]
+    fn mutation_of_nonrecursive_field_is_fine() {
+        let kp = check_source(
+            "class Tree { int key; Tree left; Tree right;
+               void setKey(int k) { this.key = k; } }",
+        )
+        .unwrap();
+        let ro = rec_read_only(&kp);
+        let t = kp.table.class_id("Tree").unwrap();
+        assert!(ro[t.index()]);
+    }
+
+    #[test]
+    fn mutation_via_subclass_receiver_counts() {
+        // The assignment targets the field declared in List even though the
+        // receiver is typed Sub.
+        let kp = check_source(
+            "class List { Object value; List next; }
+             class Sub extends List { }
+             class M { static void f(Sub s, Sub t) { s.next = t; } }",
+        )
+        .unwrap();
+        let ro = rec_read_only(&kp);
+        let l = kp.table.class_id("List").unwrap();
+        assert!(!ro[l.index()]);
+    }
+}

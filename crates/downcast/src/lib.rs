@@ -1,0 +1,241 @@
+//! # cj-downcast — downcast safety analysis (Sec 5)
+//!
+//! Downcasts `(cn) v` are region-unsafe in the basic system because regions
+//! are lost at upcasts and cannot be recovered. This crate implements the
+//! paper's compile-time remedy: a whole-program **backward flow analysis**
+//! that computes, for every variable, method result and allocation site,
+//! the set of classes its objects may later be downcast to, plus a verdict
+//! for allocation sites whose objects can never satisfy any of those casts
+//! (so padding need not be instantiated and the cast is *bound to fail*).
+//!
+//! Region inference (`cj-infer`) consumes these sets to drive its two
+//! region-preservation strategies: equating lost regions with the object
+//! region (technique 1) or padding declarations with extra regions
+//! (technique 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_frontend::typecheck::check_source;
+//! use cj_downcast::analyze;
+//!
+//! let kp = check_source(
+//!     "class A { }
+//!      class B extends A { Object x; }
+//!      class M { static B f(A a) { (B) a } }",
+//! ).unwrap();
+//! let analysis = analyze(&kp);
+//! assert_eq!(analysis.downcast_count, 1);
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod flows;
+
+pub use flows::{analyze, DowncastAnalysis, Node, SiteId, SiteInfo};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cj_frontend::typecheck::check_source;
+    use cj_frontend::types::{MethodId, VarId};
+    use cj_frontend::KProgram;
+    use std::collections::BTreeSet;
+
+    fn kp(src: &str) -> KProgram {
+        check_source(src).unwrap()
+    }
+
+    /// The Fig 7 program, adapted to Core-Java syntax. Classes A..E with
+    /// the paper's hierarchy; `a` is downcast to B, C and (via `c`) D;
+    /// the E allocation can satisfy none of them.
+    const FIG7: &str = "
+        class A { Object f1; }
+        class B extends A { Object f2; }
+        class C extends A { Object f3; }
+        class D extends C { Object f4; }
+        class E extends A { Object f5; Object f6; Object f7; }
+        class Main {
+            static void main(bool c1, bool c2) {
+                A a; A a2;
+                a2 = new A(null);
+                if (c1) {
+                    a = new B(null, null);      // lb
+                } else {
+                    if (c2) {
+                        a = new C(null, null);  // lc
+                    } else {
+                        a = new E(null, null, null, null); // le
+                    }
+                }
+                B b = (B) a;
+                C c = (C) a;
+                D d = (D) c;
+            }
+        }";
+
+    fn names(kp: &KProgram, set: &BTreeSet<cj_frontend::ClassId>) -> Vec<&'static str> {
+        set.iter().map(|&c| kp.table.name(c).as_str()).collect()
+    }
+
+    #[test]
+    fn fig7_variable_sets() {
+        let kp = kp(FIG7);
+        let analysis = analyze(&kp);
+        assert_eq!(analysis.downcast_count, 3);
+        let main = MethodId::Static(0);
+        let m = kp.method(main);
+        let var_id = |name: &str| {
+            VarId(
+                m.vars
+                    .iter()
+                    .position(|v| v.name.as_str() == name)
+                    .unwrap_or_else(|| panic!("var {name}")) as u32,
+            )
+        };
+        // a ↦ {B, C, D}: directly cast to B and C, and D via c ← a.
+        let a_set = analysis.var_set(main, var_id("a"));
+        assert_eq!(names(&kp, &a_set), vec!["B", "C", "D"]);
+        // c ↦ {D}.
+        let c_set = analysis.var_set(main, var_id("c"));
+        assert_eq!(names(&kp, &c_set), vec!["D"]);
+        // a2 is never downcast.
+        assert!(analysis.var_set(main, var_id("a2")).is_empty());
+    }
+
+    #[test]
+    fn fig7_site_sets_and_doomed() {
+        let kp = kp(FIG7);
+        let analysis = analyze(&kp);
+        // Sites: new A (a2), new B (lb), new C (lc), new E (le).
+        let by_class: std::collections::HashMap<&str, SiteId> = analysis
+            .sites
+            .iter()
+            .map(|s| (kp.table.name(s.class).as_str(), s.id))
+            .collect();
+        let lb = by_class["B"];
+        let lc = by_class["C"];
+        let le = by_class["E"];
+        let la2 = by_class["A"];
+        for site in [lb, lc, le] {
+            let set = analysis.site_sets.get(&site).expect("flows into casts");
+            assert_eq!(names(&kp, set), vec!["B", "C", "D"], "site {site:?}");
+        }
+        assert!(!analysis.site_sets.contains_key(&la2));
+        // le can satisfy no cast in {B, C, D}: bound to fail.
+        assert_eq!(analysis.doomed_sites, vec![le]);
+        // lb satisfies (B) a, lc satisfies (C) a: not doomed.
+        assert!(!analysis.doomed_sites.contains(&lb));
+        assert!(!analysis.doomed_sites.contains(&lc));
+    }
+
+    #[test]
+    fn flows_through_static_calls() {
+        let kp = kp("
+            class A { }
+            class B extends A { Object x; }
+            class M {
+                static A id(A p) { p }
+                static B f(A a) { (B) id(a) }
+            }");
+        let analysis = analyze(&kp);
+        let id_m = kp
+            .all_methods()
+            .find(|(_, m)| m.name.as_str() == "id")
+            .unwrap()
+            .0;
+        let f_m = kp
+            .all_methods()
+            .find(|(_, m)| m.name.as_str() == "f")
+            .unwrap()
+            .0;
+        // The parameter of `id` (and f's `a`) may be downcast to B.
+        let p_set = analysis.var_set(id_m, kp.method(id_m).params[0]);
+        assert_eq!(names(&kp, &p_set), vec!["B"]);
+        let a_set = analysis.var_set(f_m, kp.method(f_m).params[0]);
+        assert_eq!(names(&kp, &a_set), vec!["B"]);
+    }
+
+    #[test]
+    fn flows_through_fields() {
+        let kp = kp("
+            class A { }
+            class B extends A { Object x; }
+            class Box { A item; }
+            class M {
+                static B f(Box bx, A a) {
+                    bx.item = a;
+                    (B) bx.item
+                }
+            }");
+        let analysis = analyze(&kp);
+        let f_m = kp
+            .all_methods()
+            .find(|(_, m)| m.name.as_str() == "f")
+            .unwrap()
+            .0;
+        // a flows into Box.item which is downcast.
+        let a = kp.method(f_m).params[1];
+        assert_eq!(names(&kp, &analysis.var_set(f_m, a)), vec!["B"]);
+    }
+
+    #[test]
+    fn flows_through_dynamic_dispatch() {
+        let kp = kp("
+            class A { }
+            class B extends A { Object x; }
+            class Holder { A get(A p) { p } }
+            class Sub extends Holder { A get(A p) { p } }
+            class M {
+                static B f(Holder h, A a) { (B) h.get(a) }
+            }");
+        let analysis = analyze(&kp);
+        // Both Holder.get and Sub.get may be the callee; both params flow.
+        for (id, m) in kp.all_methods() {
+            if m.name.as_str() == "get" {
+                let p = m.params[0];
+                assert_eq!(names(&kp, &analysis.var_set(id, p)), vec!["B"]);
+            }
+        }
+    }
+
+    #[test]
+    fn upcast_is_not_a_downcast() {
+        let kp = kp("
+            class A { }
+            class B extends A { }
+            class M { static A f(B b) { (A) b } }");
+        let analysis = analyze(&kp);
+        assert_eq!(analysis.downcast_count, 0);
+        assert!(!analysis.any_downcasts());
+    }
+
+    #[test]
+    fn no_casts_no_sets() {
+        let kp = kp("class A { } class M { static A f() { new A() } }");
+        let analysis = analyze(&kp);
+        assert!(analysis.var_sets.is_empty());
+        assert!(analysis.site_sets.is_empty());
+        assert_eq!(analysis.sites.len(), 1);
+    }
+
+    #[test]
+    fn return_flow_reaches_allocation() {
+        let kp = kp("
+            class A { }
+            class B extends A { Object x; }
+            class M {
+                static A mk() { new B(null) }
+                static B f() { (B) mk() }
+            }");
+        let analysis = analyze(&kp);
+        // The B allocation inside mk() must carry the downcast set.
+        let site = analysis
+            .sites
+            .iter()
+            .find(|s| kp.table.name(s.class).as_str() == "B")
+            .unwrap();
+        let set = analysis.site_sets.get(&site.id).expect("set reaches site");
+        assert_eq!(names(&kp, set), vec!["B"]);
+        assert!(analysis.doomed_sites.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! String interning.
+//!
+//! Identifiers (class names, method names, field names, variables) are
+//! interned into [`Symbol`]s — small `Copy` handles that are cheap to compare
+//! and hash. The interner is a process-global table; interned strings live
+//! for the lifetime of the process, so [`Symbol::as_str`] can hand out
+//! `&'static str`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_frontend::intern::Symbol;
+//!
+//! let a = Symbol::intern("Pair");
+//! let b = Symbol::intern("Pair");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "Pair");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal iff the strings they intern are equal. The
+/// ordering is the ordering of the underlying strings, so sorted symbol
+/// collections print deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(&'static str);
+
+struct Interner {
+    map: HashMap<&'static str, Symbol>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical [`Symbol`].
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = interner().lock().expect("interner poisoned");
+        if let Some(&sym) = guard.map.get(s) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let sym = Symbol(leaked);
+        guard.map.insert(leaked, sym);
+        sym
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("a"), Symbol::intern("b"));
+    }
+
+    #[test]
+    fn ordering_follows_strings() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("beta");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_plain_string() {
+        assert_eq!(format!("{}", Symbol::intern("List")), "List");
+    }
+
+    #[test]
+    fn empty_string_is_representable() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+        assert_eq!(format!("{:?}", e), "Symbol(\"\")");
+    }
+}

@@ -1,0 +1,267 @@
+//! The kernel (normalized, typed) representation of Core-Java.
+//!
+//! The region inference rules of Fig 3 are stated over a language in which
+//! receivers, call arguments and constructor arguments are *variables*
+//! (`v.f`, `v.mn(v₁…vₙ)`, `new cn(v₁…vₙ)`). The
+//! [type checker](crate::typecheck) lowers the surface AST into this form,
+//! introducing temporaries where needed, resolving every `null` against its
+//! class context, and annotating every node with its normal type.
+//!
+//! Primitives carry no regions, so primitive-valued subexpressions
+//! (arithmetic, conditions, indices) are left as trees.
+
+use crate::ast::{BinOp, UnOp};
+use crate::classtable::ClassTable;
+use crate::intern::Symbol;
+use crate::span::Span;
+use crate::types::{ClassId, MethodId, NType, Prim, VarId, VarInfo};
+use std::fmt;
+
+/// A fully typed, normalized program.
+#[derive(Debug, Clone)]
+pub struct KProgram {
+    /// Class hierarchy and signatures.
+    pub table: ClassTable,
+    /// Instance-method bodies, indexed `[class][own-method]` parallel to
+    /// `table.class(id).own_methods`. `Object` has an empty entry.
+    pub methods: Vec<Vec<KMethod>>,
+    /// Static-method bodies, parallel to `table.statics()`.
+    pub statics: Vec<KMethod>,
+}
+
+impl KProgram {
+    /// Fetches a method body by id.
+    pub fn method(&self, id: MethodId) -> &KMethod {
+        match id {
+            MethodId::Instance(c, i) => &self.methods[c.index()][i as usize],
+            MethodId::Static(i) => &self.statics[i as usize],
+        }
+    }
+
+    /// Iterates over every method body (instance then static) with its id.
+    pub fn all_methods(&self) -> impl Iterator<Item = (MethodId, &KMethod)> {
+        let inst = self.methods.iter().enumerate().flat_map(|(c, ms)| {
+            ms.iter()
+                .enumerate()
+                .map(move |(i, m)| (MethodId::Instance(ClassId(c as u32), i as u32), m))
+        });
+        let stat = self
+            .statics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId::Static(i as u32), m));
+        inst.chain(stat)
+    }
+
+    /// Display name `cn.mn` or `mn` of a method.
+    pub fn method_name(&self, id: MethodId) -> String {
+        match id {
+            MethodId::Instance(c, i) => format!(
+                "{}.{}",
+                self.table.name(c),
+                self.table.class(c).own_methods[i as usize].name
+            ),
+            MethodId::Static(i) => self.table.statics()[i as usize].name.to_string(),
+        }
+    }
+}
+
+/// A method body in kernel form.
+#[derive(Debug, Clone)]
+pub struct KMethod {
+    /// Method name.
+    pub name: Symbol,
+    /// The class whose declaration contains this method (for statics this is
+    /// only informational).
+    pub owner: ClassId,
+    /// Whether this is a static method.
+    pub is_static: bool,
+    /// All variables: slot 0 is `this` for instance methods; parameters
+    /// follow; then locals and temporaries.
+    pub vars: Vec<VarInfo>,
+    /// The parameter slots (excluding `this`).
+    pub params: Vec<VarId>,
+    /// Declared return type.
+    pub ret: NType,
+    /// The body expression; its value is the method result.
+    pub body: KExpr,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+impl KMethod {
+    /// The type of variable `v`.
+    pub fn var_ty(&self, v: VarId) -> NType {
+        self.vars[v.index()].ty
+    }
+
+    /// The `this` slot, if this is an instance method.
+    pub fn this_var(&self) -> Option<VarId> {
+        if self.is_static {
+            None
+        } else {
+            Some(VarId(0))
+        }
+    }
+}
+
+/// A typed kernel expression.
+#[derive(Debug, Clone)]
+pub struct KExpr {
+    /// The expression.
+    pub kind: KExprKind,
+    /// Its normal type.
+    pub ty: NType,
+    /// Source location.
+    pub span: Span,
+}
+
+impl KExpr {
+    /// Creates a node.
+    pub fn new(kind: KExprKind, ty: NType, span: Span) -> KExpr {
+        KExpr { kind, ty, span }
+    }
+}
+
+/// Kernel expression forms.
+#[derive(Debug, Clone)]
+pub enum KExprKind {
+    /// The unit value (empty statement / void).
+    Unit,
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Float literal.
+    Float(f64),
+    /// `null`, resolved to a class or array context. This is the paper's
+    /// `(cn) null` — every occurrence receives fresh regions at inference.
+    Null,
+    /// A variable read (`this` is variable slot 0).
+    Var(VarId),
+    /// Field read `v.f`.
+    Field(VarId, FieldRef),
+    /// Variable assignment `v = e`; has type `void`.
+    AssignVar(VarId, Box<KExpr>),
+    /// Field assignment `v.f = e`; has type `void`.
+    AssignField(VarId, FieldRef, Box<KExpr>),
+    /// Object allocation `new cn(v₁…vₙ)` with one argument per field.
+    New(ClassId, Vec<VarId>),
+    /// Primitive-array allocation `new p[e]`.
+    NewArray(Prim, Box<KExpr>),
+    /// Array read `v[e]`.
+    Index(VarId, Box<KExpr>),
+    /// Array write `v[e₁] = e₂`; has type `void`.
+    AssignIndex(VarId, Box<KExpr>, Box<KExpr>),
+    /// `v.length`.
+    ArrayLen(VarId),
+    /// Instance call `v.mn(v₁…vₙ)`. `MethodId` names the statically
+    /// resolved declaration (dispatch may select an override at runtime).
+    CallVirtual(VarId, MethodId, Vec<VarId>),
+    /// Static call `mn(v₁…vₙ)`.
+    CallStatic(MethodId, Vec<VarId>),
+    /// Sequencing `e₁ ; e₂` (the value of `e₁` is discarded).
+    Seq(Box<KExpr>, Box<KExpr>),
+    /// A local declaration block `{ t v [= init]; body }`. Declarations
+    /// open a scope that extends to the end of `body`; this is where the
+    /// paper's \[exp-block\] rule may introduce `letreg`.
+    Let {
+        /// The declared variable.
+        var: VarId,
+        /// Optional initializer.
+        init: Option<Box<KExpr>>,
+        /// Scope of the declaration.
+        body: Box<KExpr>,
+    },
+    /// Conditional; when used as a statement both arms have type `void`.
+    If {
+        /// Boolean condition.
+        cond: Box<KExpr>,
+        /// Then branch.
+        then_e: Box<KExpr>,
+        /// Else branch.
+        else_e: Box<KExpr>,
+    },
+    /// `while (cond) body`; has type `void`.
+    While {
+        /// Boolean condition.
+        cond: Box<KExpr>,
+        /// Body, evaluated for effect.
+        body: Box<KExpr>,
+    },
+    /// Downcast or upcast `(cn) v`.
+    Cast(ClassId, VarId),
+    /// Unary primitive operation.
+    Unary(UnOp, Box<KExpr>),
+    /// Binary primitive operation (or reference equality on two variables).
+    Binary(BinOp, Box<KExpr>, Box<KExpr>),
+    /// Debug print; has type `void`.
+    Print(Box<KExpr>),
+}
+
+/// A resolved field reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// The class that declares the field.
+    pub owner: ClassId,
+    /// Constructor-order index of the field within the *receiver's* class.
+    pub index: u32,
+    /// Field name.
+    pub name: Symbol,
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Visits every sub-expression of `e` (pre-order), including `e` itself.
+pub fn walk_expr<'a>(e: &'a KExpr, f: &mut impl FnMut(&'a KExpr)) {
+    f(e);
+    match &e.kind {
+        KExprKind::Unit
+        | KExprKind::Int(_)
+        | KExprKind::Bool(_)
+        | KExprKind::Float(_)
+        | KExprKind::Null
+        | KExprKind::Var(_)
+        | KExprKind::Field(_, _)
+        | KExprKind::New(_, _)
+        | KExprKind::ArrayLen(_)
+        | KExprKind::CallVirtual(_, _, _)
+        | KExprKind::CallStatic(_, _)
+        | KExprKind::Cast(_, _) => {}
+        KExprKind::AssignField(_, _, e1)
+        | KExprKind::AssignVar(_, e1)
+        | KExprKind::NewArray(_, e1)
+        | KExprKind::Index(_, e1)
+        | KExprKind::Unary(_, e1)
+        | KExprKind::Print(e1) => walk_expr(e1, f),
+        KExprKind::AssignIndex(_, e1, e2)
+        | KExprKind::Seq(e1, e2)
+        | KExprKind::Binary(_, e1, e2) => {
+            walk_expr(e1, f);
+            walk_expr(e2, f);
+        }
+        KExprKind::Let { init, body, .. } => {
+            if let Some(i) = init {
+                walk_expr(i, f);
+            }
+            walk_expr(body, f);
+        }
+        KExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            walk_expr(cond, f);
+            walk_expr(then_e, f);
+            walk_expr(else_e, f);
+        }
+        KExprKind::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_expr(body, f);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Lexer for Core-Java.
+//!
+//! Turns source text into a [`Token`] stream. Supports `//` line comments and
+//! `/* ... */` block comments (non-nesting), decimal integer and float
+//! literals, and the operators of the language.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_frontend::lexer::lex;
+//!
+//! let (tokens, diags) = lex("class A extends Object { }");
+//! assert!(diags.is_empty());
+//! assert_eq!(tokens.len(), 7); // incl. Eof
+//! ```
+
+use crate::intern::Symbol;
+use crate::span::{Diagnostics, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into tokens. Always returns a token list ending in
+/// [`TokenKind::Eof`]; lexical errors are reported in the returned
+/// [`Diagnostics`] and the offending characters skipped.
+pub fn lex(src: &str) -> (Vec<Token>, Diagnostics) {
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+        diags: Diagnostics::new(),
+    };
+    lexer.run();
+    (lexer.tokens, lexer.diags)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(&mut self) {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                break;
+            };
+            match c {
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_keyword(),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'=' => self.one_or_two(b'=', TokenKind::Assign, TokenKind::EqEq),
+                b'!' => self.one_or_two(b'=', TokenKind::Not, TokenKind::NotEq),
+                b'<' => self.one_or_two(b'=', TokenKind::Lt, TokenKind::Le),
+                b'>' => self.one_or_two(b'=', TokenKind::Gt, TokenKind::Ge),
+                b'&' => self.pair(b'&', TokenKind::AndAnd),
+                b'|' => self.pair(b'|', TokenKind::OrOr),
+                other => {
+                    self.pos += 1;
+                    self.diags.error(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start as u32, self.pos as u32),
+                    );
+                }
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens
+            .push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    /// `=` style: one token if not followed by `next`, another if it is.
+    fn one_or_two(&mut self, next: u8, one: TokenKind, two: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        if self.peek() == Some(next) {
+            self.pos += 1;
+            self.push(two, start);
+        } else {
+            self.push(one, start);
+        }
+    }
+
+    /// `&&` style: the character must be doubled.
+    fn pair(&mut self, c: u8, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            self.push(kind, start);
+        } else {
+            self.diags.error(
+                format!("expected `{0}{0}`", c as char),
+                Span::new(start as u32, self.pos as u32),
+            );
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.pos += 1,
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while let Some(c) = self.peek() {
+                        if c == b'*' && self.peek2() == Some(b'/') {
+                            self.pos += 2;
+                            closed = true;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if !closed {
+                        self.diags.error(
+                            "unterminated block comment",
+                            Span::new(start as u32, self.pos as u32),
+                        );
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A float needs a digit after the dot, so `1.foo()` lexes as int.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E'))
+            && matches!(self.peek2(), Some(b'0'..=b'9' | b'-' | b'+'))
+        {
+            is_float = true;
+            self.pos += 2;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        let span = Span::new(start as u32, self.pos as u32);
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => self.tokens.push(Token::new(TokenKind::Float(v), span)),
+                Err(_) => self.diags.error("invalid float literal", span),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.tokens.push(Token::new(TokenKind::Int(v), span)),
+                Err(_) => self.diags.error("integer literal out of range", span),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let kind = match text {
+            "class" => TokenKind::Class,
+            "extends" => TokenKind::Extends,
+            "static" => TokenKind::Static,
+            "new" => TokenKind::New,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "return" => TokenKind::Return,
+            "null" => TokenKind::Null,
+            "this" => TokenKind::This,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "int" => TokenKind::KwInt,
+            "bool" | "boolean" => TokenKind::KwBool,
+            "float" | "double" => TokenKind::KwFloat,
+            "void" => TokenKind::KwVoid,
+            "print" => TokenKind::Print,
+            "length" => TokenKind::Length,
+            _ => TokenKind::Ident(Symbol::intern(text)),
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, diags) = lex(src);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("class Foo extends Bar");
+        assert_eq!(ks[0], TokenKind::Class);
+        assert!(matches!(ks[1], TokenKind::Ident(s) if s.as_str() == "Foo"));
+        assert_eq!(ks[2], TokenKind::Extends);
+        assert!(matches!(ks[3], TokenKind::Ident(s) if s.as_str() == "Bar"));
+        assert_eq!(ks[4], TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn int_then_dot_is_not_float() {
+        let ks = kinds("1.f");
+        assert_eq!(ks[0], TokenKind::Int(1));
+        assert_eq!(ks[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("= == != < <= > >= + - * / % ! && ||");
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![
+                Assign, EqEq, NotEq, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Not,
+                AndAnd, OrOr, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // comment\n b /* multi \n line */ c");
+        assert_eq!(ks.len(), 4);
+    }
+
+    #[test]
+    fn unterminated_comment_reported() {
+        let (_, diags) = lex("/* oops");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn stray_character_reported_and_skipped() {
+        let (toks, diags) = lex("a # b");
+        assert!(diags.has_errors());
+        assert_eq!(toks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn boolean_alias() {
+        assert_eq!(kinds("boolean")[0], TokenKind::KwBool);
+        assert_eq!(kinds("double")[0], TokenKind::KwFloat);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let (toks, _) = lex("ab cd");
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn single_ampersand_is_error() {
+        let (_, diags) = lex("a & b");
+        assert!(diags.has_errors());
+    }
+}

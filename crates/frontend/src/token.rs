@@ -1,0 +1,186 @@
+//! Tokens of the Core-Java language.
+
+use crate::intern::Symbol;
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Identifier (variable, class, method or field name).
+    Ident(Symbol),
+
+    // Keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `static`
+    Static,
+    /// `new`
+    New,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `null`
+    Null,
+    /// `this`
+    This,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    KwInt,
+    /// `bool` (also accepts `boolean`)
+    KwBool,
+    /// `float`
+    KwFloat,
+    /// `void`
+    KwVoid,
+    /// `print`
+    Print,
+    /// `length`
+    Length,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+
+    // Operators
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(_) => "integer literal".into(),
+            TokenKind::Float(_) => "float literal".into(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Class => "`class`".into(),
+            TokenKind::Extends => "`extends`".into(),
+            TokenKind::Static => "`static`".into(),
+            TokenKind::New => "`new`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::Null => "`null`".into(),
+            TokenKind::This => "`this`".into(),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::KwInt => "`int`".into(),
+            TokenKind::KwBool => "`bool`".into(),
+            TokenKind::KwFloat => "`float`".into(),
+            TokenKind::KwVoid => "`void`".into(),
+            TokenKind::Print => "`print`".into(),
+            TokenKind::Length => "`length`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Not => "`!`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it appeared.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Token {
+        Token { kind, span }
+    }
+}

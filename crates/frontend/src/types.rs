@@ -1,0 +1,137 @@
+//! Normal (region-free) types and stable ids.
+//!
+//! The *normal type system* of the paper is Core-Java's ordinary
+//! nominally-subtyped system; region inference assumes its input is
+//! well-normal-typed (`⊢N erase(P')`). These are the types the
+//! [type checker](crate::typecheck) assigns before any region annotation.
+
+use crate::intern::Symbol;
+use std::fmt;
+
+/// A class, identified by its index in the [`ClassTable`].
+///
+/// [`ClassTable`]: crate::classtable::ClassTable
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The implicit root class `Object`.
+    pub const OBJECT: ClassId = ClassId(0);
+
+    /// The index into the class table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A primitive value type. Primitives are copied and carry no regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// 64-bit float (Olden extension).
+    Float,
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Prim::Int => "int",
+            Prim::Bool => "bool",
+            Prim::Float => "float",
+        })
+    }
+}
+
+/// A normal (region-free) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NType {
+    /// The unit type of statements and `void` methods.
+    Void,
+    /// A primitive type.
+    Prim(Prim),
+    /// A class type.
+    Class(ClassId),
+    /// The type of the `null` literal before it is resolved against a class
+    /// context; a subtype of every class type.
+    Null,
+    /// A primitive array type `p[]`. Arrays are heap objects with exactly
+    /// one region; their elements are inline primitives.
+    Array(Prim),
+}
+
+impl NType {
+    /// Convenience: `int`.
+    pub const INT: NType = NType::Prim(Prim::Int);
+    /// Convenience: `bool`.
+    pub const BOOL: NType = NType::Prim(Prim::Bool);
+    /// Convenience: `float`.
+    pub const FLOAT: NType = NType::Prim(Prim::Float);
+
+    /// Whether values of this type are heap references (class types, arrays
+    /// and `null`).
+    pub fn is_reference(self) -> bool {
+        matches!(self, NType::Class(_) | NType::Array(_) | NType::Null)
+    }
+
+    /// The class id if this is a class type.
+    pub fn as_class(self) -> Option<ClassId> {
+        match self {
+            NType::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NType::Void => f.write_str("void"),
+            NType::Prim(p) => write!(f, "{p}"),
+            NType::Class(c) => write!(f, "class#{}", c.0),
+            NType::Null => f.write_str("null"),
+            NType::Array(p) => write!(f, "{p}[]"),
+        }
+    }
+}
+
+/// A method identity: the class that *declares* it plus its slot, or a
+/// static method's global slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MethodId {
+    /// Instance method: declaring class and index into its own method list.
+    Instance(ClassId, u32),
+    /// Static method: index into the program's static method list.
+    Static(u32),
+}
+
+impl MethodId {
+    /// Whether this is a static method.
+    pub fn is_static(self) -> bool {
+        matches!(self, MethodId::Static(_))
+    }
+}
+
+/// A variable slot within a method body (this/params/locals/temps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index into the method's variable table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Name and type of a method-local variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Source-level name (synthesized temps use `$tN`).
+    pub name: Symbol,
+    /// Normal type.
+    pub ty: NType,
+    /// Whether this is a compiler-introduced temporary.
+    pub is_temp: bool,
+}

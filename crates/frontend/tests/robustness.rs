@@ -1,0 +1,86 @@
+//! Robustness: the lexer and parser must never panic, whatever the input —
+//! they report diagnostics instead.
+
+use cj_frontend::lexer::lex;
+use cj_frontend::parser::parse_program;
+use cj_frontend::typecheck::check_source;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_program(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_salad(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("class"), Just("extends"), Just("static"), Just("new"),
+                Just("if"), Just("else"), Just("while"), Just("return"),
+                Just("null"), Just("this"), Just("int"), Just("bool"),
+                Just("{"), Just("}"), Just("("), Just(")"), Just("["),
+                Just("]"), Just(";"), Just(","), Just("."), Just("="),
+                Just("=="), Just("+"), Just("x"), Just("Foo"), Just("42"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_program(&src);
+        let _ = check_source(&src);
+    }
+
+    /// Sources that do parse and typecheck must round-trip through the
+    /// kernel pretty-printer without panicking.
+    #[test]
+    fn kernel_pretty_never_panics(n in 0usize..20) {
+        let src = format!(
+            "class K {{ int x; K next; }}
+             class M {{ static int main() {{
+               K k = new K({n}, (K) null);
+               k.x
+             }} }}"
+        );
+        if let Ok(kp) = check_source(&src) {
+            let _ = cj_frontend::pretty::program_to_string(&kp);
+        }
+    }
+}
+
+#[test]
+fn weird_but_valid_inputs() {
+    // Moderately nested expressions parse fine…
+    let mut expr = String::from("1");
+    for _ in 0..40 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("class M {{ static int main() {{ {expr} }} }}");
+    assert!(check_source(&src).is_ok());
+
+    // …while absurd nesting is *rejected with a diagnostic*, not a crash.
+    let mut expr = String::from("1");
+    for _ in 0..5000 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("class M {{ static int main() {{ {expr} }} }}");
+    let err = check_source(&src).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"));
+
+    // Long statement sequences.
+    let mut body = String::new();
+    for i in 0..500 {
+        body.push_str(&format!("int v{i} = {i}; "));
+    }
+    let src = format!("class M {{ static int main() {{ {body} v499 }} }}");
+    assert!(check_source(&src).is_ok());
+
+    // Comment-only and empty programs.
+    assert!(check_source("// nothing\n/* at all */").is_ok());
+    assert!(check_source("").is_ok());
+}

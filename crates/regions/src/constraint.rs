@@ -1,0 +1,277 @@
+//! Region lifetime constraints.
+//!
+//! The paper's constraint language `rc` has two forms the inference ever
+//! produces: the outlives constraint `r₁ ≥ r₂` (the lifetime of `r₁` is not
+//! shorter than that of `r₂`) and the equality `r₁ = r₂`. A
+//! [`ConstraintSet`] is a conjunction of such [`Atom`]s.
+
+use crate::subst::RegSubst;
+use crate::var::RegVar;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atomic region constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// `a ≥ b`: region `a` lives at least as long as region `b`.
+    Outlives(RegVar, RegVar),
+    /// `a = b`: the two variables denote the same region. Stored with the
+    /// smaller variable first.
+    Eq(RegVar, RegVar),
+}
+
+impl Atom {
+    /// An equality atom in canonical orientation.
+    pub fn eq(a: RegVar, b: RegVar) -> Atom {
+        if a <= b {
+            Atom::Eq(a, b)
+        } else {
+            Atom::Eq(b, a)
+        }
+    }
+
+    /// An outlives atom `a ≥ b`.
+    pub fn outlives(a: RegVar, b: RegVar) -> Atom {
+        Atom::Outlives(a, b)
+    }
+
+    /// Whether the atom is trivially true: `a ≥ a`, `a = a`, or
+    /// `heap ≥ b` (the heap outlives everything).
+    pub fn is_trivial(self) -> bool {
+        match self {
+            Atom::Outlives(a, b) => a == b || a.is_heap(),
+            Atom::Eq(a, b) => a == b,
+        }
+    }
+
+    /// The variables mentioned.
+    pub fn vars(self) -> [RegVar; 2] {
+        match self {
+            Atom::Outlives(a, b) | Atom::Eq(a, b) => [a, b],
+        }
+    }
+
+    /// Applies a substitution.
+    pub fn subst(self, s: &RegSubst) -> Atom {
+        match self {
+            Atom::Outlives(a, b) => Atom::Outlives(s.apply(a), s.apply(b)),
+            Atom::Eq(a, b) => Atom::eq(s.apply(a), s.apply(b)),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Outlives(a, b) => write!(f, "{a}>={b}"),
+            Atom::Eq(a, b) => write!(f, "{a}={b}"),
+        }
+    }
+}
+
+/// A conjunction of atomic constraints.
+///
+/// The set is deduplicated and ordered, so its `Display` form is
+/// deterministic. Trivial atoms are dropped on insertion.
+///
+/// # Examples
+///
+/// ```
+/// use cj_regions::constraint::{Atom, ConstraintSet};
+/// use cj_regions::var::RegVar;
+///
+/// let (a, b) = (RegVar(1), RegVar(2));
+/// let mut c = ConstraintSet::new();
+/// c.add(Atom::outlives(a, b));
+/// c.add(Atom::outlives(a, a)); // trivial, dropped
+/// assert_eq!(c.len(), 1);
+/// assert_eq!(c.to_string(), "r1>=r2");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    atoms: BTreeSet<Atom>,
+}
+
+impl ConstraintSet {
+    /// The empty (true) constraint.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// A set with a single atom.
+    pub fn singleton(atom: Atom) -> ConstraintSet {
+        let mut s = ConstraintSet::new();
+        s.add(atom);
+        s
+    }
+
+    /// Adds one atom (unless trivial).
+    pub fn add(&mut self, atom: Atom) {
+        if !atom.is_trivial() {
+            self.atoms.insert(atom);
+        }
+    }
+
+    /// Adds `a ≥ b`.
+    pub fn add_outlives(&mut self, a: RegVar, b: RegVar) {
+        self.add(Atom::outlives(a, b));
+    }
+
+    /// Adds `a = b`.
+    pub fn add_eq(&mut self, a: RegVar, b: RegVar) {
+        self.add(Atom::eq(a, b));
+    }
+
+    /// Conjoins another constraint set.
+    pub fn and(&mut self, other: &ConstraintSet) {
+        for &a in &other.atoms {
+            self.add(a);
+        }
+    }
+
+    /// The conjunction of `self` and `other` as a new set.
+    pub fn conj(&self, other: &ConstraintSet) -> ConstraintSet {
+        let mut out = self.clone();
+        out.and(other);
+        out
+    }
+
+    /// Whether the constraint is the trivial `true`.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Iterates over the atoms in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.atoms.iter().copied()
+    }
+
+    /// Whether `atom` appears syntactically (use
+    /// [`Solver::entails_atom`](crate::solve::Solver::entails_atom) for the
+    /// semantic question).
+    pub fn contains(&self, atom: Atom) -> bool {
+        atom.is_trivial() || self.atoms.contains(&atom)
+    }
+
+    /// All region variables mentioned.
+    pub fn vars(&self) -> BTreeSet<RegVar> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Applies a substitution, returning the rewritten set.
+    pub fn subst(&self, s: &RegSubst) -> ConstraintSet {
+        let mut out = ConstraintSet::new();
+        for &a in &self.atoms {
+            out.add(a.subst(s));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Atom> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        let mut s = ConstraintSet::new();
+        for a in iter {
+            s.add(a);
+        }
+        s
+    }
+}
+
+impl Extend<Atom> for ConstraintSet {
+    fn extend<T: IntoIterator<Item = Atom>>(&mut self, iter: T) {
+        for a in iter {
+            self.add(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegVar {
+        RegVar(i)
+    }
+
+    #[test]
+    fn trivial_atoms_dropped() {
+        let mut c = ConstraintSet::new();
+        c.add_outlives(r(1), r(1));
+        c.add_eq(r(2), r(2));
+        c.add_outlives(RegVar::HEAP, r(3)); // heap >= r3 is axiomatic
+        assert!(c.is_empty());
+        assert_eq!(c.to_string(), "true");
+    }
+
+    #[test]
+    fn eq_canonical_orientation() {
+        assert_eq!(Atom::eq(r(5), r(2)), Atom::eq(r(2), r(5)));
+        let mut c = ConstraintSet::new();
+        c.add_eq(r(5), r(2));
+        c.add_eq(r(2), r(5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn outlives_is_directed() {
+        let mut c = ConstraintSet::new();
+        c.add_outlives(r(1), r(2));
+        c.add_outlives(r(2), r(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn display_deterministic() {
+        let mut c = ConstraintSet::new();
+        c.add_outlives(r(3), r(1));
+        c.add_eq(r(2), r(1));
+        c.add_outlives(r(2), r(1));
+        assert_eq!(c.to_string(), "r2>=r1 & r3>=r1 & r1=r2");
+    }
+
+    #[test]
+    fn subst_rewrites_and_renormalizes() {
+        let mut c = ConstraintSet::new();
+        c.add_outlives(r(1), r(2));
+        let s = RegSubst::from_pairs([(r(1), r(2))]);
+        assert!(c.subst(&s).is_empty()); // r2 >= r2 is trivial
+    }
+
+    #[test]
+    fn vars_collects_all() {
+        let mut c = ConstraintSet::new();
+        c.add_outlives(r(1), r(2));
+        c.add_eq(r(3), r(4));
+        let vs = c.vars();
+        assert_eq!(vs.len(), 4);
+    }
+
+    #[test]
+    fn conj_unions() {
+        let a = ConstraintSet::singleton(Atom::outlives(r(1), r(2)));
+        let b = ConstraintSet::singleton(Atom::outlives(r(2), r(3)));
+        let c = a.conj(&b);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,565 @@
+//! The region constraint solver.
+//!
+//! A [`Solver`] maintains a conjunction of outlives/equality constraints in
+//! solved form: a union-find of region equivalence classes plus a directed
+//! graph of outlives edges between class representatives. It answers the
+//! three questions the inference and checker ask:
+//!
+//! - **entailment** — does the conjunction imply `a ≥ b` / `a = b`?
+//! - **projection** — existentially eliminate all variables outside a kept
+//!   set, returning the strongest derivable constraint over the kept set
+//!   (used to form method preconditions, Fig 6);
+//! - **escape closure** — which regions outlive a seed set (rule
+//!   \[exp-block\]'s "all regions that outlive these regions also escape").
+//!
+//! Two semantic rules are built in:
+//! - cycles of `≥` collapse to equalities (mutual outlives means equal
+//!   lifetime — this is what merges cyclic structures into one region,
+//!   Fig 5);
+//! - `heap ≥ r` holds axiomatically for every `r`, and `r ≥ heap` forces
+//!   `r = heap`.
+//!
+//! Constraint sets here are always satisfiable (mapping every variable to
+//! `heap` satisfies any conjunction), so there is no "unsat" state.
+
+use crate::constraint::{Atom, ConstraintSet};
+use crate::var::RegVar;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// An incremental solver for region constraints. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use cj_regions::{constraint::Atom, solve::Solver, var::RegVar};
+///
+/// let (a, b, c) = (RegVar(1), RegVar(2), RegVar(3));
+/// let mut s = Solver::new();
+/// s.add_outlives(a, b);
+/// s.add_outlives(b, c);
+/// assert!(s.entails_atom(Atom::outlives(a, c))); // transitivity
+/// s.add_outlives(c, a);
+/// assert!(s.entails_atom(Atom::eq(a, c))); // cycle collapses
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    parent: HashMap<RegVar, RegVar>,
+    /// Outlives edges between representatives: `src ≥ dst`.
+    edges: HashMap<RegVar, BTreeSet<RegVar>>,
+    dirty: bool,
+}
+
+impl Solver {
+    /// An empty solver (the constraint `true`).
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// A solver pre-loaded with `set`.
+    pub fn from_set(set: &ConstraintSet) -> Solver {
+        let mut s = Solver::new();
+        s.add_set(set);
+        s
+    }
+
+    /// Representative of `v`'s equivalence class.
+    pub fn find(&self, mut v: RegVar) -> RegVar {
+        while let Some(&p) = self.parent.get(&v) {
+            if p == v {
+                break;
+            }
+            v = p;
+        }
+        v
+    }
+
+    fn union(&mut self, a: RegVar, b: RegVar) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // The heap always wins; otherwise the smaller id (typically the
+        // earlier-created signature region) represents the class.
+        let (winner, loser) = if ra.is_heap() {
+            (ra, rb)
+        } else if rb.is_heap() {
+            (rb, ra)
+        } else if ra < rb {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent.insert(loser, winner);
+        // Migrate the loser's edges.
+        if let Some(outs) = self.edges.remove(&loser) {
+            self.edges.entry(winner).or_default().extend(outs);
+        }
+        self.dirty = true;
+    }
+
+    /// Adds `a = b`.
+    pub fn add_eq(&mut self, a: RegVar, b: RegVar) {
+        self.union(a, b);
+    }
+
+    /// Adds `a ≥ b`.
+    pub fn add_outlives(&mut self, a: RegVar, b: RegVar) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb || ra.is_heap() {
+            return; // trivial or axiomatic
+        }
+        if rb.is_heap() {
+            // a >= heap forces a = heap.
+            self.union(ra, rb);
+            return;
+        }
+        self.edges.entry(ra).or_default().insert(rb);
+        self.dirty = true;
+    }
+
+    /// Adds one atom.
+    pub fn add_atom(&mut self, atom: Atom) {
+        match atom {
+            Atom::Outlives(a, b) => self.add_outlives(a, b),
+            Atom::Eq(a, b) => self.add_eq(a, b),
+        }
+    }
+
+    /// Conjoins a whole set.
+    pub fn add_set(&mut self, set: &ConstraintSet) {
+        for a in set.iter() {
+            self.add_atom(a);
+        }
+    }
+
+    /// Collapses `≥`-cycles into equalities and re-canonicalizes edges.
+    /// Queries call this automatically.
+    pub fn normalize(&mut self) {
+        while self.dirty {
+            self.dirty = false;
+            // Canonicalize edge endpoints.
+            let mut canon: HashMap<RegVar, BTreeSet<RegVar>> = HashMap::new();
+            let mut to_heap: Vec<RegVar> = Vec::new();
+            for (&src, dsts) in &self.edges {
+                let s = self.find(src);
+                for &dst in dsts {
+                    let d = self.find(dst);
+                    if s == d || s.is_heap() {
+                        continue;
+                    }
+                    if d.is_heap() {
+                        to_heap.push(s);
+                        continue;
+                    }
+                    canon.entry(s).or_default().insert(d);
+                }
+            }
+            self.edges = canon;
+            for s in to_heap {
+                self.union(s, RegVar::HEAP);
+            }
+            if self.dirty {
+                continue; // unions happened; re-canonicalize
+            }
+            // Collapse SCCs of the (now canonical) outlives graph.
+            let nodes: Vec<RegVar> = self.edges.keys().copied().collect();
+            let index: HashMap<RegVar, usize> =
+                nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let sccs = tarjan(&nodes, &index, &self.edges);
+            for scc in sccs {
+                if scc.len() > 1 {
+                    for w in &scc[1..] {
+                        self.union(scc[0], *w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `a` and `b` are known equal.
+    pub fn equal(&mut self, a: RegVar, b: RegVar) -> bool {
+        self.normalize();
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether the conjunction entails `a ≥ b`.
+    pub fn outlives_holds(&mut self, a: RegVar, b: RegVar) -> bool {
+        self.normalize();
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb || ra.is_heap() {
+            return true;
+        }
+        self.reaches(ra, rb)
+    }
+
+    /// Whether the conjunction entails `atom`.
+    pub fn entails_atom(&mut self, atom: Atom) -> bool {
+        match atom {
+            Atom::Outlives(a, b) => self.outlives_holds(a, b),
+            Atom::Eq(a, b) => self.equal(a, b),
+        }
+    }
+
+    /// Whether the conjunction entails every atom of `set`.
+    pub fn entails(&mut self, set: &ConstraintSet) -> bool {
+        set.iter().all(|a| self.entails_atom(a))
+    }
+
+    fn reaches(&self, from: RegVar, to: RegVar) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            if v == to {
+                return true;
+            }
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(outs) = self.edges.get(&v) {
+                queue.extend(outs.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// All representatives reachable from `from` (excluding itself unless on
+    /// a path), i.e. every region that `from` is known to outlive.
+    fn reach_set(&self, from: RegVar) -> BTreeSet<RegVar> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(v) = queue.pop_front() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if let Some(outs) = self.edges.get(&v) {
+                queue.extend(outs.iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Projects the conjunction onto `keep`: the strongest constraint over
+    /// only the kept variables that the current conjunction entails
+    /// (existential elimination of everything else).
+    ///
+    /// This is how method preconditions are formed: the body constraint is
+    /// projected onto the method's region parameters.
+    pub fn project(&mut self, keep: &BTreeSet<RegVar>) -> ConstraintSet {
+        self.normalize();
+        let mut out = ConstraintSet::new();
+        // Group kept vars by representative; emit equalities within groups.
+        let mut groups: BTreeMap<RegVar, Vec<RegVar>> = BTreeMap::new();
+        for &v in keep {
+            groups.entry(self.find(v)).or_default().push(v);
+        }
+        for vars in groups.values() {
+            for pair in vars.windows(2) {
+                out.add_eq(pair[0], pair[1]);
+            }
+        }
+        // Outlives between groups via reachability.
+        let reprs: Vec<(RegVar, RegVar)> =
+            groups.iter().map(|(&rep, vars)| (rep, vars[0])).collect();
+        for &(rep_a, var_a) in &reprs {
+            let reach = self.reach_set(rep_a);
+            for &(rep_b, var_b) in &reprs {
+                if rep_a != rep_b && reach.contains(&rep_b) {
+                    out.add_outlives(var_a, var_b);
+                }
+            }
+            // Kept vars equal to heap surface as r = heap... they are
+            // handled because HEAP is its own representative: if a kept var
+            // collapsed into heap, its group representative is HEAP and the
+            // equality `v = heap` must be recorded explicitly.
+        }
+        for (&rep, vars) in &groups {
+            if rep.is_heap() && !vars.contains(&RegVar::HEAP) {
+                out.add_eq(vars[0], RegVar::HEAP);
+            }
+        }
+        out
+    }
+
+    /// The escape closure of rule \[exp-block\]: every variable of `universe`
+    /// that is equal to, or outlives, a seed. (`r` escapes iff
+    /// `φ ⊢ r ≥ e` for some escaping `e`.)
+    pub fn escape_closure(
+        &mut self,
+        seeds: impl IntoIterator<Item = RegVar>,
+        universe: &BTreeSet<RegVar>,
+    ) -> BTreeSet<RegVar> {
+        self.normalize();
+        // Reverse-reachability from seed representatives.
+        let seed_reps: BTreeSet<RegVar> = seeds.into_iter().map(|v| self.find(v)).collect();
+        let mut rev: HashMap<RegVar, Vec<RegVar>> = HashMap::new();
+        for (&src, dsts) in &self.edges {
+            for &dst in dsts {
+                rev.entry(dst).or_default().push(src);
+            }
+        }
+        let mut escaping: BTreeSet<RegVar> = BTreeSet::new();
+        let mut queue: VecDeque<RegVar> = seed_reps.iter().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            if !escaping.insert(v) {
+                continue;
+            }
+            if let Some(preds) = rev.get(&v) {
+                queue.extend(preds.iter().copied());
+            }
+        }
+        universe
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let r = self.find(v);
+                r.is_heap() || escaping.contains(&r)
+            })
+            .collect()
+    }
+
+    /// The full solved form over a given universe of interest: equalities
+    /// for collapsed classes and the outlives edges, restricted to
+    /// variables of `universe`.
+    pub fn solved_form(&mut self, universe: &BTreeSet<RegVar>) -> ConstraintSet {
+        self.project(&universe.iter().copied().collect())
+    }
+}
+
+fn tarjan(
+    nodes: &[RegVar],
+    index_of: &HashMap<RegVar, usize>,
+    edges: &HashMap<RegVar, BTreeSet<RegVar>>,
+) -> Vec<Vec<RegVar>> {
+    let n = nodes.len();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|v| {
+            edges
+                .get(v)
+                .map(|outs| {
+                    outs.iter()
+                        .filter_map(|d| index_of.get(d).copied())
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+    // Iterative Tarjan (mirrors cj-frontend's; regions stays dependency-free).
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut counter = 0usize;
+    let mut out: Vec<Vec<RegVar>> = Vec::new();
+    let mut work: Vec<(usize, usize)> = Vec::new(); // (node, next-edge-index)
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        work.push((root, 0));
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ei)) = work.last_mut() {
+            if *ei < adj[v].len() {
+                let w = adj[v][*ei];
+                *ei += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    work.push((w, 0));
+                } else if on_stack[w] && index[w] < low[v] {
+                    low[v] = index[w];
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    if low[v] < low[parent] {
+                        low[parent] = low[v];
+                    }
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("nonempty");
+                        on_stack[w] = false;
+                        scc.push(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegVar {
+        RegVar(i)
+    }
+
+    #[test]
+    fn transitive_outlives() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), r(2));
+        s.add_outlives(r(2), r(3));
+        assert!(s.outlives_holds(r(1), r(3)));
+        assert!(!s.outlives_holds(r(3), r(1)));
+    }
+
+    #[test]
+    fn reflexive_and_heap_axioms() {
+        let mut s = Solver::new();
+        assert!(s.outlives_holds(r(7), r(7)));
+        assert!(s.outlives_holds(RegVar::HEAP, r(7)));
+        assert!(!s.outlives_holds(r(7), RegVar::HEAP));
+    }
+
+    #[test]
+    fn outliving_heap_collapses_to_heap() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), RegVar::HEAP);
+        assert!(s.equal(r(1), RegVar::HEAP));
+        assert!(s.outlives_holds(r(1), r(99)));
+    }
+
+    #[test]
+    fn cycle_collapses_to_equality_fig5() {
+        // Fig 5: r2 >= r1b, r1b >= r1, r1 >= r2a, r2a >= r2
+        // implies r1 = r2 = r1b = r2a.
+        let (r1, r1b, r2, r2a) = (r(1), r(2), r(3), r(4));
+        let mut s = Solver::new();
+        s.add_outlives(r2, r1b);
+        s.add_outlives(r1b, r1);
+        s.add_outlives(r1, r2a);
+        s.add_outlives(r2a, r2);
+        for &(a, b) in &[(r1, r2), (r1, r1b), (r1, r2a), (r2, r2a)] {
+            assert!(s.equal(a, b), "{a} and {b} should collapse");
+        }
+    }
+
+    #[test]
+    fn equality_merges_edges() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), r(2));
+        s.add_eq(r(1), r(3));
+        assert!(s.outlives_holds(r(3), r(2)));
+    }
+
+    #[test]
+    fn entails_set() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), r(2));
+        s.add_outlives(r(2), r(3));
+        let mut want = ConstraintSet::new();
+        want.add_outlives(r(1), r(3));
+        want.add_outlives(r(1), r(2));
+        assert!(s.entails(&want));
+        want.add_eq(r(1), r(2));
+        assert!(!s.entails(&want));
+    }
+
+    #[test]
+    fn projection_keeps_only_kept_vars() {
+        // r1 >= t >= r2 with t eliminated must yield r1 >= r2.
+        let mut s = Solver::new();
+        s.add_outlives(r(1), r(9));
+        s.add_outlives(r(9), r(2));
+        let keep: BTreeSet<_> = [r(1), r(2)].into_iter().collect();
+        let p = s.project(&keep);
+        assert_eq!(p.to_string(), "r1>=r2");
+    }
+
+    #[test]
+    fn projection_emits_equalities() {
+        let mut s = Solver::new();
+        s.add_eq(r(1), r(9));
+        s.add_eq(r(9), r(2));
+        let keep: BTreeSet<_> = [r(1), r(2)].into_iter().collect();
+        let p = s.project(&keep);
+        assert_eq!(p.to_string(), "r1=r2");
+    }
+
+    #[test]
+    fn projection_records_heap_equality() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), RegVar::HEAP);
+        let keep: BTreeSet<_> = [r(1)].into_iter().collect();
+        let p = s.project(&keep);
+        assert_eq!(p.to_string(), "heap=r1");
+    }
+
+    #[test]
+    fn escape_closure_fig4() {
+        // Fig 4: result regions escape; r4 >= r2b drags r4 (and r4a, r4b
+        // which outlive r4) into the escape set; r1* and r3* stay local.
+        let names: Vec<RegVar> = (1..=12).map(r).collect();
+        let [r1, r1a, r1b, r2, r2a, r2b, r3, r3a, r3b, r4, r4a, r4b]: [RegVar; 12] =
+            names.clone().try_into().unwrap();
+        let mut s = Solver::new();
+        for &(a, b) in &[
+            (r4a, r4),
+            (r4b, r4),
+            (r3a, r3),
+            (r3b, r3),
+            (r4, r3a),
+            (r2a, r2),
+            (r2b, r2),
+            (r4, r2b),
+            (r1a, r1),
+            (r1b, r1),
+            (r2, r1a),
+            (r3, r1b),
+        ] {
+            s.add_outlives(a, b);
+        }
+        let universe: BTreeSet<RegVar> = names.iter().copied().collect();
+        let escaping = s.escape_closure([r2, r2a, r2b], &universe);
+        let expect: BTreeSet<RegVar> = [r2, r2a, r2b, r4, r4a, r4b].into_iter().collect();
+        assert_eq!(escaping, expect);
+    }
+
+    #[test]
+    fn escape_closure_includes_equalities() {
+        let mut s = Solver::new();
+        s.add_eq(r(1), r(2));
+        let universe: BTreeSet<RegVar> = [r(1), r(2), r(3)].into_iter().collect();
+        let escaping = s.escape_closure([r(1)], &universe);
+        assert!(escaping.contains(&r(2)));
+        assert!(!escaping.contains(&r(3)));
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let mut s = Solver::new();
+        s.add_outlives(r(1), r(2));
+        s.add_outlives(r(2), r(1));
+        s.normalize();
+        let before = format!("{s:?}");
+        s.normalize();
+        assert_eq!(before, format!("{s:?}"));
+    }
+
+    #[test]
+    fn long_chain_projection() {
+        let mut s = Solver::new();
+        for i in 1..100 {
+            s.add_outlives(r(i), r(i + 1));
+        }
+        let keep: BTreeSet<_> = [r(1), r(100)].into_iter().collect();
+        assert_eq!(s.project(&keep).to_string(), "r1>=r100");
+        assert!(s.outlives_holds(r(1), r(100)));
+    }
+}

@@ -1,0 +1,113 @@
+//! In-crate property tests for the constraint solver: semantic soundness
+//! against a brute-force model.
+//!
+//! The model: a constraint set is satisfied by an assignment of variables
+//! to totally ordered "lifetimes" (here: integers, larger = lives longer,
+//! with heap = +inf). `C ⊨ a` should hold iff every model of C satisfies
+//! a. Since entailment over outlives/equality constraints is decided by
+//! graph reachability, we can cross-check the solver against a randomized
+//! model search: if the solver claims entailment, no counter-model may
+//! exist among a batch of random assignments that satisfy C.
+
+use cj_regions::{Atom, ConstraintSet, RegVar, Solver};
+use proptest::prelude::*;
+
+const NVARS: u32 = 6;
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (0..NVARS, 0..NVARS, any::<bool>()).prop_map(|(a, b, eq)| {
+        if eq {
+            Atom::eq(RegVar(a + 1), RegVar(b + 1)) // avoid heap for the model
+        } else {
+            Atom::outlives(RegVar(a + 1), RegVar(b + 1))
+        }
+    })
+}
+
+fn satisfies(assign: &[i32], atom: Atom) -> bool {
+    let life = |v: RegVar| assign[(v.0 - 1) as usize];
+    match atom {
+        Atom::Outlives(a, b) => life(a) >= life(b),
+        Atom::Eq(a, b) => life(a) == life(b),
+    }
+}
+
+proptest! {
+    /// If the solver claims `C ⊨ atom`, then every random assignment that
+    /// satisfies C also satisfies atom (soundness of entailment).
+    #[test]
+    fn entailment_is_sound_wrt_lifetime_models(
+        atoms in proptest::collection::vec(arb_atom(), 0..10),
+        candidates in proptest::collection::vec(
+            proptest::collection::vec(0i32..5, NVARS as usize), 0..40),
+        probe in arb_atom(),
+    ) {
+        let set: ConstraintSet = atoms.iter().copied().collect();
+        let mut solver = Solver::from_set(&set);
+        if solver.entails_atom(probe) {
+            for assign in &candidates {
+                let model = set.iter().all(|a| satisfies(assign, a));
+                if model {
+                    prop_assert!(
+                        satisfies(assign, probe),
+                        "solver claims {probe} from {set}, \
+                         but assignment {assign:?} is a counter-model"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Conjunction is monotone: adding atoms never loses entailments.
+    #[test]
+    fn entailment_is_monotone(
+        base in proptest::collection::vec(arb_atom(), 0..8),
+        extra in proptest::collection::vec(arb_atom(), 0..4),
+        probe in arb_atom(),
+    ) {
+        let small: ConstraintSet = base.iter().copied().collect();
+        let mut big = small.clone();
+        big.extend(extra.iter().copied());
+        let mut s1 = Solver::from_set(&small);
+        let mut s2 = Solver::from_set(&big);
+        if s1.entails_atom(probe) {
+            prop_assert!(s2.entails_atom(probe));
+        }
+    }
+
+    /// Substitution commutes with conjunction.
+    #[test]
+    fn subst_distributes_over_conj(
+        a in proptest::collection::vec(arb_atom(), 0..6),
+        b in proptest::collection::vec(arb_atom(), 0..6),
+        from in 1..=NVARS,
+        to in 1..=NVARS,
+    ) {
+        let sa: ConstraintSet = a.iter().copied().collect();
+        let sb: ConstraintSet = b.iter().copied().collect();
+        let sub = cj_regions::RegSubst::from_pairs([(RegVar(from), RegVar(to))]);
+        let lhs = sa.conj(&sb).subst(&sub);
+        let rhs = sa.subst(&sub).conj(&sb.subst(&sub));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// A solved fixpoint is itself a fixpoint: re-solving closed
+    /// abstractions changes nothing.
+    #[test]
+    fn fixpoint_is_idempotent(atoms in proptest::collection::vec(arb_atom(), 0..8)) {
+        use cj_regions::{AbsBody, AbsEnv, ConstraintAbs};
+        let params: Vec<RegVar> = (1..=NVARS).map(RegVar).collect();
+        let set: ConstraintSet = atoms.iter().copied().collect();
+        let mut env = AbsEnv::new();
+        env.insert(ConstraintAbs {
+            name: "p".into(),
+            params: params.clone(),
+            body: AbsBody::from_atoms(set),
+        });
+        cj_regions::abstraction::solve_fixpoint(&mut env, &["p".to_string()]);
+        let once = env.get("p").unwrap().body.atoms.clone();
+        cj_regions::abstraction::solve_fixpoint(&mut env, &["p".to_string()]);
+        let twice = env.get("p").unwrap().body.atoms.clone();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,591 @@
+//! A big-step interpreter for region-annotated Core-Java.
+//!
+//! The interpreter executes the *annotated* program: `letreg` pushes and
+//! pops real regions, `new cn⟨r…⟩` allocates into the region bound to `r`,
+//! and method calls carry region arguments exactly as in the target
+//! language's dynamic semantics. Every object access checks that the
+//! object's region is still live, so a dangling access — impossible for
+//! well-region-typed programs, Theorem 1 — is detected and reported rather
+//! than silently misbehaving. This is the validation harness behind the
+//! integration suite and the space-reuse measurements of Fig 8.
+
+use crate::region::{RegionError, RegionId, RegionManager, SpaceStats};
+use crate::store::{object_bytes, ObjData, ObjId, Object, Store, Value};
+use cj_frontend::ast::{BinOp, UnOp};
+use cj_frontend::span::Span;
+use cj_frontend::types::{ClassId, MethodId, NType, Prim};
+use cj_infer::rast::{RExpr, RExprKind, RProgram};
+use cj_regions::var::RegVar;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Dereference of `null`.
+    NullPointer(Span),
+    /// `(cn) v` failed: the object's class is not a subclass of `cn`.
+    CastFailed(Span),
+    /// Array index out of range.
+    IndexOutOfBounds(Span),
+    /// Integer division or remainder by zero.
+    DivisionByZero(Span),
+    /// Access to an object whose region has been deleted. Never happens
+    /// for programs accepted by the region checker.
+    DanglingAccess(Span),
+    /// Region allocator violation.
+    Region(RegionError),
+    /// The configured step budget was exhausted.
+    StepLimit,
+    /// No static `main` method exists.
+    NoMain,
+    /// `main` received the wrong number/kinds of arguments.
+    BadMainArgs,
+    /// Negative array length.
+    NegativeLength(Span),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullPointer(_) => f.write_str("null pointer dereference"),
+            RuntimeError::CastFailed(_) => f.write_str("downcast failed"),
+            RuntimeError::IndexOutOfBounds(_) => f.write_str("array index out of bounds"),
+            RuntimeError::DivisionByZero(_) => f.write_str("division by zero"),
+            RuntimeError::DanglingAccess(_) => f.write_str("dangling region access"),
+            RuntimeError::Region(e) => write!(f, "region error: {e}"),
+            RuntimeError::StepLimit => f.write_str("step limit exceeded"),
+            RuntimeError::NoMain => f.write_str("no static `main` method"),
+            RuntimeError::BadMainArgs => f.write_str("bad arguments for `main`"),
+            RuntimeError::NegativeLength(_) => f.write_str("negative array length"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<RegionError> for RuntimeError {
+    fn from(e: RegionError) -> Self {
+        RuntimeError::Region(e)
+    }
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Maximum interpreter steps before aborting.
+    pub step_limit: u64,
+    /// Region-erasure mode: ignore `letreg` and allocate everything in the
+    /// heap. The paper proves annotated and erased programs bisimilar; the
+    /// integration suite compares the two executions' observable behaviour.
+    pub erase_regions: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            step_limit: 2_000_000_000,
+            erase_regions: false,
+        }
+    }
+}
+
+/// The result of a complete run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The value returned by the entry method.
+    pub value: Value,
+    /// Space accounting (Fig 8's metric).
+    pub space: SpaceStats,
+    /// Steps executed.
+    pub steps: u64,
+    /// Captured `print` output.
+    pub prints: Vec<String>,
+}
+
+/// Runs the program's static `main`.
+///
+/// # Errors
+///
+/// Any [`RuntimeError`]; for checked programs, dangling-access errors
+/// cannot occur.
+pub fn run_main(p: &RProgram, args: &[Value], cfg: RunConfig) -> Result<Outcome, RuntimeError> {
+    let (idx, _) = p
+        .kernel
+        .table
+        .lookup_static(cj_frontend::Symbol::intern("main"))
+        .ok_or(RuntimeError::NoMain)?;
+    run_static(p, MethodId::Static(idx), args, cfg)
+}
+
+/// Runs an arbitrary static method as the entry point.
+///
+/// # Errors
+///
+/// See [`run_main`].
+pub fn run_static(
+    p: &RProgram,
+    id: MethodId,
+    args: &[Value],
+    cfg: RunConfig,
+) -> Result<Outcome, RuntimeError> {
+    let km = p.kernel.method(id);
+    if km.params.len() != args.len() {
+        return Err(RuntimeError::BadMainArgs);
+    }
+    let mut interp = Interp {
+        p,
+        regions: RegionManager::new(),
+        store: Store::new(),
+        steps: 0,
+        limit: cfg.step_limit,
+        erase: cfg.erase_regions,
+        prints: Vec::new(),
+    };
+    let rm = p.rmethod(id);
+    let mut frame = Frame::new(id, km.vars.len());
+    for (i, &a) in args.iter().enumerate() {
+        frame.vars[km.params[i].index()] = a;
+    }
+    // Entry-point region parameters are bound to the heap.
+    for &r in &rm.abs_params {
+        frame.regmap.insert(r, RegionId::HEAP);
+    }
+    let value = interp.eval(&mut frame, &rm.body)?;
+    Ok(Outcome {
+        value,
+        space: interp.regions.stats(),
+        steps: interp.steps,
+        prints: interp.prints,
+    })
+}
+
+/// Like [`run_main`] but on a dedicated thread with a large stack, for
+/// deeply recursive programs (e.g. merge sort over long lists).
+///
+/// # Errors
+///
+/// See [`run_main`].
+///
+/// # Panics
+///
+/// Panics if the worker thread cannot be spawned or itself panics.
+pub fn run_main_big_stack(
+    p: &RProgram,
+    args: &[Value],
+    cfg: RunConfig,
+) -> Result<Outcome, RuntimeError> {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(1 << 29) // 512 MiB
+            .spawn_scoped(s, || run_main(p, args, cfg))
+            .expect("spawn interpreter thread")
+            .join()
+            .expect("interpreter thread panicked")
+    })
+}
+
+struct Frame {
+    method: MethodId,
+    vars: Vec<Value>,
+    regmap: HashMap<RegVar, RegionId>,
+}
+
+impl Frame {
+    fn new(method: MethodId, nvars: usize) -> Frame {
+        Frame {
+            method,
+            vars: vec![Value::Null; nvars],
+            regmap: HashMap::new(),
+        }
+    }
+}
+
+struct Interp<'a> {
+    p: &'a RProgram,
+    regions: RegionManager,
+    store: Store,
+    steps: u64,
+    limit: u64,
+    erase: bool,
+    prints: Vec<String>,
+}
+
+impl<'a> Interp<'a> {
+    fn region(&self, frame: &Frame, r: RegVar) -> RegionId {
+        if self.erase || r.is_heap() {
+            return RegionId::HEAP;
+        }
+        frame.regmap.get(&r).copied().unwrap_or(RegionId::HEAP)
+    }
+
+    fn deref(&self, v: Value, span: Span) -> Result<ObjId, RuntimeError> {
+        match v {
+            Value::Ref(o) => {
+                if !self.regions.is_live(self.store.get(o).region) {
+                    return Err(RuntimeError::DanglingAccess(span));
+                }
+                Ok(o)
+            }
+            Value::Null => Err(RuntimeError::NullPointer(span)),
+            _ => Err(RuntimeError::NullPointer(span)),
+        }
+    }
+
+    fn eval(&mut self, frame: &mut Frame, e: &RExpr) -> Result<Value, RuntimeError> {
+        self.steps += 1;
+        if self.steps > self.limit {
+            return Err(RuntimeError::StepLimit);
+        }
+        match &e.kind {
+            RExprKind::Unit => Ok(Value::Unit),
+            RExprKind::Int(v) => Ok(Value::Int(*v)),
+            RExprKind::Bool(v) => Ok(Value::Bool(*v)),
+            RExprKind::Float(v) => Ok(Value::Float(*v)),
+            RExprKind::Null => Ok(Value::Null),
+            RExprKind::Var(v) => Ok(frame.vars[v.index()]),
+            RExprKind::Field(v, fref) => {
+                let o = self.deref(frame.vars[v.index()], e.span)?;
+                match &self.store.get(o).data {
+                    ObjData::Fields(fs) => Ok(fs[fref.index as usize]),
+                    ObjData::Array(_, _) => unreachable!("field read on array"),
+                }
+            }
+            RExprKind::AssignVar(v, rhs) => {
+                let val = self.eval(frame, rhs)?;
+                frame.vars[v.index()] = val;
+                Ok(Value::Unit)
+            }
+            RExprKind::AssignField(v, fref, rhs) => {
+                let val = self.eval(frame, rhs)?;
+                let o = self.deref(frame.vars[v.index()], e.span)?;
+                match &mut self.store.get_mut(o).data {
+                    ObjData::Fields(fs) => fs[fref.index as usize] = val,
+                    ObjData::Array(_, _) => unreachable!("field write on array"),
+                }
+                Ok(Value::Unit)
+            }
+            RExprKind::New {
+                class,
+                regions,
+                args,
+            } => {
+                let ids: Vec<RegionId> = regions.iter().map(|&r| self.region(frame, r)).collect();
+                let fields: Vec<Value> = args.iter().map(|&a| frame.vars[a.index()]).collect();
+                self.regions.alloc(ids[0], object_bytes(fields.len()))?;
+                let obj = self.store.insert(Object {
+                    class: Some(*class),
+                    region: ids[0],
+                    regions: ids,
+                    data: ObjData::Fields(fields),
+                });
+                Ok(Value::Ref(obj))
+            }
+            RExprKind::NewArray { elem, region, len } => {
+                let n = self.eval(frame, len)?.as_int().expect("length is int");
+                if n < 0 {
+                    return Err(RuntimeError::NegativeLength(e.span));
+                }
+                let rid = self.region(frame, *region);
+                self.regions.alloc(rid, object_bytes(n as usize))?;
+                let obj = self.store.insert(Object {
+                    class: None,
+                    region: rid,
+                    regions: vec![rid],
+                    data: ObjData::Array(*elem, vec![Value::zero(*elem); n as usize]),
+                });
+                Ok(Value::Ref(obj))
+            }
+            RExprKind::Index(v, idx) => {
+                let i = self.eval(frame, idx)?.as_int().expect("index is int");
+                let o = self.deref(frame.vars[v.index()], e.span)?;
+                match &self.store.get(o).data {
+                    ObjData::Array(_, data) => data
+                        .get(i as usize)
+                        .copied()
+                        .ok_or(RuntimeError::IndexOutOfBounds(e.span)),
+                    ObjData::Fields(_) => unreachable!("index on object"),
+                }
+            }
+            RExprKind::AssignIndex(v, idx, val) => {
+                let i = self.eval(frame, idx)?.as_int().expect("index is int");
+                let val = self.eval(frame, val)?;
+                let o = self.deref(frame.vars[v.index()], e.span)?;
+                match &mut self.store.get_mut(o).data {
+                    ObjData::Array(_, data) => {
+                        let slot = data
+                            .get_mut(i as usize)
+                            .ok_or(RuntimeError::IndexOutOfBounds(e.span))?;
+                        *slot = val;
+                        Ok(Value::Unit)
+                    }
+                    ObjData::Fields(_) => unreachable!("index write on object"),
+                }
+            }
+            RExprKind::ArrayLen(v) => {
+                let o = self.deref(frame.vars[v.index()], e.span)?;
+                match &self.store.get(o).data {
+                    ObjData::Array(_, data) => Ok(Value::Int(data.len() as i64)),
+                    ObjData::Fields(_) => unreachable!("length of object"),
+                }
+            }
+            RExprKind::CallVirtual {
+                recv,
+                method,
+                inst,
+                args,
+            } => {
+                let o = self.deref(frame.vars[recv.index()], e.span)?;
+                let runtime_class = self.store.get(o).class.expect("object");
+                let target = self.dispatch(runtime_class, *method);
+                self.call(frame, target, Some(o), *method, inst, args, e.span)
+            }
+            RExprKind::CallStatic { method, inst, args } => {
+                self.call(frame, *method, None, *method, inst, args, e.span)
+            }
+            RExprKind::Seq(a, b) => {
+                self.eval(frame, a)?;
+                self.eval(frame, b)
+            }
+            RExprKind::Let { var, init, body } => {
+                if let Some(init) = init {
+                    let v = self.eval(frame, init)?;
+                    frame.vars[var.index()] = v;
+                } else {
+                    // Fresh declaration without initializer: reset the slot
+                    // (loops re-enter Lets).
+                    let ty = self.p.kernel.method(frame.method).vars[var.index()].ty;
+                    frame.vars[var.index()] = default_value(ty);
+                }
+                self.eval(frame, body)
+            }
+            RExprKind::Letreg(r, inner) => {
+                if self.erase {
+                    // Region-erasure semantics: the letreg is a no-op.
+                    return self.eval(frame, inner);
+                }
+                let rid = self.regions.push();
+                frame.regmap.insert(*r, rid);
+                let result = self.eval(frame, inner);
+                frame.regmap.remove(r);
+                self.regions.pop(rid)?;
+                result
+            }
+            RExprKind::If {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let c = self.eval(frame, cond)?.as_bool().expect("condition");
+                if c {
+                    self.eval(frame, then_e)
+                } else {
+                    self.eval(frame, else_e)
+                }
+            }
+            RExprKind::While { cond, body } => {
+                loop {
+                    self.steps += 1;
+                    if self.steps > self.limit {
+                        return Err(RuntimeError::StepLimit);
+                    }
+                    let c = self.eval(frame, cond)?.as_bool().expect("condition");
+                    if !c {
+                        break;
+                    }
+                    self.eval(frame, body)?;
+                }
+                Ok(Value::Unit)
+            }
+            RExprKind::Cast { class, var, .. } => {
+                let v = frame.vars[var.index()];
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Ref(o) => {
+                        let rc = self.store.get(o).class.expect("object");
+                        if self.p.kernel.table.is_subclass(rc, *class) {
+                            Ok(v)
+                        } else {
+                            Err(RuntimeError::CastFailed(e.span))
+                        }
+                    }
+                    _ => Err(RuntimeError::CastFailed(e.span)),
+                }
+            }
+            RExprKind::Unary(op, a) => {
+                let v = self.eval(frame, a)?;
+                Ok(match (op, v) {
+                    (UnOp::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (UnOp::Neg, Value::Float(x)) => Value::Float(-x),
+                    (UnOp::Not, Value::Bool(x)) => Value::Bool(!x),
+                    _ => unreachable!("ill-typed unary"),
+                })
+            }
+            RExprKind::Binary(op, a, b) => self.binary(frame, *op, a, b, e.span),
+            RExprKind::Print(a) => {
+                let v = self.eval(frame, a)?;
+                self.prints.push(v.to_string());
+                Ok(Value::Unit)
+            }
+        }
+    }
+
+    fn dispatch(&self, runtime_class: ClassId, decl: MethodId) -> MethodId {
+        let MethodId::Instance(c, slot) = decl else {
+            return decl;
+        };
+        let name = self.p.kernel.table.class(c).own_methods[slot as usize].name;
+        let (decl_class, _) = self
+            .p
+            .kernel
+            .table
+            .lookup_method(runtime_class, name)
+            .expect("method exists on runtime class");
+        let s = self
+            .p
+            .kernel
+            .table
+            .class(decl_class)
+            .own_methods
+            .iter()
+            .position(|m| m.name == name)
+            .expect("present") as u32;
+        MethodId::Instance(decl_class, s)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call(
+        &mut self,
+        caller: &mut Frame,
+        target: MethodId,
+        receiver: Option<ObjId>,
+        declared: MethodId,
+        inst: &[RegVar],
+        args: &[cj_frontend::VarId],
+        _span: Span,
+    ) -> Result<Value, RuntimeError> {
+        let km = self.p.kernel.method(target);
+        let rm = self.p.rmethod(target);
+        let mut frame = Frame::new(target, km.vars.len());
+        // Default-initialize every slot by type.
+        for (i, v) in km.vars.iter().enumerate() {
+            frame.vars[i] = default_value(v.ty);
+        }
+        if let Some(o) = receiver {
+            frame.vars[0] = Value::Ref(o);
+        }
+        for (&p, &a) in km.params.iter().zip(args) {
+            frame.vars[p.index()] = caller.vars[a.index()];
+        }
+        // Region environment: class parameters from the receiver's recorded
+        // regions; method parameters from the (resolved) instantiation.
+        let resolved: Vec<RegionId> = inst.iter().map(|&r| self.region(caller, r)).collect();
+        match target {
+            MethodId::Instance(tc, _) => {
+                let obj_regions = receiver
+                    .map(|o| self.store.get(o).regions.clone())
+                    .unwrap_or_default();
+                let tclass_params = &self.p.rclass(tc).params;
+                for (i, &cp) in tclass_params.iter().enumerate() {
+                    let rid = obj_regions.get(i).copied().unwrap_or(RegionId::HEAP);
+                    frame.regmap.insert(cp, rid);
+                }
+                // Method region parameters: positionally from the declared
+                // method's instantiation tail.
+                let decl_class_arity = match declared {
+                    MethodId::Instance(dc, _) => self.p.rclass(dc).params.len(),
+                    MethodId::Static(_) => 0,
+                };
+                let tail = &resolved[decl_class_arity.min(resolved.len())..];
+                for (i, &mp) in rm.mparams.iter().enumerate() {
+                    let rid = tail.get(i).copied().unwrap_or(RegionId::HEAP);
+                    frame.regmap.insert(mp, rid);
+                }
+            }
+            MethodId::Static(_) => {
+                for (i, &ap) in rm.abs_params.iter().enumerate() {
+                    let rid = resolved.get(i).copied().unwrap_or(RegionId::HEAP);
+                    frame.regmap.insert(ap, rid);
+                }
+            }
+        }
+        self.eval(&mut frame, &rm.body)
+    }
+
+    fn binary(
+        &mut self,
+        frame: &mut Frame,
+        op: BinOp,
+        a: &RExpr,
+        b: &RExpr,
+        span: Span,
+    ) -> Result<Value, RuntimeError> {
+        // Short-circuit logic first.
+        match op {
+            BinOp::And => {
+                let l = self.eval(frame, a)?.as_bool().expect("bool");
+                if !l {
+                    return Ok(Value::Bool(false));
+                }
+                return self.eval(frame, b);
+            }
+            BinOp::Or => {
+                let l = self.eval(frame, a)?.as_bool().expect("bool");
+                if l {
+                    return Ok(Value::Bool(true));
+                }
+                return self.eval(frame, b);
+            }
+            _ => {}
+        }
+        let l = self.eval(frame, a)?;
+        let r = self.eval(frame, b)?;
+        use BinOp::*;
+        Ok(match (op, l, r) {
+            (Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(y)),
+            (Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_sub(y)),
+            (Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_mul(y)),
+            (Div, Value::Int(_), Value::Int(0)) => return Err(RuntimeError::DivisionByZero(span)),
+            (Div, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_div(y)),
+            (Rem, Value::Int(_), Value::Int(0)) => return Err(RuntimeError::DivisionByZero(span)),
+            (Rem, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_rem(y)),
+            (Add, Value::Float(x), Value::Float(y)) => Value::Float(x + y),
+            (Sub, Value::Float(x), Value::Float(y)) => Value::Float(x - y),
+            (Mul, Value::Float(x), Value::Float(y)) => Value::Float(x * y),
+            (Div, Value::Float(x), Value::Float(y)) => Value::Float(x / y),
+            (Rem, Value::Float(x), Value::Float(y)) => Value::Float(x % y),
+            (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+            (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+            (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
+            (Ge, Value::Int(x), Value::Int(y)) => Value::Bool(x >= y),
+            (Lt, Value::Float(x), Value::Float(y)) => Value::Bool(x < y),
+            (Le, Value::Float(x), Value::Float(y)) => Value::Bool(x <= y),
+            (Gt, Value::Float(x), Value::Float(y)) => Value::Bool(x > y),
+            (Ge, Value::Float(x), Value::Float(y)) => Value::Bool(x >= y),
+            (Eq, x, y) => Value::Bool(value_eq(x, y)),
+            (Ne, x, y) => Value::Bool(!value_eq(x, y)),
+            _ => unreachable!("ill-typed binary"),
+        })
+    }
+}
+
+fn value_eq(a: Value, b: Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x == y,
+        (Value::Null, Value::Null) => true,
+        (Value::Ref(x), Value::Ref(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn default_value(ty: NType) -> Value {
+    match ty {
+        NType::Prim(Prim::Int) => Value::Int(0),
+        NType::Prim(Prim::Bool) => Value::Bool(false),
+        NType::Prim(Prim::Float) => Value::Float(0.0),
+        NType::Void => Value::Unit,
+        _ => Value::Null,
+    }
+}

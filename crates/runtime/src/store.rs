@@ -1,0 +1,134 @@
+//! The object store: runtime values and region-resident objects.
+
+use crate::region::RegionId;
+use cj_frontend::types::{ClassId, Prim};
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unit (result of `void` expressions).
+    Unit,
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Float.
+    Float(f64),
+    /// Null reference.
+    Null,
+    /// Reference to an object or array in the store.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Default value for a primitive slot.
+    pub fn zero(p: Prim) -> Value {
+        match p {
+            Prim::Int => Value::Int(0),
+            Prim::Bool => Value::Bool(false),
+            Prim::Float => Value::Float(0.0),
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Null => f.write_str("null"),
+            Value::Ref(o) => write!(f, "obj@{}", o.0),
+        }
+    }
+}
+
+/// Index of an object in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId(pub u32);
+
+/// The payload of a stored object.
+#[derive(Debug, Clone)]
+pub enum ObjData {
+    /// Ordinary object: one slot per field (constructor order).
+    Fields(Vec<Value>),
+    /// Primitive array.
+    Array(Prim, Vec<Value>),
+}
+
+/// A region-resident object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Runtime class (`None` for arrays).
+    pub class: Option<ClassId>,
+    /// Region the object lives in (its first region argument at `new`).
+    pub region: RegionId,
+    /// Full region arguments recorded at allocation (used by downcasts).
+    pub regions: Vec<RegionId>,
+    /// Field or element storage.
+    pub data: ObjData,
+}
+
+/// Size model (documented for reproducibility): every object pays a
+/// 16-byte header; each field or array element occupies 8 bytes.
+pub fn object_bytes(field_count: usize) -> usize {
+    16 + 8 * field_count
+}
+
+/// The store of all allocated objects.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    objects: Vec<Object>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Adds an object, returning its id.
+    pub fn insert(&mut self, obj: Object) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(obj);
+        id
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: ObjId) -> &Object {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: ObjId) -> &mut Object {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// Number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether no object has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}

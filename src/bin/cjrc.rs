@@ -1,0 +1,157 @@
+//! `cjrc` — the Core-Java region compiler driver.
+//!
+//! ```text
+//! cjrc infer  <file> [--mode M] [--downcast D] [--stats]   annotate and print
+//! cjrc check  <file> [--mode M] [--downcast D]             infer + region-check
+//! cjrc run    <file> [--mode M] [--downcast D] [args…]     compile and run main
+//! cjrc flows  <file>                                       downcast-set report
+//! ```
+//!
+//! `M` ∈ {none, object, field} (default field);
+//! `D` ∈ {reject, equate, padding} (default equate).
+
+use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cjrc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    command: String,
+    file: String,
+    opts: InferOptions,
+    stats: bool,
+    run_args: Vec<i64>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut file = None;
+    let mut mode = SubtypeMode::Field;
+    let mut downcast = DowncastPolicy::EquateFirst;
+    let mut stats = false;
+    let mut run_args = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("none") => SubtypeMode::None,
+                    Some("object") => SubtypeMode::Object,
+                    Some("field") => SubtypeMode::Field,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--downcast" => {
+                downcast = match args.next().as_deref() {
+                    Some("reject") => DowncastPolicy::Reject,
+                    Some("equate") => DowncastPolicy::EquateFirst,
+                    Some("padding") => DowncastPolicy::Padding,
+                    other => return Err(format!("unknown downcast policy {other:?}")),
+                }
+            }
+            "--stats" => stats = true,
+            other if file.is_none() => file = Some(other.to_string()),
+            other => run_args.push(
+                other
+                    .parse::<i64>()
+                    .map_err(|_| format!("expected integer argument, found `{other}`"))?,
+            ),
+        }
+    }
+    Ok(Cli {
+        command,
+        file: file.ok_or_else(usage)?,
+        opts: InferOptions { mode, downcast },
+        stats,
+        run_args,
+    })
+}
+
+fn usage() -> String {
+    "usage: cjrc <infer|check|run|flows> <file.cj> [--mode none|object|field] \
+     [--downcast reject|equate|padding] [--stats] [run args…]"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let src =
+        std::fs::read_to_string(&cli.file).map_err(|e| format!("cannot read {}: {e}", cli.file))?;
+    match cli.command.as_str() {
+        "infer" => {
+            let (p, stats) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
+            print!("{}", cj_infer::pretty::program_to_string(&p));
+            if cli.stats {
+                eprintln!(
+                    "regions: {}  letregs: {}  fixpoint iterations: {}  repairs: {}",
+                    stats.regions_created,
+                    stats.localized_regions,
+                    stats.fixpoint_iterations,
+                    stats.override_repairs
+                );
+            }
+            Ok(())
+        }
+        "check" => {
+            let (p, _) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
+            cj_check::check(&p).map_err(|e| format!("region check failed:\n{e}"))?;
+            println!("{}: well-region-typed ({})", cli.file, cli.opts.mode);
+            Ok(())
+        }
+        "run" => {
+            let (p, _) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
+            cj_check::check(&p).map_err(|e| format!("region check failed:\n{e}"))?;
+            let args: Vec<cj_runtime::Value> = cli
+                .run_args
+                .iter()
+                .map(|&v| cj_runtime::Value::Int(v))
+                .collect();
+            let out = cj_runtime::run_main_big_stack(&p, &args, cj_runtime::RunConfig::default())
+                .map_err(|e| e.to_string())?;
+            for line in &out.prints {
+                println!("{line}");
+            }
+            println!("result: {}", out.value);
+            println!(
+                "space: peak {} / total {} bytes (ratio {:.4}), {} regions",
+                out.space.peak_live,
+                out.space.total_allocated,
+                out.space.space_ratio(),
+                out.space.regions_created
+            );
+            Ok(())
+        }
+        "flows" => {
+            let kp = cj_frontend::typecheck::check_source(&src).map_err(|e| e.to_string())?;
+            let analysis = cj_downcast::analyze(&kp);
+            println!("{} downcast(s)", analysis.downcast_count);
+            for site in &analysis.sites {
+                if let Some(set) = analysis.site_sets.get(&site.id) {
+                    let classes: Vec<&str> =
+                        set.iter().map(|&c| kp.table.name(c).as_str()).collect();
+                    let doomed = if analysis.doomed_sites.contains(&site.id) {
+                        " [bound to fail]"
+                    } else {
+                        ""
+                    };
+                    println!(
+                        "new {} in {} -> {{{}}}{doomed}",
+                        kp.table.name(site.class),
+                        kp.method_name(site.method),
+                        classes.join(", ")
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

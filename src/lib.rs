@@ -1,0 +1,116 @@
+//! # region-inference — *Region Inference for an Object-Oriented Language*
+//!
+//! A complete Rust implementation of Chin, Craciun, Qin & Rinard's PLDI 2004
+//! region inference system for Core-Java: fully automatic derivation of
+//! region-polymorphic class and method annotations that guarantee
+//! region-based memory management **never creates a dangling reference**.
+//!
+//! ## The pipeline
+//!
+//! ```text
+//! source ──parse──▶ AST ──normal typecheck──▶ kernel ──region inference──▶
+//!     annotated program ──region check──▶ ✓ ──interpret──▶ value + space stats
+//! ```
+//!
+//! - [`frontend`]: Core-Java lexer, parser, class table, normal type system;
+//! - [`regions`]: region variables, outlives/equality constraints, solver,
+//!   constraint abstractions and their fixed-point analysis;
+//! - [`infer`]: the paper's contribution — class/method region inference,
+//!   three region-subtyping modes, region-polymorphic recursion, `letreg`
+//!   localization, override conflict resolution, downcast safety;
+//! - [`check`]: the separate region type checker (Theorem 1 oracle);
+//! - [`downcast`]: the Sec 5 backward flow analysis;
+//! - [`runtime`]: a lexically scoped region allocator and interpreter with
+//!   space accounting;
+//! - [`benchmarks`]: the Fig 8 and Fig 9 program suites.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use region_inference::prelude::*;
+//!
+//! let source = "
+//!     class Pair { Object fst; Object snd;
+//!       void swap() {
+//!         Object t = this.fst; this.fst = this.snd; this.snd = t;
+//!       }
+//!     }";
+//! let program = compile(source, InferOptions::default())?;
+//! // `swap` mutates both fields, so its precondition forces the two field
+//! // regions to coincide — exactly Fig 2(a)'s `where r2 = r3`.
+//! println!("{}", annotate(&program));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+
+pub use cj_benchmarks as benchmarks;
+pub use cj_check as check;
+pub use cj_downcast as downcast;
+pub use cj_frontend as frontend;
+pub use cj_infer as infer;
+pub use cj_regions as regions;
+pub use cj_runtime as runtime;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::{annotate, compile, compile_and_run};
+    pub use cj_check::check;
+    pub use cj_infer::{
+        infer_source, DowncastPolicy, InferOptions, InferStats, RProgram, SubtypeMode,
+    };
+    pub use cj_runtime::{run_main, run_main_big_stack, Outcome, RunConfig, Value};
+}
+
+use cj_infer::{InferOptions, RProgram};
+use cj_runtime::{RunConfig, Value};
+
+/// Parses, normal-typechecks, region-infers and region-checks a Core-Java
+/// program.
+///
+/// # Errors
+///
+/// Front-end diagnostics, inference policy failures, or (indicating a bug —
+/// Theorem 1) checker violations.
+pub fn compile(src: &str, opts: InferOptions) -> Result<RProgram, Box<dyn std::error::Error>> {
+    let (p, _) = cj_infer::infer_source(src, opts)?;
+    cj_check::check(&p)?;
+    Ok(p)
+}
+
+/// Renders the annotated program in the paper's notation.
+pub fn annotate(p: &RProgram) -> String {
+    cj_infer::pretty::program_to_string(p)
+}
+
+/// Compiles and immediately executes `main` with integer arguments.
+///
+/// # Errors
+///
+/// Compilation or runtime errors.
+///
+/// # Examples
+///
+/// ```
+/// use region_inference::{compile_and_run, infer::InferOptions};
+///
+/// let out = compile_and_run(
+///     "class M { static int main(int n) { n * 2 } }",
+///     InferOptions::default(),
+///     &[21],
+/// )?;
+/// assert_eq!(out.value, region_inference::runtime::Value::Int(42));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_and_run(
+    src: &str,
+    opts: InferOptions,
+    args: &[i64],
+) -> Result<cj_runtime::Outcome, Box<dyn std::error::Error>> {
+    let p = compile(src, opts)?;
+    let args: Vec<Value> = args.iter().map(|&v| Value::Int(v)).collect();
+    Ok(cj_runtime::run_main_big_stack(
+        &p,
+        &args,
+        RunConfig::default(),
+    )?)
+}

@@ -1,0 +1,79 @@
+//! Region-erasure bisimulation (Sec 4.5): "By region erasure, we can show
+//! that both programs have the same observable behaviour (through
+//! bisimulation) in the absence of dangling accesses."
+//!
+//! We validate the executable consequence: running each annotated benchmark
+//! with regions *active* and with regions *erased* (everything heap-
+//! allocated, `letreg` a no-op) must produce identical results and
+//! identical `print` traces — the region discipline only changes *where*
+//! objects live and *when* memory is reclaimed, never what the program
+//! computes.
+
+use region_inference::prelude::*;
+
+#[test]
+fn erased_and_region_runs_are_observably_equal() {
+    for b in cj_benchmarks::all_benchmarks() {
+        let (p, _) = infer_source(b.source, InferOptions::default()).unwrap();
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        let with_regions = run_main_big_stack(&p, &args, RunConfig::default())
+            .unwrap_or_else(|e| panic!("{} (regions): {e}", b.name));
+        let erased = run_main_big_stack(
+            &p,
+            &args,
+            RunConfig {
+                erase_regions: true,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} (erased): {e}", b.name));
+        assert_eq!(
+            format!("{}", with_regions.value),
+            format!("{}", erased.value),
+            "{}: results diverge under erasure",
+            b.name
+        );
+        assert_eq!(
+            with_regions.prints, erased.prints,
+            "{}: print traces diverge under erasure",
+            b.name
+        );
+        // Erased execution reclaims nothing.
+        assert!(
+            erased.space.space_ratio() > 0.999,
+            "{}: erased run should not reuse space",
+            b.name
+        );
+        // And the region run never uses more memory at peak.
+        assert!(
+            with_regions.space.peak_live <= erased.space.peak_live,
+            "{}: regions made peak memory worse",
+            b.name
+        );
+    }
+}
+
+/// Region reclamation can only help peak memory, never the total.
+#[test]
+fn totals_are_identical_across_semantics() {
+    for b in cj_benchmarks::regjava_benchmarks() {
+        let (p, _) = infer_source(b.source, InferOptions::default()).unwrap();
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        let a = run_main_big_stack(&p, &args, RunConfig::default()).unwrap();
+        let e = run_main_big_stack(
+            &p,
+            &args,
+            RunConfig {
+                erase_regions: true,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            a.space.total_allocated, e.space.total_allocated,
+            "{}: allocation totals must agree",
+            b.name
+        );
+        assert_eq!(a.steps, e.steps, "{}: step counts must agree", b.name);
+    }
+}

@@ -1,0 +1,156 @@
+//! Theorem 1 (Correctness), validated end to end: for every benchmark
+//! program in both suites and every subtyping mode, region inference
+//! succeeds, the result is well-region-typed (the separate checker
+//! accepts it), and execution on the region runtime never performs a
+//! dangling access.
+
+use region_inference::prelude::*;
+
+fn exercise(b: &cj_benchmarks::Benchmark, mode: SubtypeMode) {
+    let (p, stats) = infer_source(b.source, InferOptions::with_mode(mode))
+        .unwrap_or_else(|e| panic!("{} [{mode}]: inference failed: {e}", b.name));
+    check(&p).unwrap_or_else(|e| panic!("{} [{mode}]: region check failed:\n{e}", b.name));
+    assert!(stats.regions_created > 0, "{}: no regions created", b.name);
+
+    let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+    match run_main_big_stack(&p, &args, RunConfig::default()) {
+        Ok(out) => {
+            assert!(
+                out.steps > 0,
+                "{} [{mode}]: program did not execute",
+                b.name
+            );
+        }
+        Err(e) => panic!("{} [{mode}]: runtime error: {e}", b.name),
+    }
+}
+
+#[test]
+fn regjava_suite_infers_checks_and_runs_no_sub() {
+    for b in cj_benchmarks::regjava_benchmarks() {
+        exercise(&b, SubtypeMode::None);
+    }
+}
+
+#[test]
+fn regjava_suite_infers_checks_and_runs_object_sub() {
+    for b in cj_benchmarks::regjava_benchmarks() {
+        exercise(&b, SubtypeMode::Object);
+    }
+}
+
+#[test]
+fn regjava_suite_infers_checks_and_runs_field_sub() {
+    for b in cj_benchmarks::regjava_benchmarks() {
+        exercise(&b, SubtypeMode::Field);
+    }
+}
+
+#[test]
+fn olden_suite_infers_checks_and_runs_field_sub() {
+    for b in cj_benchmarks::olden_benchmarks() {
+        exercise(&b, SubtypeMode::Field);
+    }
+}
+
+#[test]
+fn olden_suite_infers_checks_and_runs_no_sub() {
+    for b in cj_benchmarks::olden_benchmarks() {
+        exercise(&b, SubtypeMode::None);
+    }
+}
+
+/// Deterministic results across modes: the region discipline must not
+/// change observable behaviour (the paper's bisimulation-by-erasure
+/// property).
+#[test]
+fn results_agree_across_modes() {
+    for b in cj_benchmarks::all_benchmarks() {
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        let mut values = Vec::new();
+        for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
+            let (p, _) = infer_source(b.source, InferOptions::with_mode(mode)).unwrap();
+            let out = run_main_big_stack(&p, &args, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            values.push(format!("{}", out.value));
+        }
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "{}: results diverge across modes: {values:?}",
+            b.name
+        );
+    }
+}
+
+/// Fig 8's space-reuse shape, on the smaller test inputs: programs the
+/// paper reports at ratio 1 must show (almost) no reuse; the reusers must
+/// reuse.
+#[test]
+fn space_reuse_shape_matches_fig8() {
+    let no_reuse = [
+        "Sieve of Eratosthenes",
+        "Naive Life",
+        "Optimized Life (dangling)",
+        "Optimized Life (stack)",
+    ];
+    for name in no_reuse {
+        let b = cj_benchmarks::by_name(name).unwrap();
+        let (p, _) = infer_source(b.source, InferOptions::default()).unwrap();
+        let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
+        let out = run_main_big_stack(&p, &args, RunConfig::default()).unwrap();
+        assert!(
+            out.space.space_ratio() > 0.95,
+            "{name}: expected no reuse, ratio {}",
+            out.space.space_ratio()
+        );
+    }
+    for (name, bound) in [
+        ("Ackermann", 0.05),
+        ("Mandelbrot", 0.05),
+        ("Merge Sort", 0.5),
+    ] {
+        let b = cj_benchmarks::by_name(name).unwrap();
+        let (p, _) = infer_source(b.source, InferOptions::default()).unwrap();
+        let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
+        let out = run_main_big_stack(&p, &args, RunConfig::default()).unwrap();
+        assert!(
+            out.space.space_ratio() < bound,
+            "{name}: expected reuse below {bound}, ratio {}",
+            out.space.space_ratio()
+        );
+    }
+}
+
+/// The two subtyping-sensitive rows of Fig 8: Reynolds3 reuses only under
+/// field subtyping; foo-sum improves sharply from no-sub to object-sub.
+#[test]
+fn fig8_crossovers_reproduce() {
+    let reynolds = cj_benchmarks::by_name("Reynolds3").unwrap();
+    let mut ratios = Vec::new();
+    for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
+        let (p, _) = infer_source(reynolds.source, InferOptions::with_mode(mode)).unwrap();
+        let args: Vec<Value> = reynolds
+            .paper_input
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        let out = run_main_big_stack(&p, &args, RunConfig::default()).unwrap();
+        ratios.push(out.space.space_ratio());
+    }
+    assert!(ratios[0] > 0.95, "no-sub: {}", ratios[0]);
+    assert!(ratios[1] > 0.95, "object-sub: {}", ratios[1]);
+    assert!(ratios[2] < 0.05, "field-sub: {}", ratios[2]);
+
+    let foo = cj_benchmarks::by_name("foo-sum").unwrap();
+    let mut ratios = Vec::new();
+    for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
+        let (p, _) = infer_source(foo.source, InferOptions::with_mode(mode)).unwrap();
+        let args: Vec<Value> = foo.paper_input.iter().map(|&v| Value::Int(v)).collect();
+        let out = run_main_big_stack(&p, &args, RunConfig::default()).unwrap();
+        ratios.push(out.space.space_ratio());
+    }
+    // Paper: 0.340 / 0.010 / 0.010.
+    assert!((ratios[0] - 0.34).abs() < 0.1, "no-sub: {}", ratios[0]);
+    assert!(ratios[1] < 0.05, "object-sub: {}", ratios[1]);
+    assert!(ratios[2] < 0.05, "field-sub: {}", ratios[2]);
+}
