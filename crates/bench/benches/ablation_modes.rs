@@ -2,10 +2,15 @@
 //! on a representative pair of programs — the design choice DESIGN.md
 //! calls out. Field subtyping buys space reuse (Fig 8) for a modest
 //! constraint-solving overhead, measured here.
+//!
+//! The second group measures what the `Session` driver buys: sweeping all
+//! three modes through one session shares a single parsed + typechecked
+//! kernel, versus the one-shot path that re-runs the front end per mode.
 
-use cj_bench::frontend;
+use cj_bench::{frontend, session_for};
 use cj_benchmarks::by_name;
-use cj_infer::{infer, InferOptions, SubtypeMode};
+use cj_driver::{Session, SessionOptions};
+use cj_infer::{infer, infer_source, InferOptions, SubtypeMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -14,7 +19,7 @@ fn bench_modes(c: &mut Criterion) {
     for name in ["Reynolds3", "Merge Sort"] {
         let b = by_name(name).expect("benchmark exists");
         let kp = frontend(&b);
-        for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
+        for mode in SubtypeMode::ALL {
             group.bench_function(format!("{name}/{mode}"), |bench| {
                 bench.iter(|| {
                     let (p, _) =
@@ -27,5 +32,70 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modes);
+fn bench_session_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_frontend_sharing");
+    for name in ["Reynolds3", "Merge Sort"] {
+        let b = by_name(name).expect("benchmark exists");
+        group.bench_function(format!("{name}/one-shot-per-mode"), |bench| {
+            bench.iter(|| {
+                let mut total = 0usize;
+                for mode in SubtypeMode::ALL {
+                    let (p, _) = infer_source(black_box(b.source), InferOptions::with_mode(mode))
+                        .expect("infers");
+                    total += p.localized_region_count();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_function(format!("{name}/session-shared-kernel"), |bench| {
+            bench.iter(|| {
+                let mut session = session_for(&b);
+                let mut total = 0usize;
+                for mode in SubtypeMode::ALL {
+                    let compilation = session
+                        .infer_with(InferOptions::with_mode(mode))
+                        .expect("infers");
+                    total += compilation.program.localized_region_count();
+                }
+                assert_eq!(session.pass_counts().typecheck, 1);
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+// On multi-core machines the worker-thread path approaches
+// `suite-time / cores`; on a single core `compile_many` degrades to the
+// serial path, so the two rows coincide.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compile_many");
+    let inputs: Vec<cj_driver::SourceInput> = cj_benchmarks::regjava_benchmarks()
+        .into_iter()
+        .map(|b| cj_driver::SourceInput::new(b.name, b.source))
+        .collect();
+    group.sample_size(10);
+    group.bench_function("regjava-suite/serial", |bench| {
+        bench.iter(|| {
+            let compiled: usize = inputs
+                .iter()
+                .filter(|input| {
+                    Session::new(input.source.clone(), SessionOptions::default())
+                        .check()
+                        .is_ok()
+                })
+                .count();
+            black_box(compiled)
+        })
+    });
+    group.bench_function("regjava-suite/worker-threads", |bench| {
+        bench.iter(|| {
+            let results = cj_driver::compile_many(&inputs, &SessionOptions::default());
+            black_box(results.iter().filter(|r| r.is_ok()).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_session_reuse, bench_batch);
 criterion_main!(benches);

@@ -1,35 +1,42 @@
-//! Quick validation: every benchmark parses, typechecks, infers, checks, runs.
+//! Quick validation: every benchmark parses, typechecks, infers, checks,
+//! runs — through one `Session` each, with structured diagnostics on any
+//! failure.
 use cj_benchmarks::all_benchmarks;
-use cj_infer::{infer_source, InferOptions, SubtypeMode};
+use cj_driver::SessionOptions;
+use cj_infer::{InferOptions, SubtypeMode};
 use cj_runtime::{run_main_big_stack, RunConfig, Value};
 
 fn main() {
+    let opts = SessionOptions::with_infer(InferOptions::with_mode(SubtypeMode::Field));
     for b in all_benchmarks() {
         print!("{:30}", b.name);
+        let mut session = cj_bench::session_for(&b);
         let t0 = std::time::Instant::now();
-        match infer_source(b.source, InferOptions::with_mode(SubtypeMode::Field)) {
-            Ok((p, stats)) => {
-                let infer_ms = t0.elapsed().as_secs_f64() * 1000.0;
-                let t1 = std::time::Instant::now();
-                let check = cj_check::check(&p);
-                let check_ms = t1.elapsed().as_secs_f64() * 1000.0;
-                let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
-                match check {
-                    Ok(()) => match run_main_big_stack(&p, &args, RunConfig::default()) {
-                        Ok(out) => println!(
-                            " infer {:7.2}ms check {:6.2}ms letregs {:2} ratio {:.3} result {}",
-                            infer_ms,
-                            check_ms,
-                            stats.localized_regions,
-                            out.space.space_ratio(),
-                            out.value
-                        ),
-                        Err(e) => println!(" RUNTIME ERROR: {e}"),
-                    },
-                    Err(e) => println!(" CHECK FAILED: {}", e.items[0]),
-                }
+        let compilation = match session.infer_with(opts.infer) {
+            Ok(c) => c,
+            Err(diags) => {
+                println!(" INFER FAILED:\n{}", session.emitter().render_all(&diags));
+                continue;
             }
-            Err(e) => println!(" INFER FAILED: {e}"),
+        };
+        let infer_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = std::time::Instant::now();
+        if let Err(diags) = session.check_with(opts.infer) {
+            println!(" CHECK FAILED:\n{}", session.emitter().render_all(&diags));
+            continue;
+        }
+        let check_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        match run_main_big_stack(&compilation.program, &args, RunConfig::default()) {
+            Ok(out) => println!(
+                " infer {:7.2}ms check {:6.2}ms letregs {:2} ratio {:.3} result {}",
+                infer_ms,
+                check_ms,
+                compilation.stats.localized_regions,
+                out.space.space_ratio(),
+                out.value
+            ),
+            Err(e) => println!(" RUNTIME ERROR: {e}"),
         }
     }
 }

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 
 use cj_benchmarks::Benchmark;
-use cj_frontend::typecheck::check_source;
+use cj_driver::{Session, SessionOptions};
 use cj_frontend::KProgram;
 use cj_infer::{infer, InferOptions, RProgram, SubtypeMode};
 use cj_runtime::{run_main_big_stack, RunConfig, Value};
@@ -54,13 +54,22 @@ pub struct Fig8Row {
     pub diff_vs_hand: i64,
 }
 
+/// A [`Session`] over a benchmark's source, named after it.
+pub fn session_for(b: &Benchmark) -> Session {
+    Session::new(b.source, SessionOptions::default()).with_name(b.name)
+}
+
 /// Parses and normal-typechecks a benchmark.
 ///
 /// # Panics
 ///
 /// Panics if the benchmark source does not typecheck (a bug in the suite).
 pub fn frontend(b: &Benchmark) -> KProgram {
-    check_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name))
+    let mut session = session_for(b);
+    match session.typecheck() {
+        Ok(kp) => KProgram::clone(&kp),
+        Err(diags) => panic!("{}:\n{}", b.name, session.emitter().render_all(&diags)),
+    }
 }
 
 /// Runs inference under `mode`, returning the program and elapsed time.
@@ -116,15 +125,31 @@ pub fn annotation_sites(kp: &KProgram) -> usize {
 }
 
 /// Measures one benchmark under all three subtyping modes.
+///
+/// One [`Session`] serves all three: the benchmark is parsed and
+/// typechecked once, and each mode's inference artifact is derived from
+/// the shared kernel (exactly the reuse the ablation bench measures).
 pub fn fig8_row(b: &Benchmark, run_programs: bool) -> Fig8Row {
-    let kp = frontend(b);
-    let modes = [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field]
+    let mut session = session_for(b);
+    let kp = session
+        .typecheck()
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let modes = SubtypeMode::ALL
         .into_iter()
         .map(|mode| {
-            let (p, infer_time, localized) = timed_infer(&kp, mode);
-            let check_time = timed_check(&p);
+            let opts = InferOptions::with_mode(mode);
+            let t0 = Instant::now();
+            let compilation = session
+                .infer_with(opts)
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            let infer_time = t0.elapsed();
+            let t1 = Instant::now();
+            session
+                .check_with(opts)
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            let check_time = t1.elapsed();
             let space_ratio = if run_programs {
-                space_ratio(&p, b.paper_input)
+                space_ratio(&compilation.program, b.paper_input)
             } else {
                 None
             };
@@ -132,11 +157,16 @@ pub fn fig8_row(b: &Benchmark, run_programs: bool) -> Fig8Row {
                 mode,
                 infer_time,
                 check_time,
-                localized,
+                localized: compilation.stats.localized_regions,
                 space_ratio,
             }
         })
         .collect();
+    assert_eq!(
+        session.pass_counts().typecheck,
+        1,
+        "the three modes must share one typechecked kernel"
+    );
     Fig8Row {
         name: b.name,
         source_lines: cj_benchmarks::source_lines(b),
@@ -164,8 +194,15 @@ pub struct Fig9Row {
 
 /// Measures one Olden benchmark.
 pub fn fig9_row(b: &Benchmark) -> Fig9Row {
-    let kp = frontend(b);
-    let (_, infer_time, _) = timed_infer(&kp, SubtypeMode::Field);
+    let mut session = session_for(b);
+    let kp = session
+        .typecheck()
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let t0 = Instant::now();
+    session
+        .infer_with(InferOptions::with_mode(SubtypeMode::Field))
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let infer_time = t0.elapsed();
     Fig9Row {
         name: b.name,
         source_lines: cj_benchmarks::source_lines(b),

@@ -61,6 +61,20 @@ impl fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
+impl cj_diag::IntoDiagnostic for CheckError {
+    fn into_diagnostic(self) -> cj_diag::Diagnostic {
+        // Checker violations are program-scoped (class/method granularity),
+        // so they carry a context string rather than a span.
+        cj_diag::Diagnostic::error(self.message, cj_diag::Span::DUMMY)
+            .with_code(cj_diag::codes::REGION_CHECK)
+            .with_note(format!("in {}", self.context))
+            .with_note(
+                "inferred programs always pass the region checker (Theorem 1); \
+                 a violation here indicates an inference bug",
+            )
+    }
+}
+
 /// All violations found in a program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckErrors {
@@ -78,6 +92,15 @@ impl fmt::Display for CheckErrors {
 }
 
 impl std::error::Error for CheckErrors {}
+
+impl cj_diag::IntoDiagnostics for CheckErrors {
+    fn into_diagnostics(self) -> cj_diag::Diagnostics {
+        self.items
+            .into_iter()
+            .map(cj_diag::IntoDiagnostic::into_diagnostic)
+            .collect()
+    }
+}
 
 /// Checks that `p` is well-region-typed.
 ///
@@ -606,13 +629,14 @@ impl<'a> MethodChecker<'a> {
 ///
 /// # Errors
 ///
-/// Front-end, inference or checking failures, boxed.
+/// Front-end, inference or checking failures, as structured
+/// [`Diagnostics`](cj_diag::Diagnostics).
 pub fn infer_and_check(
     src: &str,
     opts: cj_infer::InferOptions,
-) -> Result<RProgram, Box<dyn std::error::Error>> {
+) -> Result<RProgram, cj_diag::Diagnostics> {
     let (p, _) = cj_infer::infer_source(src, opts)?;
-    check(&p)?;
+    check(&p).map_err(cj_diag::IntoDiagnostics::into_diagnostics)?;
     Ok(p)
 }
 

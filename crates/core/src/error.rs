@@ -1,5 +1,6 @@
 //! Inference errors.
 
+use cj_diag::{codes, Diagnostic, IntoDiagnostic};
 use cj_frontend::span::Span;
 use std::fmt;
 
@@ -17,6 +18,13 @@ pub enum InferError {
         /// Location of the cast.
         span: Span,
     },
+    /// The global solve/repair loop exceeded its iteration budget without
+    /// reaching a fixed point — indicates an inference bug, reported as an
+    /// error rather than a panic so drivers can surface it.
+    NonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for InferError {
@@ -27,8 +35,52 @@ impl fmt::Display for InferError {
                 "downcast in `{method}` rejected: enable the equate-first or \
                  padding downcast policy"
             ),
+            InferError::NonConvergence { iterations } => write!(
+                f,
+                "region inference failed to converge after {iterations} \
+                 repair iterations"
+            ),
         }
     }
 }
 
 impl std::error::Error for InferError {}
+
+impl IntoDiagnostic for InferError {
+    fn into_diagnostic(self) -> Diagnostic {
+        match &self {
+            InferError::DowncastRejected { method, span } => {
+                Diagnostic::error(self.to_string(), *span)
+                    .with_code(codes::INFER)
+                    .with_label(*span, format!("downcast here, in `{method}`"))
+                    .with_note(
+                        "the `reject` downcast policy refuses all downcasts; \
+                         pass `--downcast equate-first` or `--downcast padding`",
+                    )
+            }
+            InferError::NonConvergence { .. } => Diagnostic::error(self.to_string(), Span::DUMMY)
+                .with_code(codes::INFER)
+                .with_note("this is a bug in region inference, not in the input program"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cj_diag::Severity;
+
+    #[test]
+    fn downcast_rejection_becomes_located_diagnostic() {
+        let err = InferError::DowncastRejected {
+            method: "M.main".into(),
+            span: Span::new(10, 15),
+        };
+        let d = err.into_diagnostic();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.code, Some(codes::INFER));
+        assert_eq!(d.span, Span::new(10, 15));
+        assert_eq!(d.labels.len(), 1);
+        assert!(!d.notes.is_empty());
+    }
+}

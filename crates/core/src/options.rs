@@ -1,6 +1,33 @@
 //! Inference configuration.
 
 use std::fmt;
+use std::str::FromStr;
+
+/// Error returned by the [`FromStr`] impls of [`SubtypeMode`] and
+/// [`DowncastPolicy`]: the input matched no variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOptionError {
+    /// What kind of option was being parsed (`"subtype mode"`, …).
+    pub what: &'static str,
+    /// The rejected input.
+    pub input: String,
+    /// The accepted canonical spellings.
+    pub expected: &'static [&'static str],
+}
+
+impl fmt::Display for ParseOptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} `{}` (expected one of: {})",
+            self.what,
+            self.input,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseOptionError {}
 
 /// Which region-subtyping rule the inference uses (Sec 3.2).
 ///
@@ -31,6 +58,42 @@ impl fmt::Display for SubtypeMode {
     }
 }
 
+impl SubtypeMode {
+    /// Every mode, in Fig 8 column order.
+    pub const ALL: [SubtypeMode; 3] = [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field];
+
+    /// The spellings [`FromStr`] accepts (canonical `Display` form first,
+    /// then the short CLI aliases).
+    pub const NAMES: [&'static str; 6] = [
+        "no-sub",
+        "object-sub",
+        "field-sub",
+        "none",
+        "object",
+        "field",
+    ];
+}
+
+impl FromStr for SubtypeMode {
+    type Err = ParseOptionError;
+
+    /// Round-trips with [`Display`](fmt::Display) (`no-sub`, `object-sub`,
+    /// `field-sub`); the short aliases `none`, `object`, `field` are also
+    /// accepted.
+    fn from_str(s: &str) -> Result<SubtypeMode, ParseOptionError> {
+        match s {
+            "no-sub" | "none" => Ok(SubtypeMode::None),
+            "object-sub" | "object" => Ok(SubtypeMode::Object),
+            "field-sub" | "field" => Ok(SubtypeMode::Field),
+            other => Err(ParseOptionError {
+                what: "subtype mode",
+                input: other.to_string(),
+                expected: &Self::NAMES,
+            }),
+        }
+    }
+}
+
 /// How downcasts are made region-safe (Sec 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DowncastPolicy {
@@ -56,8 +119,41 @@ impl fmt::Display for DowncastPolicy {
     }
 }
 
+impl DowncastPolicy {
+    /// Every policy.
+    pub const ALL: [DowncastPolicy; 3] = [
+        DowncastPolicy::Reject,
+        DowncastPolicy::EquateFirst,
+        DowncastPolicy::Padding,
+    ];
+
+    /// The spellings [`FromStr`] accepts (canonical `Display` form first,
+    /// then the short CLI alias).
+    pub const NAMES: [&'static str; 4] = ["reject", "equate-first", "padding", "equate"];
+}
+
+impl FromStr for DowncastPolicy {
+    type Err = ParseOptionError;
+
+    /// Round-trips with [`Display`](fmt::Display) (`reject`,
+    /// `equate-first`, `padding`); the short alias `equate` is also
+    /// accepted.
+    fn from_str(s: &str) -> Result<DowncastPolicy, ParseOptionError> {
+        match s {
+            "reject" => Ok(DowncastPolicy::Reject),
+            "equate-first" | "equate" => Ok(DowncastPolicy::EquateFirst),
+            "padding" => Ok(DowncastPolicy::Padding),
+            other => Err(ParseOptionError {
+                what: "downcast policy",
+                input: other.to_string(),
+                expected: &Self::NAMES,
+            }),
+        }
+    }
+}
+
 /// Options controlling a run of region inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct InferOptions {
     /// Region-subtyping rule.
     pub mode: SubtypeMode,
@@ -100,4 +196,43 @@ pub struct InferStats {
     pub override_repairs: usize,
     /// Number of downcast sites analysed.
     pub downcast_sites: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtype_mode_roundtrips_with_display() {
+        for mode in SubtypeMode::ALL {
+            assert_eq!(mode.to_string().parse::<SubtypeMode>(), Ok(mode));
+        }
+    }
+
+    #[test]
+    fn downcast_policy_roundtrips_with_display() {
+        for policy in DowncastPolicy::ALL {
+            assert_eq!(policy.to_string().parse::<DowncastPolicy>(), Ok(policy));
+        }
+    }
+
+    #[test]
+    fn short_cli_aliases_accepted() {
+        assert_eq!("none".parse::<SubtypeMode>(), Ok(SubtypeMode::None));
+        assert_eq!("object".parse::<SubtypeMode>(), Ok(SubtypeMode::Object));
+        assert_eq!("field".parse::<SubtypeMode>(), Ok(SubtypeMode::Field));
+        assert_eq!(
+            "equate".parse::<DowncastPolicy>(),
+            Ok(DowncastPolicy::EquateFirst)
+        );
+    }
+
+    #[test]
+    fn unknown_spellings_list_alternatives() {
+        let err = "both".parse::<SubtypeMode>().unwrap_err();
+        assert!(err.to_string().contains("unknown subtype mode `both`"));
+        assert!(err.to_string().contains("field-sub"));
+        let err = "pad".parse::<DowncastPolicy>().unwrap_err();
+        assert!(err.to_string().contains("padding"));
+    }
 }

@@ -86,10 +86,11 @@ pub fn infer(kp: &KProgram, opts: InferOptions) -> Result<(RProgram, InferStats)
         if !changed {
             break;
         }
-        assert!(
-            stats.global_iterations < 100,
-            "inference repair loop failed to converge"
-        );
+        if stats.global_iterations >= 100 {
+            return Err(InferError::NonConvergence {
+                iterations: stats.global_iterations,
+            });
+        }
     }
 
     // ---- finalization ----------------------------------------------------
@@ -164,13 +165,14 @@ pub fn infer(kp: &KProgram, opts: InferOptions) -> Result<(RProgram, InferStats)
 ///
 /// # Errors
 ///
-/// Front-end diagnostics or inference errors, boxed for easy reporting.
+/// Front-end diagnostics or inference errors, as one structured
+/// [`Diagnostics`](cj_diag::Diagnostics) batch.
 pub fn infer_source(
     src: &str,
     opts: InferOptions,
-) -> Result<(RProgram, InferStats), Box<dyn std::error::Error>> {
+) -> Result<(RProgram, InferStats), cj_diag::Diagnostics> {
     let kp = cj_frontend::typecheck::check_source(src)?;
-    let (p, s) = infer(&kp, opts)?;
+    let (p, s) = infer(&kp, opts).map_err(cj_diag::IntoDiagnostics::into_diagnostics)?;
     Ok((p, s))
 }
 

@@ -1,0 +1,278 @@
+//! Structured compiler diagnostics.
+//!
+//! A [`Diagnostic`] is a machine-readable message: severity, stable error
+//! [`code`](Diagnostic::code), primary [`Span`], secondary labelled spans,
+//! and free-form notes. [`Diagnostics`] is the batch form used as the error
+//! type of whole passes. Rendering (caret snippets, JSON) lives in
+//! [`emit`](crate::emit).
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A hard error; compilation cannot proceed.
+    Error,
+    /// A non-fatal warning.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// A secondary span attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// The labelled location.
+    pub span: Span,
+    /// What this location contributes to the error.
+    pub message: String,
+}
+
+/// A compiler message attached to a [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"E0201"`); `None` until the
+    /// emitting pass stamps one (see [`Diagnostics::set_default_code`]).
+    pub code: Option<&'static str>,
+    /// Human-readable message, lowercase, no trailing period.
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// Secondary locations with their own messages.
+    pub labels: Vec<Label>,
+    /// Free-form explanatory notes.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the given severity at `span`.
+    pub fn new(severity: Severity, message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code: None,
+            message: message.into(),
+            span,
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// An error diagnostic at `span`.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic::new(Severity::Error, message, span)
+    }
+
+    /// A warning diagnostic at `span`.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic::new(Severity::Warning, message, span)
+    }
+
+    /// Sets the stable error code.
+    pub fn with_code(mut self, code: &'static str) -> Diagnostic {
+        self.code = Some(code);
+        self
+    }
+
+    /// Attaches a secondary labelled span.
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attaches an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders `self` as `severity at line:col: message` using `map`.
+    ///
+    /// This is the terse one-line form; see
+    /// [`Emitter`](crate::emit::Emitter) for caret snippets and JSON.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let (line, col) = map.line_col(self.span.lo);
+        format!("{} at {}:{}: {}", self.severity, line, col, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A batch of diagnostics, used as the error type of compiler passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// The collected messages, in emission order.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// A collection holding the single diagnostic `d`.
+    pub fn from_one(d: Diagnostic) -> Diagnostics {
+        Diagnostics { items: vec![d] }
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Adds an error with the given message and span.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Whether any error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of collected diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterates over the collected diagnostics.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Stamps `code` on every diagnostic that does not carry one yet.
+    ///
+    /// Passes call this at their boundary so each stage owns a code range
+    /// without threading codes through every emission site.
+    pub fn set_default_code(mut self, code: &'static str) -> Diagnostics {
+        for d in &mut self.items {
+            if d.code.is_none() {
+                d.code = Some(code);
+            }
+        }
+        self
+    }
+
+    /// Renders every diagnostic on its own terse line.
+    pub fn render(&self, map: &SourceMap) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render(map));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{}", d)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Diagnostics {
+        Diagnostics::from_one(d)
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render() {
+        let map = SourceMap::new("class A {}\nclass A {}");
+        let mut ds = Diagnostics::new();
+        ds.error("duplicate class `A`", Span::new(11, 21));
+        assert!(ds.has_errors());
+        assert_eq!(ds.render(&map).trim(), "error at 2:1: duplicate class `A`");
+    }
+
+    #[test]
+    fn warnings_are_not_errors() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::warning("unused", Span::DUMMY));
+        assert!(!ds.has_errors());
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn default_code_fills_only_gaps() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error("a", Span::DUMMY).with_code("E0001"));
+        ds.push(Diagnostic::error("b", Span::DUMMY));
+        let ds = ds.set_default_code("E0999");
+        assert_eq!(ds.items[0].code, Some("E0001"));
+        assert_eq!(ds.items[1].code, Some("E0999"));
+    }
+
+    #[test]
+    fn builder_attaches_structure() {
+        let d = Diagnostic::error("bad", Span::new(1, 2))
+            .with_code("E0100")
+            .with_label(Span::new(5, 8), "declared here")
+            .with_note("try removing it");
+        assert_eq!(d.code, Some("E0100"));
+        assert_eq!(d.labels.len(), 1);
+        assert_eq!(d.notes, vec!["try removing it".to_string()]);
+    }
+}

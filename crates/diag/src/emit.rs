@@ -1,0 +1,266 @@
+//! Rendering diagnostics: rustc-style caret snippets and a JSON form.
+//!
+//! The [`Emitter`] borrows the source text once and renders any number of
+//! diagnostics against it:
+//!
+//! ```text
+//! error[E0201]: unknown class `Pear`
+//!   --> demo.cj:3:11
+//!    |
+//!  3 |     Pear p = new Pear(null);
+//!    |     ^^^^
+//!    = note: classes must be declared at the top level
+//! ```
+
+use crate::diagnostic::{Diagnostic, Diagnostics, Severity};
+use crate::span::{SourceMap, Span};
+use std::fmt::Write as _;
+
+/// Renders diagnostics against one source file.
+#[derive(Debug)]
+pub struct Emitter<'a> {
+    name: &'a str,
+    src: &'a str,
+    map: SourceMap,
+}
+
+impl<'a> Emitter<'a> {
+    /// An emitter for the source text `src`, displayed as file `name`.
+    pub fn new(name: &'a str, src: &'a str) -> Emitter<'a> {
+        Emitter {
+            name,
+            src,
+            map: SourceMap::new(src),
+        }
+    }
+
+    /// The line index built for the source.
+    pub fn source_map(&self) -> &SourceMap {
+        &self.map
+    }
+
+    /// Renders one diagnostic as a caret-style snippet.
+    pub fn render(&self, d: &Diagnostic) -> String {
+        let mut out = String::new();
+        match d.code {
+            Some(code) => {
+                let _ = writeln!(out, "{}[{}]: {}", d.severity, code, d.message);
+            }
+            None => {
+                let _ = writeln!(out, "{}: {}", d.severity, d.message);
+            }
+        }
+        let gutter = self.gutter_width(d);
+        self.render_span(&mut out, d.span, None, caret_char(d.severity), gutter);
+        for label in &d.labels {
+            self.render_span(&mut out, label.span, Some(&label.message), '-', gutter);
+        }
+        for note in &d.notes {
+            let _ = writeln!(out, "{:gutter$} = note: {}", "", note);
+        }
+        out
+    }
+
+    /// Renders every diagnostic in `ds`, blank-line separated.
+    pub fn render_all(&self, ds: &Diagnostics) -> String {
+        let mut out = String::new();
+        for (i, d) in ds.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&self.render(d));
+        }
+        out
+    }
+
+    /// Renders one diagnostic as a JSON object (single line).
+    pub fn render_json(&self, d: &Diagnostic) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"severity\":\"{}\"", d.severity);
+        match d.code {
+            Some(code) => {
+                let _ = write!(out, ",\"code\":{}", json_string(code));
+            }
+            None => out.push_str(",\"code\":null"),
+        }
+        let _ = write!(out, ",\"message\":{}", json_string(&d.message));
+        let _ = write!(out, ",\"file\":{}", json_string(self.name));
+        let _ = write!(out, ",\"span\":{}", self.json_span(d.span));
+        out.push_str(",\"labels\":[");
+        for (i, label) in d.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"message\":{}}}",
+                self.json_span(label.span),
+                json_string(&label.message)
+            );
+        }
+        out.push_str("],\"notes\":[");
+        for (i, note) in d.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders a whole batch as a JSON array (one object per line).
+    pub fn render_json_all(&self, ds: &Diagnostics) -> String {
+        let mut out = String::from("[");
+        for (i, d) in ds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&self.render_json(d));
+        }
+        out.push_str("\n]");
+        out
+    }
+
+    fn json_span(&self, span: Span) -> String {
+        let (line, col) = self.map.line_col(span.lo);
+        format!(
+            "{{\"lo\":{},\"hi\":{},\"line\":{},\"col\":{}}}",
+            span.lo, span.hi, line, col
+        )
+    }
+
+    fn gutter_width(&self, d: &Diagnostic) -> usize {
+        let max_line = std::iter::once(d.span)
+            .chain(d.labels.iter().map(|l| l.span))
+            .map(|s| self.map.line_col(s.lo).0)
+            .max()
+            .unwrap_or(1);
+        max_line.to_string().len() + 1
+    }
+
+    fn render_span(
+        &self,
+        out: &mut String,
+        span: Span,
+        label: Option<&str>,
+        underline: char,
+        gutter: usize,
+    ) {
+        // A dummy span means "no location" (IO/CLI errors, program-scoped
+        // checker violations, non-convergence): the file line alone, with
+        // no snippet — a caret at 1:1 would point at unrelated source.
+        if span.is_dummy() {
+            let _ = writeln!(out, "{:gutter$}--> {}", "", self.name);
+            if let Some(msg) = label {
+                let _ = writeln!(out, "{:gutter$}  {}", "", msg);
+            }
+            return;
+        }
+        let (line, col) = self.map.line_col(span.lo);
+        let _ = writeln!(out, "{:gutter$}--> {}:{}:{}", "", self.name, line, col);
+        let (start, end) = self.map.line_span(line);
+        let text = &self.src[start as usize..end as usize];
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{:>gutter$} | {}", line, text.trim_end());
+        // Underline the intersection of the span with its first line.
+        let under_start = (col as usize).saturating_sub(1);
+        let under_len = ((span.hi.min(end).max(span.lo) - span.lo) as usize).max(1);
+        let mut marks = String::new();
+        let _ = write!(
+            marks,
+            "{:gutter$} | {:under_start$}{}",
+            "",
+            "",
+            underline.to_string().repeat(under_len)
+        );
+        if let Some(msg) = label {
+            let _ = write!(marks, " {}", msg);
+        }
+        let _ = writeln!(out, "{}", marks);
+    }
+}
+
+fn caret_char(severity: Severity) -> char {
+    match severity {
+        Severity::Error => '^',
+        Severity::Warning => '~',
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Diagnostic;
+
+    #[test]
+    fn caret_snippet_shape() {
+        let src = "class A {}\nclass A {}";
+        let e = Emitter::new("demo.cj", src);
+        let d = Diagnostic::error("duplicate class `A`", Span::new(11, 18))
+            .with_code("E0200")
+            .with_label(Span::new(0, 7), "first declared here")
+            .with_note("classes may be declared once");
+        let text = e.render(&d);
+        assert!(text.starts_with("error[E0200]: duplicate class `A`\n"));
+        assert!(text.contains("--> demo.cj:2:1"), "{text}");
+        assert!(text.contains("2 | class A {}"), "{text}");
+        assert!(text.contains("^^^^^^^"), "{text}");
+        assert!(text.contains("------- first declared here"), "{text}");
+        assert!(
+            text.contains("= note: classes may be declared once"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrippable_shape() {
+        let src = "class A {}";
+        let e = Emitter::new("demo.cj", src);
+        let d = Diagnostic::error("boom \"quoted\"", Span::new(6, 7)).with_code("E0100");
+        let json = e.render_json(&d);
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"code\":\"E0100\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"span\":{\"lo\":6,\"hi\":7,\"line\":1,\"col\":7}"));
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("t\tq\"\\"), "\"t\\tq\\\"\\\\\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn multiline_span_underlines_first_line_only() {
+        let src = "abc\ndef";
+        let e = Emitter::new("x.cj", src);
+        let d = Diagnostic::error("spans lines", Span::new(1, 6));
+        let text = e.render(&d);
+        assert!(text.contains("1 | abc"), "{text}");
+        assert!(text.contains("^^"), "{text}");
+    }
+}

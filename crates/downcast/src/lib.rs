@@ -33,6 +33,36 @@ pub mod flows;
 
 pub use flows::{analyze, DowncastAnalysis, Node, SiteId, SiteInfo};
 
+use cj_frontend::KProgram;
+
+impl DowncastAnalysis {
+    /// Structured warnings for allocation sites whose objects can never
+    /// satisfy any downcast applied to them (*bound to fail*, Sec 5) —
+    /// the analysis' diagnostic surface for drivers and the CLI.
+    pub fn diagnostics(&self, kp: &KProgram) -> cj_diag::Diagnostics {
+        self.doomed_sites
+            .iter()
+            .filter_map(|id| self.sites.iter().find(|s| s.id == *id))
+            .map(|site| {
+                let class = kp.table.name(site.class);
+                let method = kp.method_name(site.method);
+                cj_diag::Diagnostic::warning(
+                    format!(
+                        "`new {class}` in `{method}` can never satisfy the downcasts applied to it"
+                    ),
+                    site.span,
+                )
+                .with_code(cj_diag::codes::DOWNCAST)
+                .with_label(
+                    site.span,
+                    "every later downcast of this object is bound to fail",
+                )
+                .with_note("padding is not instantiated for this site (Sec 5)")
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,78 @@
+//! Batch compilation across worker threads.
+
+use crate::session::{Compilation, CompileResult, Session, SessionOptions};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One input to [`compile_many`]: a display name plus source text.
+#[derive(Debug, Clone)]
+pub struct SourceInput {
+    /// Name used in rendered diagnostics (file path, benchmark name, …).
+    pub name: String,
+    /// Core-Java source text.
+    pub source: String,
+}
+
+impl SourceInput {
+    /// A named source.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> SourceInput {
+        SourceInput {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// Compiles independent sources in parallel on worker threads, each
+/// through the full `parse → typecheck → infer → check` pipeline under the
+/// same options.
+///
+/// Results preserve input order; each entry is the compiled artifact or
+/// that source's structured diagnostics. Worker count is
+/// `min(len, available_parallelism)` — sources are pulled from a shared
+/// queue, so stragglers don't serialize the batch.
+pub fn compile_many(
+    sources: &[SourceInput],
+    opts: &SessionOptions,
+) -> Vec<CompileResult<Compilation>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sources.len())
+        .max(1);
+    if workers <= 1 {
+        return sources.iter().map(|s| compile_one(s, opts)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<CompileResult<Compilation>>>> =
+        sources.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = sources.get(i) else { break };
+                let outcome = compile_one(input, opts);
+                *results[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+fn compile_one(input: &SourceInput, opts: &SessionOptions) -> CompileResult<Compilation> {
+    let mut session =
+        Session::new(input.source.clone(), opts.clone()).with_name(input.name.clone());
+    let compilation = session.check()?;
+    // Dropping the session releases its cached Arc, so the unwrap is
+    // clone-free in the common case.
+    drop(session);
+    Ok(std::sync::Arc::try_unwrap(compilation).unwrap_or_else(|arc| Compilation::clone(&arc)))
+}

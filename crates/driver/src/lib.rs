@@ -1,0 +1,56 @@
+//! # cj-driver — the `Session` compiler driver
+//!
+//! The driver-style API over the PLDI 2004 region-inference pipeline:
+//! a [`Session`] holds one source text and exposes the staged methods
+//!
+//! ```text
+//! parse → typecheck → infer → check → run
+//! ```
+//!
+//! Every stage memoizes its artifact, and inference artifacts are cached
+//! per [`InferOptions`](cj_infer::InferOptions) — so ablating the three
+//! region-subtyping modes runs the front end **once**, and tools can
+//! inspect intermediate artifacts (AST, kernel, annotated program)
+//! without recompiling. Errors from every stage are structured
+//! [`Diagnostics`](cj_diag::Diagnostics) with spans, stable codes, caret
+//! rendering and a JSON form; no stage returns `Box<dyn Error>` or
+//! strings.
+//!
+//! [`compile_many`] batch-compiles independent sources on worker
+//! threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_driver::{Session, SessionOptions};
+//!
+//! let mut session = Session::new(
+//!     "class Pair { Object fst; Object snd;
+//!        void swap() { Object t = this.fst; this.fst = this.snd; this.snd = t; }
+//!      }",
+//!     SessionOptions::default(),
+//! );
+//! let compilation = session.check().unwrap();      // parse → … → check
+//! assert!(compilation.stats.regions_created > 0);
+//! let annotated = session.annotate().unwrap();     // reuses all artifacts
+//! assert!(annotated.contains("Pair<"));
+//! assert_eq!(session.pass_counts().parse, 1);
+//! ```
+//!
+//! Errors render as caret snippets or JSON:
+//!
+//! ```
+//! use cj_driver::{Session, SessionOptions};
+//!
+//! let mut session = Session::new("class A { Pear p; }", SessionOptions::default());
+//! let diagnostics = session.check().unwrap_err();
+//! let text = session.emitter().render_all(&diagnostics);
+//! assert!(text.contains("error[E0200]"));
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod session;
+
+pub use batch::{compile_many, SourceInput};
+pub use session::{Compilation, CompileResult, PassCounts, Session, SessionOptions};

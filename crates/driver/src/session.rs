@@ -1,0 +1,315 @@
+//! The staged [`Session`] driver.
+
+use cj_diag::{codes, Diagnostic, Diagnostics, Emitter, IntoDiagnostics, SourceMap, Span};
+use cj_frontend::ast;
+use cj_frontend::KProgram;
+use cj_infer::{InferOptions, InferStats, RProgram};
+use cj_runtime::{Outcome, RunConfig, Value};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Result type of every driver stage: success, or a batch of structured
+/// diagnostics. No `Box<dyn Error>`, no strings.
+pub type CompileResult<T> = Result<T, Diagnostics>;
+
+/// Configuration for a [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Region-inference options used by the option-less staged methods
+    /// ([`Session::infer`], [`Session::check`], [`Session::run`]).
+    pub infer: InferOptions,
+    /// Execution configuration for [`Session::run`].
+    pub run: RunConfig,
+}
+
+impl SessionOptions {
+    /// Options with the given inference configuration and default runtime
+    /// configuration.
+    pub fn with_infer(infer: InferOptions) -> SessionOptions {
+        SessionOptions {
+            infer,
+            ..SessionOptions::default()
+        }
+    }
+}
+
+/// The product of region inference: the annotated program plus the
+/// statistics the Fig 8/9 harnesses report.
+#[derive(Debug, Clone)]
+pub struct Compilation {
+    /// The region-annotated program.
+    pub program: RProgram,
+    /// Inference statistics.
+    pub stats: InferStats,
+}
+
+/// How many times each pipeline stage actually executed (as opposed to
+/// being served from the artifact cache). Lets callers — and the ablation
+/// bench — *demonstrate* that one typechecked kernel is shared across
+/// subtype modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassCounts {
+    /// Parser executions.
+    pub parse: u32,
+    /// Normal-typecheck executions.
+    pub typecheck: u32,
+    /// Region-inference executions (one per distinct [`InferOptions`]).
+    pub infer: u32,
+    /// Region-checker executions.
+    pub check: u32,
+    /// Interpreter executions.
+    pub run: u32,
+}
+
+/// A compiler driver holding one source text and every artifact derived
+/// from it.
+///
+/// The pipeline `parse → typecheck → infer → check → run` is exposed as
+/// staged methods; each stage memoizes its artifact, so repeated calls —
+/// and later stages — reuse earlier work. Inference artifacts are cached
+/// *per [`InferOptions`]*, sharing the single parsed and typechecked
+/// kernel: ablating the three `SubtypeMode`s runs the front end once, not
+/// three times.
+///
+/// # Examples
+///
+/// ```
+/// use cj_driver::{Session, SessionOptions};
+/// use cj_infer::{InferOptions, SubtypeMode};
+///
+/// let mut session = Session::new(
+///     "class Cell { Object item; Object get() { this.item } }",
+///     SessionOptions::default(),
+/// );
+/// for mode in SubtypeMode::ALL {
+///     session.check_with(InferOptions::with_mode(mode)).unwrap();
+/// }
+/// // One front-end pass serves all three modes.
+/// assert_eq!(session.pass_counts().typecheck, 1);
+/// assert_eq!(session.pass_counts().infer, 3);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    name: String,
+    source: String,
+    opts: SessionOptions,
+    map: SourceMap,
+    ast: Option<Arc<ast::Program>>,
+    kernel: Option<Arc<KProgram>>,
+    inferred: HashMap<InferOptions, Arc<Compilation>>,
+    checked: HashSet<InferOptions>,
+    counts: PassCounts,
+}
+
+impl Session {
+    /// A session over `source` with the given options. The source is
+    /// displayed as `<input>` in rendered diagnostics; see
+    /// [`with_name`](Session::with_name).
+    pub fn new(source: impl Into<String>, opts: SessionOptions) -> Session {
+        let source = source.into();
+        let map = SourceMap::new(&source);
+        Session {
+            name: "<input>".to_string(),
+            source,
+            opts,
+            map,
+            ast: None,
+            kernel: None,
+            inferred: HashMap::new(),
+            checked: HashSet::new(),
+            counts: PassCounts::default(),
+        }
+    }
+
+    /// Reads `path` and builds a session named after it.
+    ///
+    /// # Errors
+    ///
+    /// An [`codes::IO`] diagnostic when the file cannot be read.
+    pub fn from_file(path: impl AsRef<Path>, opts: SessionOptions) -> CompileResult<Session> {
+        let path = path.as_ref();
+        let source = std::fs::read_to_string(path).map_err(|e| {
+            Diagnostics::from_one(
+                Diagnostic::error(format!("cannot read {}: {e}", path.display()), Span::DUMMY)
+                    .with_code(codes::IO),
+            )
+        })?;
+        Ok(Session::new(source, opts).with_name(path.display().to_string()))
+    }
+
+    /// Sets the display name used in rendered diagnostics.
+    pub fn with_name(mut self, name: impl Into<String>) -> Session {
+        self.name = name.into();
+        self
+    }
+
+    /// The source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The display name of the source.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.opts
+    }
+
+    /// The line index of the source.
+    pub fn source_map(&self) -> &SourceMap {
+        &self.map
+    }
+
+    /// How many times each stage has actually executed so far.
+    pub fn pass_counts(&self) -> PassCounts {
+        self.counts
+    }
+
+    /// An emitter that renders diagnostics against this session's source.
+    pub fn emitter(&self) -> Emitter<'_> {
+        Emitter::new(&self.name, &self.source)
+    }
+
+    // ---- staged pipeline -------------------------------------------------
+
+    /// Stage 1: parses the source (cached).
+    ///
+    /// # Errors
+    ///
+    /// Lexical ([`codes::LEX`]) and syntactic ([`codes::PARSE`])
+    /// diagnostics.
+    pub fn parse(&mut self) -> CompileResult<Arc<ast::Program>> {
+        if let Some(ast) = &self.ast {
+            return Ok(Arc::clone(ast));
+        }
+        self.counts.parse += 1;
+        let program = cj_frontend::parser::parse_program(&self.source)?;
+        let program = Arc::new(program);
+        self.ast = Some(Arc::clone(&program));
+        Ok(program)
+    }
+
+    /// Stage 2: normal-typechecks and lowers to kernel form (cached).
+    ///
+    /// # Errors
+    ///
+    /// Parse diagnostics, or type errors ([`codes::TYPECHECK`]).
+    pub fn typecheck(&mut self) -> CompileResult<Arc<KProgram>> {
+        if let Some(kernel) = &self.kernel {
+            return Ok(Arc::clone(kernel));
+        }
+        let ast = self.parse()?;
+        self.counts.typecheck += 1;
+        let kernel = cj_frontend::typecheck::check(&ast)?;
+        let kernel = Arc::new(kernel);
+        self.kernel = Some(Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Stage 3: region inference under the session's options (cached).
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics or inference failures ([`codes::INFER`]).
+    pub fn infer(&mut self) -> CompileResult<Arc<Compilation>> {
+        self.infer_with(self.opts.infer)
+    }
+
+    /// Stage 3, parameterized: region inference under `opts`.
+    ///
+    /// Artifacts are cached per [`InferOptions`]; every variant shares the
+    /// one parsed and typechecked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics or inference failures ([`codes::INFER`]).
+    pub fn infer_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
+        if let Some(c) = self.inferred.get(&opts) {
+            return Ok(Arc::clone(c));
+        }
+        let kernel = self.typecheck()?;
+        self.counts.infer += 1;
+        let (program, stats) =
+            cj_infer::infer(&kernel, opts).map_err(IntoDiagnostics::into_diagnostics)?;
+        let compilation = Arc::new(Compilation { program, stats });
+        self.inferred.insert(opts, Arc::clone(&compilation));
+        Ok(compilation)
+    }
+
+    /// Stage 4: region-checks the inferred program (cached), returning it.
+    ///
+    /// # Errors
+    ///
+    /// Any earlier-stage diagnostics, or checker violations
+    /// ([`codes::REGION_CHECK`] — a Theorem 1 breach, i.e. an inference
+    /// bug).
+    pub fn check(&mut self) -> CompileResult<Arc<Compilation>> {
+        self.check_with(self.opts.infer)
+    }
+
+    /// Stage 4, parameterized: region-checks under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Any earlier-stage diagnostics, or checker violations.
+    pub fn check_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
+        let compilation = self.infer_with(opts)?;
+        if !self.checked.contains(&opts) {
+            self.counts.check += 1;
+            cj_check::check(&compilation.program).map_err(IntoDiagnostics::into_diagnostics)?;
+            self.checked.insert(opts);
+        }
+        Ok(compilation)
+    }
+
+    /// Stage 5: compiles (through [`check`](Session::check)) and executes
+    /// `main` with integer arguments on a big-stack worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault
+    /// ([`codes::RUNTIME`]).
+    pub fn run(&mut self, args: &[i64]) -> CompileResult<Outcome> {
+        let values: Vec<Value> = args.iter().map(|&v| Value::Int(v)).collect();
+        self.run_values(&values)
+    }
+
+    /// Stage 5 with explicit runtime [`Value`]s.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault.
+    pub fn run_values(&mut self, args: &[Value]) -> CompileResult<Outcome> {
+        let run_config = self.opts.run;
+        let compilation = self.check()?;
+        self.counts.run += 1;
+        cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
+            .map_err(IntoDiagnostics::into_diagnostics)
+    }
+
+    // ---- derived reports -------------------------------------------------
+
+    /// Renders the inferred program in the paper's annotation syntax.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn annotate(&mut self) -> CompileResult<String> {
+        let compilation = self.infer()?;
+        Ok(cj_infer::pretty::program_to_string(&compilation.program))
+    }
+
+    /// Runs the Sec 5 backward flow analysis on the typechecked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics.
+    pub fn downcast_analysis(&mut self) -> CompileResult<cj_downcast::DowncastAnalysis> {
+        let kernel = self.typecheck()?;
+        Ok(cj_downcast::analyze(&kernel))
+    }
+}

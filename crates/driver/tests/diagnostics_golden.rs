@@ -1,0 +1,116 @@
+//! Golden tests for rendered diagnostics: the exact caret snippet and JSON
+//! form of one parse error, one typecheck error and one inference error
+//! are frozen here. Any change to messages, codes, spans or rendering is a
+//! deliberate, reviewed change to this file.
+
+use cj_driver::{Session, SessionOptions};
+use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
+
+fn diagnose(name: &str, src: &str, opts: SessionOptions) -> (String, String) {
+    let mut session = Session::new(src, opts).with_name(name);
+    let diags = session.check().expect_err("source must be ill-formed");
+    let emitter = session.emitter();
+    (emitter.render_all(&diags), emitter.render_json_all(&diags))
+}
+
+#[test]
+fn parse_error_caret_and_json() {
+    let (caret, json) = diagnose(
+        "parse.cj",
+        "class A {\n  int x\n}",
+        SessionOptions::default(),
+    );
+    assert_eq!(
+        caret,
+        "error[E0101]: expected `;`, found `}`\n\
+        \x20 --> parse.cj:3:1\n\
+        \x20  |\n\
+        \x203 | }\n\
+        \x20  | ^\n"
+    );
+    assert_eq!(
+        json,
+        "[\n{\"severity\":\"error\",\"code\":\"E0101\",\
+         \"message\":\"expected `;`, found `}`\",\"file\":\"parse.cj\",\
+         \"span\":{\"lo\":18,\"hi\":19,\"line\":3,\"col\":1},\
+         \"labels\":[],\"notes\":[]}\n]"
+    );
+}
+
+#[test]
+fn typecheck_error_caret_and_json() {
+    let (caret, json) = diagnose("types.cj", "class A { Pear p; }", SessionOptions::default());
+    assert_eq!(
+        caret,
+        "error[E0200]: unknown class `Pear`\n\
+        \x20 --> types.cj:1:11\n\
+        \x20  |\n\
+        \x201 | class A { Pear p; }\n\
+        \x20  |           ^^^^^^^\n"
+    );
+    assert_eq!(
+        json,
+        "[\n{\"severity\":\"error\",\"code\":\"E0200\",\
+         \"message\":\"unknown class `Pear`\",\"file\":\"types.cj\",\
+         \"span\":{\"lo\":10,\"hi\":17,\"line\":1,\"col\":11},\
+         \"labels\":[],\"notes\":[]}\n]"
+    );
+}
+
+#[test]
+fn infer_error_caret_and_json() {
+    let src = "class A { Object x; }\n\
+               class B extends A { Object y; }\n\
+               class M { static B f(A a) { (B) a } }";
+    let (caret, json) = diagnose(
+        "infer.cj",
+        src,
+        SessionOptions::with_infer(InferOptions {
+            mode: SubtypeMode::Object,
+            downcast: DowncastPolicy::Reject,
+        }),
+    );
+    assert_eq!(
+        caret,
+        "error[E0300]: downcast in `f` rejected: enable the equate-first or \
+         padding downcast policy\n\
+        \x20 --> infer.cj:3:29\n\
+        \x20  |\n\
+        \x203 | class M { static B f(A a) { (B) a } }\n\
+        \x20  |                             ^^^^^\n\
+        \x20 --> infer.cj:3:29\n\
+        \x20  |\n\
+        \x203 | class M { static B f(A a) { (B) a } }\n\
+        \x20  |                             ----- downcast here, in `f`\n\
+        \x20  = note: the `reject` downcast policy refuses all downcasts; \
+         pass `--downcast equate-first` or `--downcast padding`\n"
+    );
+    assert_eq!(
+        json,
+        "[\n{\"severity\":\"error\",\"code\":\"E0300\",\
+         \"message\":\"downcast in `f` rejected: enable the equate-first or \
+         padding downcast policy\",\"file\":\"infer.cj\",\
+         \"span\":{\"lo\":82,\"hi\":87,\"line\":3,\"col\":29},\
+         \"labels\":[{\"span\":{\"lo\":82,\"hi\":87,\"line\":3,\"col\":29},\
+         \"message\":\"downcast here, in `f`\"}],\
+         \"notes\":[\"the `reject` downcast policy refuses all downcasts; \
+         pass `--downcast equate-first` or `--downcast padding`\"]}\n]"
+    );
+}
+
+#[test]
+fn every_stage_failure_carries_a_code() {
+    // Lex error.
+    let mut s = Session::new("class A { in€t x; }", SessionOptions::default());
+    if let Err(diags) = s.check() {
+        assert!(diags.iter().all(|d| d.code.is_some()), "uncoded: {diags}");
+    }
+    // Multiple typecheck errors all coded.
+    let mut s = Session::new(
+        "class A { Unknown u; Missing m; }",
+        SessionOptions::default(),
+    );
+    let diags = s.check().unwrap_err();
+    assert!(diags.len() >= 2);
+    assert!(diags.iter().all(|d| d.code == Some("E0200")));
+}

@@ -342,10 +342,14 @@ impl ClassTable {
     ///
     /// # Errors
     ///
-    /// Returns a message when the type mentions an unknown class or is an
-    /// array over a non-primitive.
-    pub fn resolve(&self, ty: &ast::Ty) -> Result<NType, String> {
-        self.resolve_ty(ty)
+    /// Returns a [`Diagnostic`](crate::span::Diagnostic) (with a dummy
+    /// span — attach the use site's) when the type mentions an unknown
+    /// class or is an array over a non-primitive.
+    pub fn resolve(&self, ty: &ast::Ty) -> Result<NType, crate::span::Diagnostic> {
+        self.resolve_ty(ty).map_err(|msg| {
+            crate::span::Diagnostic::error(msg, crate::span::Span::DUMMY)
+                .with_code(cj_diag::codes::TYPECHECK)
+        })
     }
 
     /// Number of classes (including `Object`).

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -33,10 +33,10 @@ struct Interner {
     map: HashMap<&'static str, Symbol>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
+        RwLock::new(Interner {
             map: HashMap::new(),
         })
     })
@@ -44,8 +44,19 @@ fn interner() -> &'static Mutex<Interner> {
 
 impl Symbol {
     /// Interns `s`, returning its canonical [`Symbol`].
+    ///
+    /// Lookups of already-interned strings (the overwhelmingly common case
+    /// once a workload warms up) take only the read lock, so parallel
+    /// compilation — e.g. [`compile_many`]-style batch drivers — does not
+    /// serialize on the interner.
+    ///
+    /// [`compile_many`]: https://docs.rs/cj-driver
     pub fn intern(s: &str) -> Symbol {
-        let mut guard = interner().lock().expect("interner poisoned");
+        if let Some(&sym) = interner().read().expect("interner poisoned").map.get(s) {
+            return sym;
+        }
+        let mut guard = interner().write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have won.
         if let Some(&sym) = guard.map.get(s) {
             return sym;
         }

@@ -45,7 +45,8 @@ use crate::token::{Token, TokenKind};
 /// Returns all lexical and syntactic diagnostics if the source does not
 /// parse.
 pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
-    let (tokens, mut diags) = lex(src);
+    let (tokens, diags) = lex(src);
+    let mut diags = diags.set_default_code(cj_diag::codes::LEX);
     if diags.has_errors() {
         return Err(diags);
     }
@@ -56,7 +57,7 @@ pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
         depth: 0,
     };
     let program = parser.program();
-    diags.items.extend(parser.diags.items);
+    diags.extend(parser.diags.set_default_code(cj_diag::codes::PARSE));
     if diags.has_errors() {
         Err(diags)
     } else {
@@ -71,6 +72,7 @@ pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
 /// Returns diagnostics when the text is not a single well-formed expression.
 pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
     let (tokens, diags) = lex(src);
+    let diags = diags.set_default_code(cj_diag::codes::LEX);
     if diags.has_errors() {
         return Err(diags);
     }
@@ -83,7 +85,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
     let e = parser.expr();
     parser.expect(TokenKind::Eof);
     if parser.diags.has_errors() {
-        Err(parser.diags)
+        Err(parser.diags.set_default_code(cj_diag::codes::PARSE))
     } else {
         Ok(e)
     }

@@ -1,272 +1,10 @@
-//! Source positions and diagnostics.
+//! Source positions and diagnostics — re-exported from [`cj_diag`].
 //!
-//! Every AST node carries a [`Span`] (byte range into the source text). A
-//! [`SourceMap`] converts byte offsets back to line/column pairs when
-//! rendering [`Diagnostic`]s.
+//! The types lived here historically; they moved to the workspace-wide
+//! `cj-diag` crate so the inference, checking, runtime and driver layers
+//! can share one structured-diagnostics subsystem. This module keeps the
+//! old paths (`cj_frontend::span::{Span, SourceMap, Diagnostic,
+//! Diagnostics}`) alive for existing code.
 
-use std::fmt;
-
-/// A half-open byte range `[lo, hi)` into the source text.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct Span {
-    /// Byte offset of the first character.
-    pub lo: u32,
-    /// Byte offset one past the last character.
-    pub hi: u32,
-}
-
-impl Span {
-    /// A span covering `[lo, hi)`.
-    pub fn new(lo: u32, hi: u32) -> Span {
-        debug_assert!(lo <= hi, "span bounds out of order");
-        Span { lo, hi }
-    }
-
-    /// The zero span, used for synthesized nodes.
-    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
-
-    /// The smallest span covering both `self` and `other`.
-    pub fn to(self, other: Span) -> Span {
-        Span {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
-    }
-
-    /// Whether this is the dummy (synthesized) span.
-    pub fn is_dummy(self) -> bool {
-        self == Span::DUMMY
-    }
-}
-
-impl fmt::Debug for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}..{}", self.lo, self.hi)
-    }
-}
-
-/// Maps byte offsets to 1-based line/column pairs.
-///
-/// # Examples
-///
-/// ```
-/// use cj_frontend::span::SourceMap;
-///
-/// let map = SourceMap::new("ab\ncd");
-/// assert_eq!(map.line_col(3), (2, 1)); // 'c'
-/// ```
-#[derive(Debug, Clone)]
-pub struct SourceMap {
-    /// Byte offsets at which each line starts.
-    line_starts: Vec<u32>,
-    len: u32,
-}
-
-impl SourceMap {
-    /// Builds the line index for `src`.
-    pub fn new(src: &str) -> SourceMap {
-        let mut line_starts = vec![0u32];
-        for (i, b) in src.bytes().enumerate() {
-            if b == b'\n' {
-                line_starts.push(i as u32 + 1);
-            }
-        }
-        SourceMap {
-            line_starts,
-            len: src.len() as u32,
-        }
-    }
-
-    /// 1-based `(line, column)` of the byte `offset`.
-    pub fn line_col(&self, offset: u32) -> (u32, u32) {
-        let offset = offset.min(self.len);
-        let line = match self.line_starts.binary_search(&offset) {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        (line as u32 + 1, offset - self.line_starts[line] + 1)
-    }
-
-    /// Number of lines in the source.
-    pub fn line_count(&self) -> usize {
-        self.line_starts.len()
-    }
-}
-
-/// Severity of a [`Diagnostic`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Severity {
-    /// A hard error; compilation cannot proceed.
-    Error,
-    /// A non-fatal warning.
-    Warning,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Error => f.write_str("error"),
-            Severity::Warning => f.write_str("warning"),
-        }
-    }
-}
-
-/// A compiler message attached to a [`Span`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Error or warning.
-    pub severity: Severity,
-    /// Human-readable message, lowercase, no trailing period.
-    pub message: String,
-    /// Primary location.
-    pub span: Span,
-}
-
-impl Diagnostic {
-    /// An error diagnostic at `span`.
-    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
-        Diagnostic {
-            severity: Severity::Error,
-            message: message.into(),
-            span,
-        }
-    }
-
-    /// A warning diagnostic at `span`.
-    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
-        Diagnostic {
-            severity: Severity::Warning,
-            message: message.into(),
-            span,
-        }
-    }
-
-    /// Renders `self` as `severity at line:col: message` using `map`.
-    pub fn render(&self, map: &SourceMap) -> String {
-        let (line, col) = map.line_col(self.span.lo);
-        format!("{} at {}:{}: {}", self.severity, line, col, self.message)
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.severity, self.message)
-    }
-}
-
-impl std::error::Error for Diagnostic {}
-
-/// A batch of diagnostics, used as the error type of front-end passes.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Diagnostics {
-    /// The collected messages, in emission order.
-    pub items: Vec<Diagnostic>,
-}
-
-impl Diagnostics {
-    /// An empty collection.
-    pub fn new() -> Diagnostics {
-        Diagnostics::default()
-    }
-
-    /// Adds a diagnostic.
-    pub fn push(&mut self, d: Diagnostic) {
-        self.items.push(d);
-    }
-
-    /// Adds an error with the given message and span.
-    pub fn error(&mut self, message: impl Into<String>, span: Span) {
-        self.push(Diagnostic::error(message, span));
-    }
-
-    /// Whether any error-severity diagnostic is present.
-    pub fn has_errors(&self) -> bool {
-        self.items.iter().any(|d| d.severity == Severity::Error)
-    }
-
-    /// Whether the collection is empty.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// Number of collected diagnostics.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// Renders every diagnostic on its own line.
-    pub fn render(&self, map: &SourceMap) -> String {
-        let mut out = String::new();
-        for d in &self.items {
-            out.push_str(&d.render(map));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-impl fmt::Display for Diagnostics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for d in &self.items {
-            writeln!(f, "{}", d)?;
-        }
-        Ok(())
-    }
-}
-
-impl std::error::Error for Diagnostics {}
-
-impl FromIterator<Diagnostic> for Diagnostics {
-    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
-        Diagnostics {
-            items: iter.into_iter().collect(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn span_join() {
-        let a = Span::new(2, 5);
-        let b = Span::new(4, 9);
-        assert_eq!(a.to(b), Span::new(2, 9));
-        assert_eq!(b.to(a), Span::new(2, 9));
-    }
-
-    #[test]
-    fn line_col_basics() {
-        let map = SourceMap::new("abc\ndef\n\nx");
-        assert_eq!(map.line_col(0), (1, 1));
-        assert_eq!(map.line_col(2), (1, 3));
-        assert_eq!(map.line_col(4), (2, 1));
-        assert_eq!(map.line_col(8), (3, 1));
-        assert_eq!(map.line_col(9), (4, 1));
-        assert_eq!(map.line_count(), 4);
-    }
-
-    #[test]
-    fn line_col_clamps_past_end() {
-        let map = SourceMap::new("ab");
-        assert_eq!(map.line_col(100), (1, 3));
-    }
-
-    #[test]
-    fn diagnostics_render() {
-        let map = SourceMap::new("class A {}\nclass A {}");
-        let mut ds = Diagnostics::new();
-        ds.error("duplicate class `A`", Span::new(11, 21));
-        assert!(ds.has_errors());
-        assert_eq!(ds.render(&map).trim(), "error at 2:1: duplicate class `A`");
-    }
-
-    #[test]
-    fn warnings_are_not_errors() {
-        let mut ds = Diagnostics::new();
-        ds.push(Diagnostic::warning("unused", Span::DUMMY));
-        assert!(!ds.has_errors());
-        assert_eq!(ds.len(), 1);
-    }
-}
+pub use cj_diag::diagnostic::{Diagnostic, Diagnostics, Label, Severity};
+pub use cj_diag::span::{SourceMap, Span};

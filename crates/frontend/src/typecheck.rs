@@ -33,7 +33,8 @@ use std::collections::HashMap;
 /// bad overrides) and body errors (unknown names, type mismatches, misplaced
 /// `return`, unresolvable `null`, invalid casts).
 pub fn check(program: &ast::Program) -> Result<KProgram, Diagnostics> {
-    let table = ClassTable::build(program)?;
+    let table =
+        ClassTable::build(program).map_err(|d| d.set_default_code(cj_diag::codes::TYPECHECK))?;
     let mut diags = Diagnostics::new();
 
     let mut methods: Vec<Vec<KMethod>> = vec![Vec::new(); table.len()];
@@ -54,7 +55,7 @@ pub fn check(program: &ast::Program) -> Result<KProgram, Diagnostics> {
     }
 
     if diags.has_errors() {
-        return Err(diags);
+        return Err(diags.set_default_code(cj_diag::codes::TYPECHECK));
     }
     let statics = statics
         .into_iter()
@@ -289,8 +290,9 @@ impl<'a> Lowerer<'a> {
                         NType::Void
                     }
                     Ok(t) => t,
-                    Err(msg) => {
-                        self.diags.error(msg, *dspan);
+                    Err(mut d) => {
+                        d.span = *dspan;
+                        self.diags.push(d);
                         NType::Void
                     }
                 };
@@ -652,7 +654,7 @@ impl<'a> Lowerer<'a> {
                             NType::Null,
                         )
                     }
-                    Err(msg) => return self.error_expr(msg, span, NType::Null),
+                    Err(d) => return self.error_expr(d.message, span, NType::Null),
                 };
                 KExpr::new(KExprKind::Null, nty, span)
             }

@@ -64,6 +64,39 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+impl RuntimeError {
+    /// The source location of the fault, where one is known.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            RuntimeError::NullPointer(s)
+            | RuntimeError::CastFailed(s)
+            | RuntimeError::IndexOutOfBounds(s)
+            | RuntimeError::DivisionByZero(s)
+            | RuntimeError::DanglingAccess(s)
+            | RuntimeError::NegativeLength(s) => Some(*s),
+            RuntimeError::Region(_)
+            | RuntimeError::StepLimit
+            | RuntimeError::NoMain
+            | RuntimeError::BadMainArgs => None,
+        }
+    }
+}
+
+impl cj_diag::IntoDiagnostic for RuntimeError {
+    fn into_diagnostic(self) -> cj_diag::Diagnostic {
+        let span = self.span().unwrap_or(Span::DUMMY);
+        let mut d =
+            cj_diag::Diagnostic::error(self.to_string(), span).with_code(cj_diag::codes::RUNTIME);
+        if matches!(self, RuntimeError::DanglingAccess(_)) {
+            d = d.with_note(
+                "checked programs never dangle (Theorem 1); this indicates \
+                 an inference or checker bug",
+            );
+        }
+        d
+    }
+}
+
 impl From<RegionError> for RuntimeError {
     fn from(e: RegionError) -> Self {
         RuntimeError::Region(e)

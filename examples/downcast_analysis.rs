@@ -5,8 +5,6 @@
 //!
 //! Run with: `cargo run --example downcast_analysis`
 
-use region_inference::downcast::analyze;
-use region_inference::frontend::typecheck::check_source;
 use region_inference::prelude::*;
 
 const FIG7: &str = "
@@ -34,9 +32,17 @@ const FIG7: &str = "
         }
     }";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kp = check_source(FIG7)?;
-    let analysis = analyze(&kp);
+fn main() -> Result<(), Diagnostics> {
+    let mut session = Session::new(
+        FIG7,
+        SessionOptions::with_infer(InferOptions {
+            mode: SubtypeMode::Object,
+            downcast: DowncastPolicy::Padding,
+        }),
+    )
+    .with_name("fig7.cj");
+    let kp = session.typecheck()?;
+    let analysis = session.downcast_analysis()?;
 
     println!("=== Backward flow analysis (Fig 7) ===\n");
     println!(
@@ -81,15 +87,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n=== Padded annotations (technique 2) ===\n");
-    let (p, stats) = infer_source(
-        FIG7,
-        InferOptions {
-            mode: SubtypeMode::Object,
-            downcast: DowncastPolicy::Padding,
-        },
-    )?;
-    check(&p)?;
-    println!("{}", region_inference::annotate(&p));
-    println!("downcast sites analysed: {}", stats.downcast_sites);
+    let compilation = session.check()?;
+    println!("{}", session.annotate()?);
+    println!(
+        "downcast sites analysed: {}",
+        compilation.stats.downcast_sites
+    );
+    // The analysis' structured warnings (bound-to-fail sites), rendered.
+    let warnings = analysis.diagnostics(&kp);
+    if !warnings.is_empty() {
+        println!("\n=== Structured warnings ===\n");
+        print!("{}", session.emitter().render_all(&warnings));
+    }
     Ok(())
 }

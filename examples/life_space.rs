@@ -13,7 +13,7 @@
 
 use region_inference::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Diagnostics> {
     println!("Game of Life variants, 10 generations (field subtyping):\n");
     println!(
         "{:<28} {:>12} {:>16} {:>8} {:>9}",
@@ -26,17 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Optimized Life (stack)",
     ] {
         let b = region_inference::benchmarks::by_name(name).expect("registered");
-        let (p, stats) = infer_source(b.source, InferOptions::default())?;
-        check(&p)?;
-        let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
-        let out = run_main(&p, &args, RunConfig::default())?;
+        let mut session = Session::new(b.source, SessionOptions::default()).with_name(name);
+        let compilation = session.check()?;
+        let args: Vec<i64> = b.paper_input.to_vec();
+        let out = session.run(&args)?;
         println!(
             "{:<28} {:>12} {:>16} {:>8.3} {:>9}",
             name,
             out.space.peak_live,
             out.space.total_allocated,
             out.space.space_ratio(),
-            stats.localized_regions
+            compilation.stats.localized_regions
         );
     }
     println!(

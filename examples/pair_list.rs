@@ -15,7 +15,7 @@ const PAIR: &str = "
       void setSnd(Object o) { this.snd = o; }
     }";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Diagnostics> {
     // ---- Fig 4: localized regions -------------------------------------
     let fig4 = format!(
         "{PAIR}

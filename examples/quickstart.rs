@@ -1,11 +1,12 @@
 //! Quickstart: infer region annotations for the paper's Pair class and
-//! print the annotated program in the paper's notation.
+//! print the annotated program in the paper's notation — via the staged
+//! `Session` driver.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use region_inference::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Diagnostics> {
     let source = "
         class Pair {
           Object fst;
@@ -26,16 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           }
         }";
 
-    // Parse → normal typecheck → region inference → region check.
-    let program = compile(source, InferOptions::default())?;
+    // One session drives parse → normal typecheck → region inference →
+    // region check, caching each artifact.
+    let mut session = Session::new(source, SessionOptions::default());
+    let compilation = session.check()?;
 
     println!("=== Region-annotated program (cf. Fig 2a of the paper) ===\n");
-    println!("{}", annotate(&program));
+    println!("{}", session.annotate()?);
 
     // The constraint abstractions Q are available programmatically too.
     println!("=== Constraint abstractions Q ===\n");
-    for abs in program.q.iter() {
+    for abs in compilation.program.q.iter() {
         println!("{abs}");
     }
+
+    // Every stage ran exactly once, annotate() reused the cached artifact.
+    assert_eq!(session.pass_counts().infer, 1);
     Ok(())
 }

@@ -12,7 +12,7 @@
 
 use region_inference::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Diagnostics> {
     let b = region_inference::benchmarks::by_name("Reynolds3").expect("registered");
     println!(
         "Reynolds3, tree depth {} — space ratios by subtyping mode:\n",
@@ -22,20 +22,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>12} {:>16} {:>14} {:>10}",
         "mode", "peak bytes", "total allocated", "ratio", "letregs"
     );
-    for mode in [SubtypeMode::None, SubtypeMode::Object, SubtypeMode::Field] {
-        let (p, stats) = infer_source(b.source, InferOptions::with_mode(mode))?;
-        check(&p)?;
+    // One session: the benchmark is parsed and typechecked once; each mode
+    // derives its inference artifact from the shared kernel.
+    let mut session = Session::new(b.source, SessionOptions::default()).with_name(b.name);
+    for mode in SubtypeMode::ALL {
+        let compilation = session.check_with(InferOptions::with_mode(mode))?;
         let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
-        let out = run_main_big_stack(&p, &args, RunConfig::default())?;
+        let out = run_main_big_stack(&compilation.program, &args, RunConfig::default())
+            .map_err(IntoDiagnostics::into_diagnostics)?;
         println!(
             "{:<12} {:>12} {:>16} {:>14.4} {:>10}",
             mode.to_string(),
             out.space.peak_live,
             out.space.total_allocated,
             out.space.space_ratio(),
-            stats.localized_regions
+            compilation.stats.localized_regions
         );
     }
+    assert_eq!(session.pass_counts().typecheck, 1);
     println!("\nPaper's Fig 8 row: 1 (no sub) / 1 (object sub) / 0.004 (field sub).");
     Ok(())
 }

@@ -1,95 +1,195 @@
 //! `cjrc` — the Core-Java region compiler driver.
 //!
 //! ```text
-//! cjrc infer  <file> [--mode M] [--downcast D] [--stats]   annotate and print
-//! cjrc check  <file> [--mode M] [--downcast D]             infer + region-check
-//! cjrc run    <file> [--mode M] [--downcast D] [args…]     compile and run main
-//! cjrc flows  <file>                                       downcast-set report
+//! cjrc infer  <file> [--mode M] [--downcast D] [--stats] [--json]   annotate and print
+//! cjrc check  <file> [--mode M] [--downcast D] [--json]             infer + region-check
+//! cjrc run    <file> [--mode M] [--downcast D] [--json] [args…]     compile and run main
+//! cjrc flows  <file> [--json]                                       downcast-set report
 //! ```
 //!
-//! `M` ∈ {none, object, field} (default field);
-//! `D` ∈ {reject, equate, padding} (default equate).
+//! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
+//! aliases none/object/field are accepted); `D` ∈ {reject, equate-first,
+//! padding} (default equate-first; alias equate).
+//!
+//! Errors are rendered as caret-style source snippets on stderr, or — with
+//! `--json` — as a JSON array of structured diagnostics (severity, code,
+//! message, span, labels, notes) on stdout.
 
+use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
+use cj_driver::{Session, SessionOptions};
 use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("cjrc: {}", e.message);
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match execute(&cli) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("cjrc: {msg}");
+        Err(failure) => {
+            let Failure { session, diags } = *failure;
+            if cli.json {
+                println!("{}", session.emitter().render_json_all(&diags));
+            } else {
+                eprint!("{}", session.emitter().render_all(&diags));
+            }
             ExitCode::FAILURE
         }
     }
 }
 
+// ---- argument parsing ------------------------------------------------------
+
+/// One parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Cli {
-    command: String,
+    command: Command,
     file: String,
     opts: InferOptions,
     stats: bool,
+    json: bool,
     run_args: Vec<i64>,
 }
 
-fn parse_cli() -> Result<Cli, String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or_else(usage)?;
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Infer,
+    Check,
+    Run,
+    Flows,
+}
+
+/// A command-line usage error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliError {
+    message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl IntoDiagnostic for CliError {
+    fn into_diagnostic(self) -> Diagnostic {
+        Diagnostic::error(self.message, Span::DUMMY).with_code(codes::CLI)
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {}] \
+         [--downcast {}] [--stats] [--json] [run args…]",
+        SubtypeMode::NAMES[..3].join("|"),
+        DowncastPolicy::NAMES[..3].join("|"),
+    )
+}
+
+fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
+    let mut args = args.into_iter();
+    let command = match args.next().as_deref() {
+        Some("infer") => Command::Infer,
+        Some("check") => Command::Check,
+        Some("run") => Command::Run,
+        Some("flows") => Command::Flows,
+        Some(other) => return Err(CliError::new(format!("unknown command `{other}`"))),
+        None => return Err(CliError::new("missing command")),
+    };
     let mut file = None;
-    let mut mode = SubtypeMode::Field;
-    let mut downcast = DowncastPolicy::EquateFirst;
+    let mut opts = InferOptions::default();
     let mut stats = false;
+    let mut json = false;
     let mut run_args = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
-                mode = match args.next().as_deref() {
-                    Some("none") => SubtypeMode::None,
-                    Some("object") => SubtypeMode::Object,
-                    Some("field") => SubtypeMode::Field,
-                    other => return Err(format!("unknown mode {other:?}")),
-                }
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--mode needs a value"))?;
+                opts.mode = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
             }
             "--downcast" => {
-                downcast = match args.next().as_deref() {
-                    Some("reject") => DowncastPolicy::Reject,
-                    Some("equate") => DowncastPolicy::EquateFirst,
-                    Some("padding") => DowncastPolicy::Padding,
-                    other => return Err(format!("unknown downcast policy {other:?}")),
-                }
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--downcast needs a value"))?;
+                opts.downcast = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
             }
             "--stats" => stats = true,
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::new(format!("unknown option `{flag}`")));
+            }
             other if file.is_none() => file = Some(other.to_string()),
-            other => run_args.push(
-                other
-                    .parse::<i64>()
-                    .map_err(|_| format!("expected integer argument, found `{other}`"))?,
-            ),
+            other => {
+                let value = other.parse::<i64>().map_err(|_| {
+                    CliError::new(format!("expected integer argument, found `{other}`"))
+                })?;
+                run_args.push(value);
+            }
         }
     }
     Ok(Cli {
         command,
-        file: file.ok_or_else(usage)?,
-        opts: InferOptions { mode, downcast },
+        file: file.ok_or_else(|| CliError::new("missing input file"))?,
+        opts,
         stats,
+        json,
         run_args,
     })
 }
 
-fn usage() -> String {
-    "usage: cjrc <infer|check|run|flows> <file.cj> [--mode none|object|field] \
-     [--downcast reject|equate|padding] [--stats] [run args…]"
-        .to_string()
+// ---- execution -------------------------------------------------------------
+
+/// A failed invocation: the diagnostics plus the session whose source they
+/// render against.
+struct Failure {
+    session: Session,
+    diags: Diagnostics,
 }
 
-fn run() -> Result<(), String> {
-    let cli = parse_cli()?;
-    let src =
-        std::fs::read_to_string(&cli.file).map_err(|e| format!("cannot read {}: {e}", cli.file))?;
-    match cli.command.as_str() {
-        "infer" => {
-            let (p, stats) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
-            print!("{}", cj_infer::pretty::program_to_string(&p));
-            if cli.stats {
+fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
+    let opts = SessionOptions::with_infer(cli.opts);
+    let mut session = match Session::from_file(&cli.file, opts) {
+        Ok(s) => s,
+        Err(diags) => {
+            return Err(Box::new(Failure {
+                session: Session::new("", SessionOptions::default()).with_name(cli.file.clone()),
+                diags,
+            }))
+        }
+    };
+    let outcome = dispatch(cli, &mut session);
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(diags) => Err(Box::new(Failure { session, diags })),
+    }
+}
+
+fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
+    match cli.command {
+        Command::Infer => {
+            let compilation = session.infer()?;
+            let annotated = session.annotate()?;
+            let stats = &compilation.stats;
+            if cli.json {
+                println!(
+                    "{{\"annotated\":{},\"stats\":{}}}",
+                    cj_diag::json_string(&annotated),
+                    stats_json(stats)
+                );
+            } else {
+                print!("{annotated}");
+            }
+            if cli.stats && !cli.json {
                 eprintln!(
                     "regions: {}  letregs: {}  fixpoint iterations: {}  repairs: {}",
                     stats.regions_created,
@@ -100,58 +200,221 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        "check" => {
-            let (p, _) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
-            cj_check::check(&p).map_err(|e| format!("region check failed:\n{e}"))?;
-            println!("{}: well-region-typed ({})", cli.file, cli.opts.mode);
-            Ok(())
-        }
-        "run" => {
-            let (p, _) = cj_infer::infer_source(&src, cli.opts).map_err(|e| e.to_string())?;
-            cj_check::check(&p).map_err(|e| format!("region check failed:\n{e}"))?;
-            let args: Vec<cj_runtime::Value> = cli
-                .run_args
-                .iter()
-                .map(|&v| cj_runtime::Value::Int(v))
-                .collect();
-            let out = cj_runtime::run_main_big_stack(&p, &args, cj_runtime::RunConfig::default())
-                .map_err(|e| e.to_string())?;
-            for line in &out.prints {
-                println!("{line}");
+        Command::Check => {
+            session.check()?;
+            if cli.json {
+                println!(
+                    "{{\"status\":\"well-region-typed\",\"file\":{},\"mode\":\"{}\"}}",
+                    cj_diag::json_string(session.name()),
+                    cli.opts.mode
+                );
+            } else {
+                println!("{}: well-region-typed ({})", session.name(), cli.opts.mode);
             }
-            println!("result: {}", out.value);
-            println!(
-                "space: peak {} / total {} bytes (ratio {:.4}), {} regions",
-                out.space.peak_live,
-                out.space.total_allocated,
-                out.space.space_ratio(),
-                out.space.regions_created
-            );
             Ok(())
         }
-        "flows" => {
-            let kp = cj_frontend::typecheck::check_source(&src).map_err(|e| e.to_string())?;
-            let analysis = cj_downcast::analyze(&kp);
-            println!("{} downcast(s)", analysis.downcast_count);
-            for site in &analysis.sites {
-                if let Some(set) = analysis.site_sets.get(&site.id) {
-                    let classes: Vec<&str> =
-                        set.iter().map(|&c| kp.table.name(c).as_str()).collect();
-                    let doomed = if analysis.doomed_sites.contains(&site.id) {
-                        " [bound to fail]"
-                    } else {
-                        ""
-                    };
-                    println!(
-                        "new {} in {} -> {{{}}}{doomed}",
-                        kp.table.name(site.class),
-                        kp.method_name(site.method),
-                        classes.join(", ")
-                    );
+        Command::Run => {
+            let out = session.run(&cli.run_args)?;
+            if cli.json {
+                let prints: Vec<String> =
+                    out.prints.iter().map(|p| cj_diag::json_string(p)).collect();
+                println!(
+                    "{{\"result\":{},\"prints\":[{}],\"space\":{{\"peak_live\":{},\
+                     \"total_allocated\":{},\"ratio\":{:.4},\"regions\":{}}}}}",
+                    cj_diag::json_string(&out.value.to_string()),
+                    prints.join(","),
+                    out.space.peak_live,
+                    out.space.total_allocated,
+                    out.space.space_ratio(),
+                    out.space.regions_created
+                );
+            } else {
+                for line in &out.prints {
+                    println!("{line}");
                 }
+                println!("result: {}", out.value);
+                println!(
+                    "space: peak {} / total {} bytes (ratio {:.4}), {} regions",
+                    out.space.peak_live,
+                    out.space.total_allocated,
+                    out.space.space_ratio(),
+                    out.space.regions_created
+                );
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        Command::Flows => {
+            let kp = session.typecheck()?;
+            let analysis = session.downcast_analysis()?;
+            let warnings = analysis.diagnostics(&kp);
+            if cli.json {
+                let sites: Vec<String> = analysis
+                    .sites
+                    .iter()
+                    .map(|site| {
+                        let classes: Vec<String> = analysis
+                            .site_sets
+                            .get(&site.id)
+                            .map(|set| {
+                                set.iter()
+                                    .map(|&c| cj_diag::json_string(kp.table.name(c).as_str()))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        format!(
+                            "{{\"class\":{},\"method\":{},\"downcast_to\":[{}],\
+                             \"bound_to_fail\":{}}}",
+                            cj_diag::json_string(kp.table.name(site.class).as_str()),
+                            cj_diag::json_string(&kp.method_name(site.method)),
+                            classes.join(","),
+                            analysis.doomed_sites.contains(&site.id)
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"downcasts\":{},\"sites\":[{}],\"warnings\":{}}}",
+                    analysis.downcast_count,
+                    sites.join(","),
+                    session.emitter().render_json_all(&warnings)
+                );
+            } else {
+                println!("{} downcast(s)", analysis.downcast_count);
+                for site in &analysis.sites {
+                    if let Some(set) = analysis.site_sets.get(&site.id) {
+                        let classes: Vec<&str> =
+                            set.iter().map(|&c| kp.table.name(c).as_str()).collect();
+                        let doomed = if analysis.doomed_sites.contains(&site.id) {
+                            " [bound to fail]"
+                        } else {
+                            ""
+                        };
+                        println!(
+                            "new {} in {} -> {{{}}}{doomed}",
+                            kp.table.name(site.class),
+                            kp.method_name(site.method),
+                            classes.join(", ")
+                        );
+                    }
+                }
+                eprint!("{}", session.emitter().render_all(&warnings));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn stats_json(stats: &cj_infer::InferStats) -> String {
+    format!(
+        "{{\"global_iterations\":{},\"fixpoint_iterations\":{},\"regions_created\":{},\
+         \"localized_regions\":{},\"override_repairs\":{},\"downcast_sites\":{}}}",
+        stats.global_iterations,
+        stats.fixpoint_iterations,
+        stats.regions_created,
+        stats.localized_regions,
+        stats.override_repairs,
+        stats.downcast_sites
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_modes_in_both_spellings() {
+        for (spelling, mode) in [
+            ("none", SubtypeMode::None),
+            ("no-sub", SubtypeMode::None),
+            ("object", SubtypeMode::Object),
+            ("object-sub", SubtypeMode::Object),
+            ("field", SubtypeMode::Field),
+            ("field-sub", SubtypeMode::Field),
+        ] {
+            let cli = parse_cli(argv(&["infer", "x.cj", "--mode", spelling])).unwrap();
+            assert_eq!(cli.opts.mode, mode, "spelling {spelling}");
+        }
+    }
+
+    #[test]
+    fn parses_downcast_policies() {
+        for (spelling, policy) in [
+            ("reject", DowncastPolicy::Reject),
+            ("equate", DowncastPolicy::EquateFirst),
+            ("equate-first", DowncastPolicy::EquateFirst),
+            ("padding", DowncastPolicy::Padding),
+        ] {
+            let cli = parse_cli(argv(&["check", "x.cj", "--downcast", spelling])).unwrap();
+            assert_eq!(cli.opts.downcast, policy, "spelling {spelling}");
+        }
+    }
+
+    #[test]
+    fn usage_text_matches_accepted_spellings() {
+        // The historic drift: usage said `equate` while the enum printed
+        // `equate-first`. Both must now parse, and usage lists canonical
+        // names that round-trip through FromStr.
+        let text = usage();
+        for canonical in ["no-sub", "object-sub", "field-sub"] {
+            assert!(text.contains(canonical), "usage misses {canonical}");
+            assert!(canonical.parse::<SubtypeMode>().is_ok());
+        }
+        for canonical in ["reject", "equate-first", "padding"] {
+            assert!(text.contains(canonical), "usage misses {canonical}");
+            assert!(canonical.parse::<DowncastPolicy>().is_ok());
+        }
+    }
+
+    #[test]
+    fn stats_json_and_run_args_collected() {
+        let cli = parse_cli(argv(&["run", "x.cj", "--stats", "--json", "3", "-7"])).unwrap();
+        assert!(cli.stats);
+        assert!(cli.json);
+        assert_eq!(cli.run_args, vec![3, -7]);
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.file, "x.cj");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        let err = parse_cli(argv(&["infer", "x.cj", "--frobnicate"])).unwrap_err();
+        assert!(err.message.contains("unknown option `--frobnicate`"));
+        let err = parse_cli(argv(&["explode", "x.cj"])).unwrap_err();
+        assert!(err.message.contains("unknown command `explode`"));
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        assert!(parse_cli(argv(&[]))
+            .unwrap_err()
+            .message
+            .contains("command"));
+        assert!(parse_cli(argv(&["infer"]))
+            .unwrap_err()
+            .message
+            .contains("input file"));
+        assert!(parse_cli(argv(&["infer", "x.cj", "--mode"]))
+            .unwrap_err()
+            .message
+            .contains("--mode needs a value"));
+        let err = parse_cli(argv(&["run", "x.cj", "seven"])).unwrap_err();
+        assert!(err.message.contains("expected integer argument"));
+    }
+
+    #[test]
+    fn unknown_mode_error_lists_alternatives() {
+        let err = parse_cli(argv(&["infer", "x.cj", "--mode", "both"])).unwrap_err();
+        assert!(err.message.contains("unknown subtype mode `both`"));
+        assert!(err.message.contains("field-sub"));
+    }
+
+    #[test]
+    fn cli_error_becomes_structured_diagnostic() {
+        let d = CliError::new("boom").into_diagnostic();
+        assert_eq!(d.code, Some(codes::CLI));
+        assert_eq!(d.message, "boom");
     }
 }

@@ -12,6 +12,8 @@
 //!     annotated program ──region check──▶ ✓ ──interpret──▶ value + space stats
 //! ```
 //!
+//! - [`diag`]: the shared structured-diagnostics subsystem (spans, error
+//!   codes, caret snippets, JSON);
 //! - [`frontend`]: Core-Java lexer, parser, class table, normal type system;
 //! - [`regions`]: region variables, outlives/equality constraints, solver,
 //!   constraint abstractions and their fixed-point analysis;
@@ -22,9 +24,11 @@
 //! - [`downcast`]: the Sec 5 backward flow analysis;
 //! - [`runtime`]: a lexically scoped region allocator and interpreter with
 //!   space accounting;
-//! - [`benchmarks`]: the Fig 8 and Fig 9 program suites.
+//! - [`benchmarks`]: the Fig 8 and Fig 9 program suites;
+//! - [`driver`]: the staged [`Session`] compiler driver every entry point
+//!   builds on.
 //!
-//! ## Quick start
+//! ## Quick start — the `Session` driver
 //!
 //! ```
 //! use region_inference::prelude::*;
@@ -35,17 +39,29 @@
 //!         Object t = this.fst; this.fst = this.snd; this.snd = t;
 //!       }
 //!     }";
-//! let program = compile(source, InferOptions::default())?;
+//! let mut session = Session::new(source, SessionOptions::default());
+//! let compilation = session.check()?;
 //! // `swap` mutates both fields, so its precondition forces the two field
 //! // regions to coincide — exactly Fig 2(a)'s `where r2 = r3`.
-//! println!("{}", annotate(&program));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! println!("{}", session.annotate()?);
+//! // Staged artifacts are cached: a second subtype mode reuses the same
+//! // parsed and typechecked kernel.
+//! session.check_with(InferOptions::with_mode(SubtypeMode::Object))?;
+//! assert_eq!(session.pass_counts().typecheck, 1);
+//! # let _ = compilation;
+//! # Ok::<(), region_inference::diag::Diagnostics>(())
 //! ```
+//!
+//! Failures at every stage are structured [`diag::Diagnostics`] — spans,
+//! stable error codes, caret-snippet rendering, JSON — never
+//! `Box<dyn Error>` or strings.
 #![forbid(unsafe_code)]
 
 pub use cj_benchmarks as benchmarks;
 pub use cj_check as check;
+pub use cj_diag as diag;
 pub use cj_downcast as downcast;
+pub use cj_driver as driver;
 pub use cj_frontend as frontend;
 pub use cj_infer as infer;
 pub use cj_regions as regions;
@@ -55,26 +71,40 @@ pub use cj_runtime as runtime;
 pub mod prelude {
     pub use crate::{annotate, compile, compile_and_run};
     pub use cj_check::check;
+    pub use cj_diag::{Diagnostic, Diagnostics, Emitter, IntoDiagnostic, IntoDiagnostics};
+    pub use cj_driver::{
+        compile_many, Compilation, CompileResult, PassCounts, Session, SessionOptions, SourceInput,
+    };
     pub use cj_infer::{
         infer_source, DowncastPolicy, InferOptions, InferStats, RProgram, SubtypeMode,
     };
     pub use cj_runtime::{run_main, run_main_big_stack, Outcome, RunConfig, Value};
 }
 
+use cj_diag::Diagnostics;
+use cj_driver::{Session, SessionOptions};
 use cj_infer::{InferOptions, RProgram};
-use cj_runtime::{RunConfig, Value};
 
 /// Parses, normal-typechecks, region-infers and region-checks a Core-Java
 /// program.
 ///
+/// This is the one-shot convenience over [`Session`]; use a session
+/// directly to reuse staged artifacts across inference options.
+///
 /// # Errors
 ///
-/// Front-end diagnostics, inference policy failures, or (indicating a bug —
-/// Theorem 1) checker violations.
-pub fn compile(src: &str, opts: InferOptions) -> Result<RProgram, Box<dyn std::error::Error>> {
-    let (p, _) = cj_infer::infer_source(src, opts)?;
-    cj_check::check(&p)?;
-    Ok(p)
+/// Structured diagnostics from any stage: front-end errors, inference
+/// policy failures, or (indicating a bug — Theorem 1) checker violations.
+pub fn compile(src: &str, opts: InferOptions) -> Result<RProgram, Diagnostics> {
+    let mut session = Session::new(src, SessionOptions::with_infer(opts));
+    let compilation = session.check()?;
+    // Dropping the session releases its cached Arc, making the unwrap
+    // clone-free.
+    drop(session);
+    match std::sync::Arc::try_unwrap(compilation) {
+        Ok(compilation) => Ok(compilation.program),
+        Err(arc) => Ok(arc.program.clone()),
+    }
 }
 
 /// Renders the annotated program in the paper's notation.
@@ -86,7 +116,7 @@ pub fn annotate(p: &RProgram) -> String {
 ///
 /// # Errors
 ///
-/// Compilation or runtime errors.
+/// Compilation diagnostics or runtime faults, all structured.
 ///
 /// # Examples
 ///
@@ -99,18 +129,12 @@ pub fn annotate(p: &RProgram) -> String {
 ///     &[21],
 /// )?;
 /// assert_eq!(out.value, region_inference::runtime::Value::Int(42));
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), region_inference::diag::Diagnostics>(())
 /// ```
 pub fn compile_and_run(
     src: &str,
     opts: InferOptions,
     args: &[i64],
-) -> Result<cj_runtime::Outcome, Box<dyn std::error::Error>> {
-    let p = compile(src, opts)?;
-    let args: Vec<Value> = args.iter().map(|&v| Value::Int(v)).collect();
-    Ok(cj_runtime::run_main_big_stack(
-        &p,
-        &args,
-        RunConfig::default(),
-    )?)
+) -> Result<cj_runtime::Outcome, Diagnostics> {
+    Session::new(src, SessionOptions::with_infer(opts)).run(args)
 }

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `cjrc` binary: exit codes, JSON diagnostics on
+//! ill-formed input, and the annotate/run outputs.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cjrc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cjrc"))
+        .args(args)
+        .output()
+        .expect("cjrc runs")
+}
+
+fn temp_source(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("cjrc-test-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp source");
+    f.write_all(contents.as_bytes()).expect("write temp source");
+    path
+}
+
+#[test]
+fn infer_json_on_ill_formed_program_emits_structured_diagnostics() {
+    let path = temp_source("ill.cj", "class A { Pear p; }\n");
+    let out = cjrc(&["infer", path.to_str().unwrap(), "--json"]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // A JSON array of diagnostics with code, message and span line/col.
+    assert!(stdout.trim_start().starts_with('['), "not JSON: {stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"E0200\""), "{stdout}");
+    assert!(stdout.contains("unknown class `Pear`"), "{stdout}");
+    assert!(
+        stdout.contains("\"span\":{\"lo\":10,\"hi\":17,\"line\":1,\"col\":11}"),
+        "{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn infer_renders_caret_snippets_without_json() {
+    let path = temp_source("caret.cj", "class A { Pear p; }\n");
+    let out = cjrc(&["infer", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("error[E0200]: unknown class `Pear`"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("^^^^^^^"), "{stderr}");
+    assert!(stderr.contains("class A { Pear p; }"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn infer_annotates_well_formed_programs() {
+    let path = temp_source(
+        "ok.cj",
+        "class Pair { Object fst; Object snd;
+           void swap() { Object t = this.fst; this.fst = this.snd; this.snd = t; }
+         }",
+    );
+    let out = cjrc(&["infer", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("class Pair<"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_executes_main_with_arguments() {
+    let path = temp_source("run.cj", "class M { static int main(int n) { n * 3 } }");
+    let out = cjrc(&["run", path.to_str().unwrap(), "14"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("result: 42"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_json_reports_result_and_space() {
+    let path = temp_source("runjson.cj", "class M { static int main(int n) { n + 1 } }");
+    let out = cjrc(&["run", path.to_str().unwrap(), "--json", "41"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"result\":\"42\""), "{stdout}");
+    assert!(stdout.contains("\"space\""), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = cjrc(&["explode"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command `explode`"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = cjrc(&["infer", "x.cj", "--mode", "both"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown subtype mode `both`"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_an_io_diagnostic() {
+    let out = cjrc(&["check", "/nonexistent/missing.cj", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"code\":\"E0701\""), "{stdout}");
+    assert!(stdout.contains("missing.cj"), "{stdout}");
+}
+
+#[test]
+fn check_reports_mode_in_canonical_spelling() {
+    let path = temp_source("mode.cj", "class A { }");
+    let out = cjrc(&["check", path.to_str().unwrap(), "--mode", "object"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("well-region-typed (object-sub)"),
+        "{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
