@@ -43,6 +43,7 @@ pub mod error;
 pub mod exprinfer;
 #[cfg(test)]
 mod exprinfer_tests;
+pub mod fingerprint;
 pub mod localize;
 pub mod options;
 pub mod override_res;
@@ -54,5 +55,5 @@ pub mod subtype;
 
 pub use error::InferError;
 pub use options::{DowncastPolicy, InferOptions, InferStats, SubtypeMode};
-pub use pipeline::{infer, infer_source};
+pub use pipeline::{infer, infer_source, infer_with_cache, InferCache};
 pub use rast::{RClass, RExpr, RExprKind, RMethod, RProgram, RType};

@@ -181,7 +181,8 @@ impl InferOptions {
 }
 
 /// Statistics reported by a run of region inference (used by the Fig 8/9
-/// harnesses).
+/// harnesses), including the per-SCC counters that let incremental drivers
+/// *demonstrate* how much work a recompilation actually performed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InferStats {
     /// Iterations of the outer (resolution/instantiation) loop.
@@ -196,6 +197,15 @@ pub struct InferStats {
     pub override_repairs: usize,
     /// Number of downcast sites analysed.
     pub downcast_sites: usize,
+    /// Method bodies symbolically inferred in this run.
+    pub methods_inferred: usize,
+    /// Method bodies rebased from the cache instead of re-inferred.
+    pub methods_reused: usize,
+    /// Abstraction SCCs whose Kleene fixpoint actually ran (summed over
+    /// repair-loop rounds).
+    pub sccs_solved: usize,
+    /// Abstraction SCCs served from the content-addressed solve memo.
+    pub sccs_reused: usize,
 }
 
 #[cfg(test)]

@@ -1,33 +1,90 @@
-//! The inference pipeline: the whole algorithm, end to end.
+//! The inference pipeline: the whole algorithm, end to end — exposed both
+//! as the classic one-shot [`infer`] and as the cache-aware
+//! [`infer_with_cache`] that the incremental `Workspace` driver builds on.
 //!
 //! 1. Build class and method region signatures and raw `inv.cn`
 //!    abstractions ([`Ctx::new`]).
 //! 2. Infer every method body once, symbolically — atoms plus applications
-//!    of `pre.*`/`inv.*` ([`infer_body`]).
+//!    of `pre.*`/`inv.*` ([`infer_body`]). With an [`InferCache`], bodies
+//!    whose span-insensitive fingerprint is unchanged are *rebased* (their
+//!    cached result's region ids shifted onto the current allocation range)
+//!    instead of re-inferred.
 //! 3. Solve the resulting recursive abstraction system bottom-up over its
 //!    SCC condensation (the paper's global dependency graph, Sec 4.3), with
 //!    Kleene fixed points inside each SCC (region-polymorphic recursion,
-//!    Fig 6).
+//!    Fig 6). Each SCC solve is memoized content-addressed
+//!    ([`cj_regions::incremental`]): only *dirty* SCCs — those whose raw
+//!    bodies or imported closed forms changed — actually iterate.
 //! 4. Instantiate escaping local regions onto signature regions and repair
 //!    override conflicts (Sec 4.4); both strengthen raw abstractions, so
-//!    re-solve until nothing changes. Termination: atoms only accumulate
+//!    re-solve until nothing changes (again, only the strengthened SCCs and
+//!    affected dependents re-run). Termination: atoms only accumulate
 //!    within finite universes.
 //! 5. Localize the remaining regions with `letreg` (\[exp-block\]) and emit
 //!    the annotated program.
+//!
+//! Determinism guarantee: for the same kernel program and options,
+//! [`infer_with_cache`] produces output identical to a from-scratch
+//! [`infer`] — same region numbering, same `Q` — no matter what edit
+//! history populated the cache. Reuse only replays what a fresh run would
+//! have computed.
 
 use crate::ctx::Ctx;
 use crate::error::InferError;
 use crate::exprinfer::{infer_body, BodyResult};
+use crate::fingerprint::{method_fingerprint, shape_fingerprint};
 use crate::localize;
 use crate::options::{InferOptions, InferStats};
 use crate::override_res::resolve_overrides;
-use crate::rast::{RClass, RMethod, RProgram};
+use crate::rast::{map_rexpr_regions, map_rtype_regions, RClass, RMethod, RProgram};
 use cj_frontend::graph::tarjan_scc;
 use cj_frontend::kernel::KProgram;
 use cj_frontend::types::MethodId;
 use cj_regions::abstraction::{solve_fixpoint, AbsEnv, ConstraintAbs};
+use cj_regions::constraint::Atom;
+use cj_regions::incremental::{solve_scc_memo, SolveMemo};
 use cj_regions::solve::Solver;
-use std::collections::BTreeMap;
+use cj_regions::var::RegVar;
+use std::collections::{BTreeMap, HashMap};
+
+/// Reusable inference state: per-method symbolic results keyed by
+/// span-insensitive fingerprints, plus the content-addressed memo of solved
+/// abstraction SCCs. Hold one per [`InferOptions`] and pass it to
+/// [`infer_with_cache`] across recompilations of evolving sources; the
+/// cache never changes *what* is computed, only how much of it is replayed.
+#[derive(Debug, Default)]
+pub struct InferCache {
+    /// Shape fingerprint + options the cached method results were built
+    /// under; any mismatch drops them (signature regions renumber).
+    shape: Option<(u64, InferOptions)>,
+    /// Per-method cached symbolic results, keyed by display name.
+    methods: HashMap<String, MethodEntry>,
+    /// Content-addressed solved-SCC memo.
+    memo: SolveMemo,
+}
+
+#[derive(Debug)]
+struct MethodEntry {
+    fingerprint: u64,
+    result: BodyResult,
+}
+
+impl InferCache {
+    /// An empty cache.
+    pub fn new() -> InferCache {
+        InferCache::default()
+    }
+
+    /// Number of per-method results currently cached.
+    pub fn cached_methods(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Hit/miss counters of the underlying SCC solve memo.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
+    }
+}
 
 /// Runs region inference over a kernel program.
 ///
@@ -37,17 +94,80 @@ use std::collections::BTreeMap;
 /// [`DowncastPolicy::Reject`](crate::options::DowncastPolicy::Reject));
 /// well-normal-typed programs otherwise always infer (Theorem 1).
 pub fn infer(kp: &KProgram, opts: InferOptions) -> Result<(RProgram, InferStats), InferError> {
+    infer_with_cache(kp, opts, &mut InferCache::new())
+}
+
+/// [`infer`], reusing (and refreshing) `cache` across calls.
+///
+/// Editing one method body and re-running with the same cache re-infers
+/// only that body and re-solves only the abstraction SCCs whose inputs
+/// changed; everything else — including the final region numbering — is
+/// replayed bit-for-bit.
+///
+/// # Errors
+///
+/// Same failure modes as [`infer`].
+pub fn infer_with_cache(
+    kp: &KProgram,
+    opts: InferOptions,
+    cache: &mut InferCache,
+) -> Result<(RProgram, InferStats), InferError> {
     let mut stats = InferStats::default();
     let mut ctx = Ctx::new(kp, opts);
     if let Some(info) = &ctx.downcast_info {
         stats.downcast_sites = info.downcast_count;
     }
 
-    // ---- symbolic body inference (once per method) ----------------------
+    // ---- cache validity --------------------------------------------------
+    let shape = (shape_fingerprint(kp), opts);
+    if cache.shape != Some(shape) {
+        cache.methods.clear();
+        cache.shape = Some(shape);
+    }
+    // Under the padding policy the whole-program flow analysis feeds every
+    // body's pad counts, so per-method reuse would be unsound.
+    let reuse_bodies = ctx.downcast_info.is_none();
+
+    // ---- symbolic body inference (once per changed method) --------------
     let ids: Vec<MethodId> = kp.all_methods().map(|(id, _)| id).collect();
     let mut bodies: BTreeMap<MethodId, BodyResult> = BTreeMap::new();
     for &id in &ids {
-        let res = infer_body(&mut ctx, id)?;
+        let name = kp.method_name(id);
+        let fp = method_fingerprint(kp, id);
+        let cached = if reuse_bodies {
+            cache
+                .methods
+                .get(&name)
+                .filter(|entry| entry.fingerprint == fp)
+        } else {
+            None
+        };
+        let res = match cached {
+            Some(entry) => {
+                // Rebase the cached result onto the current id range and
+                // replay the generator state a fresh inference would leave.
+                let new_lo = ctx.gen.count() + 1;
+                let rebased = rebase_body_result(&entry.result, new_lo);
+                ctx.gen
+                    .skip(entry.result.region_hi - entry.result.region_lo);
+                stats.methods_reused += 1;
+                rebased
+            }
+            None => {
+                let res = infer_body(&mut ctx, id)?;
+                stats.methods_inferred += 1;
+                if reuse_bodies {
+                    cache.methods.insert(
+                        name,
+                        MethodEntry {
+                            fingerprint: fp,
+                            result: res.clone(),
+                        },
+                    );
+                }
+                res
+            }
+        };
         let sig = &ctx.msigs[&id];
         ctx.raw.insert(ConstraintAbs {
             name: sig.abs_name.clone(),
@@ -64,7 +184,7 @@ pub fn infer(kp: &KProgram, opts: InferOptions) -> Result<(RProgram, InferStats)
     let mut closed;
     loop {
         stats.global_iterations += 1;
-        let (solved, iters) = solve_all(&ctx.raw);
+        let (solved, iters) = solve_all_memo(&ctx.raw, &mut cache.memo, &mut stats);
         stats.fixpoint_iterations += iters;
         closed = solved;
 
@@ -176,11 +296,10 @@ pub fn infer_source(
     Ok((p, s))
 }
 
-/// Solves the whole abstraction system bottom-up over its SCC condensation.
-/// Returns the closed environment and the total number of Kleene
-/// iterations.
-pub fn solve_all(raw: &AbsEnv) -> (AbsEnv, usize) {
-    let mut env = raw.clone();
+/// The SCC condensation of an abstraction environment's call graph, in
+/// bottom-up (callee-first) order — the paper's global dependency graph
+/// (Sec 4.3), exposed so incremental drivers can reason about solve units.
+pub fn condensation(env: &AbsEnv) -> Vec<Vec<String>> {
     let names: Vec<String> = env.iter().map(|a| a.name.clone()).collect();
     let index: BTreeMap<&str, usize> = names
         .iter()
@@ -199,13 +318,91 @@ pub fn solve_all(raw: &AbsEnv) -> (AbsEnv, usize) {
                 .collect()
         })
         .collect();
-    let sccs = tarjan_scc(names.len(), |v| adj[v].iter().copied());
+    tarjan_scc(names.len(), |v| adj[v].iter().copied())
+        .into_iter()
+        .map(|scc| scc.iter().map(|&i| names[i].clone()).collect())
+        .collect()
+}
+
+/// Solves the whole abstraction system bottom-up over its SCC condensation.
+/// Returns the closed environment and the total number of Kleene
+/// iterations.
+pub fn solve_all(raw: &AbsEnv) -> (AbsEnv, usize) {
+    let mut env = raw.clone();
     let mut iterations = 0;
-    for scc in sccs {
-        let group: Vec<String> = scc.iter().map(|&i| names[i].clone()).collect();
+    for group in condensation(raw) {
         iterations += solve_fixpoint(&mut env, &group);
     }
     (env, iterations)
+}
+
+/// [`solve_all`] with a content-addressed memo: SCCs whose canonical raw
+/// bodies and imported closed forms match a previously solved SCC are
+/// served from `memo` without iterating. Updates the `sccs_solved` /
+/// `sccs_reused` counters of `stats`.
+pub fn solve_all_memo(
+    raw: &AbsEnv,
+    memo: &mut SolveMemo,
+    stats: &mut InferStats,
+) -> (AbsEnv, usize) {
+    let mut env = raw.clone();
+    let mut iterations = 0;
+    for group in condensation(raw) {
+        let outcome = solve_scc_memo(&mut env, &group, memo);
+        if outcome.reused {
+            stats.sccs_reused += 1;
+        } else {
+            stats.sccs_solved += 1;
+        }
+        iterations += outcome.iterations;
+    }
+    (env, iterations)
+}
+
+/// Rebases a cached [`BodyResult`] so that its minted-region range starts
+/// at `new_lo`: every region id in `[region_lo, region_hi)` is shifted,
+/// signature regions (below the range) are untouched. The result is
+/// exactly what a fresh [`infer_body`] would have produced with the
+/// generator positioned at `new_lo`.
+fn rebase_body_result(res: &BodyResult, new_lo: u32) -> BodyResult {
+    let (lo, hi) = (res.region_lo, res.region_hi);
+    if new_lo == lo {
+        return res.clone();
+    }
+    let delta = new_lo as i64 - lo as i64;
+    let f = |r: RegVar| -> RegVar {
+        if r.0 >= lo && r.0 < hi {
+            RegVar((r.0 as i64 + delta) as u32)
+        } else {
+            r
+        }
+    };
+    BodyResult {
+        var_types: res
+            .var_types
+            .iter()
+            .map(|t| map_rtype_regions(t, &f))
+            .collect(),
+        body: map_rexpr_regions(&res.body, &f),
+        atoms: res
+            .atoms
+            .iter()
+            .map(|a| match a {
+                Atom::Outlives(x, y) => Atom::outlives(f(x), f(y)),
+                Atom::Eq(x, y) => Atom::eq(f(x), f(y)),
+            })
+            .collect(),
+        calls: res
+            .calls
+            .iter()
+            .map(|c| cj_regions::abstraction::AbsCall {
+                name: c.name.clone(),
+                args: c.args.iter().map(|&a| f(a)).collect(),
+            })
+            .collect(),
+        region_lo: new_lo,
+        region_hi: (hi as i64 + delta) as u32,
+    }
 }
 
 fn full_solver(res: &BodyResult, closed: &AbsEnv) -> Solver {
@@ -632,6 +829,92 @@ mod tests {
         } else {
             panic!("expected class type for a");
         }
+    }
+
+    #[test]
+    fn cached_reinference_is_bit_identical_and_reuses_work() {
+        let opts = InferOptions::default();
+        let multi = "
+        class List { Object value; List next;
+          Object getValue() { this.value }
+          List getNext() { this.next }
+          static bool isNull(List l) { l == null }
+          static List join(List xs, List ys) {
+            if (isNull(xs)) { ys } else {
+              List r = join(xs.getNext(), ys);
+              new List(xs.getValue(), r)
+            }
+          }
+        }
+        class Stack { List top;
+          void push(Object o) { this.top = new List(o, this.top); }
+          Object peek() { this.top.getValue() }
+        }";
+        let kp = check_source(multi).unwrap();
+        let mut cache = InferCache::new();
+        let (p1, s1) = infer_with_cache(&kp, opts, &mut cache).unwrap();
+        assert!(s1.methods_inferred > 0);
+        assert_eq!(s1.methods_reused, 0);
+
+        // Identical input: every body and every SCC is replayed.
+        let (p2, s2) = infer_with_cache(&kp, opts, &mut cache).unwrap();
+        assert_eq!(s2.methods_inferred, 0);
+        assert_eq!(s2.methods_reused, s1.methods_inferred);
+        assert_eq!(s2.sccs_solved, 0, "all SCC solves must hit the memo");
+        assert!(s2.sccs_reused > 0);
+        assert_eq!(
+            crate::pretty::program_to_string(&p1),
+            crate::pretty::program_to_string(&p2)
+        );
+
+        // One edited body: exactly one re-inference, strictly fewer SCC
+        // solves than a cold run — and output identical to from-scratch.
+        let edited = multi.replace(
+            "{ this.top.getValue() }",
+            "{ this.top.getNext().getValue() }",
+        );
+        let kp2 = check_source(&edited).unwrap();
+        let (p3, s3) = infer_with_cache(&kp2, opts, &mut cache).unwrap();
+        assert_eq!(s3.methods_inferred, 1, "only the edited body re-infers");
+        assert!(
+            s3.sccs_solved < s1.sccs_solved,
+            "dirty SCCs ({}) must be fewer than a cold solve ({})",
+            s3.sccs_solved,
+            s1.sccs_solved
+        );
+        let (p4, s4) = infer(&kp2, opts).unwrap();
+        assert_eq!(
+            crate::pretty::program_to_string(&p3),
+            crate::pretty::program_to_string(&p4),
+            "incremental result must equal from-scratch"
+        );
+        let q3: Vec<String> = p3.q.iter().map(|a| a.to_string()).collect();
+        let q4: Vec<String> = p4.q.iter().map(|a| a.to_string()).collect();
+        assert_eq!(q3, q4, "closed environments must match");
+        assert_eq!(s3.regions_created, s4.regions_created);
+
+        // Untouched abstractions keep byte-identical closed forms.
+        let before = p1.q.get("pre.List.getValue").unwrap().to_string();
+        let after = p3.q.get("pre.List.getValue").unwrap().to_string();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shape_change_invalidates_method_cache_but_still_matches_scratch() {
+        let opts = InferOptions::default();
+        let v1 = "class A { Object x; Object get() { this.x } }";
+        let v2 = "class A { Object x; Object y; Object get() { this.x } }";
+        let mut cache = InferCache::new();
+        let kp1 = check_source(v1).unwrap();
+        infer_with_cache(&kp1, opts, &mut cache).unwrap();
+        let kp2 = check_source(v2).unwrap();
+        let (p_inc, stats) = infer_with_cache(&kp2, opts, &mut cache).unwrap();
+        assert_eq!(stats.methods_reused, 0, "new field renumbers signatures");
+        let (p_fresh, _) = infer(&kp2, opts).unwrap();
+        assert_eq!(
+            crate::pretty::program_to_string(&p_inc),
+            crate::pretty::program_to_string(&p_fresh)
+        );
     }
 
     #[test]

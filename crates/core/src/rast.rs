@@ -352,6 +352,133 @@ pub fn walk_rexpr<'a>(e: &'a RExpr, f: &mut impl FnMut(&'a RExpr)) {
     }
 }
 
+/// Rebuilds an annotated expression with every region variable passed
+/// through `f` (types, instantiations, allocations, casts and `letreg`
+/// binders alike). Used to rebase cached per-method inference results onto
+/// a new region-id range.
+pub fn map_rexpr_regions(e: &RExpr, f: &impl Fn(RegVar) -> RegVar) -> RExpr {
+    let map_vec = |rs: &[RegVar]| rs.iter().map(|&r| f(r)).collect::<Vec<_>>();
+    let kind = match &e.kind {
+        RExprKind::Unit => RExprKind::Unit,
+        RExprKind::Int(v) => RExprKind::Int(*v),
+        RExprKind::Bool(v) => RExprKind::Bool(*v),
+        RExprKind::Float(v) => RExprKind::Float(*v),
+        RExprKind::Null => RExprKind::Null,
+        RExprKind::Var(v) => RExprKind::Var(*v),
+        RExprKind::Field(v, fr) => RExprKind::Field(*v, *fr),
+        RExprKind::AssignVar(v, rhs) => {
+            RExprKind::AssignVar(*v, Box::new(map_rexpr_regions(rhs, f)))
+        }
+        RExprKind::AssignField(v, fr, rhs) => {
+            RExprKind::AssignField(*v, *fr, Box::new(map_rexpr_regions(rhs, f)))
+        }
+        RExprKind::New {
+            class,
+            regions,
+            args,
+        } => RExprKind::New {
+            class: *class,
+            regions: map_vec(regions),
+            args: args.clone(),
+        },
+        RExprKind::NewArray { elem, region, len } => RExprKind::NewArray {
+            elem: *elem,
+            region: f(*region),
+            len: Box::new(map_rexpr_regions(len, f)),
+        },
+        RExprKind::Index(v, idx) => RExprKind::Index(*v, Box::new(map_rexpr_regions(idx, f))),
+        RExprKind::AssignIndex(v, idx, val) => RExprKind::AssignIndex(
+            *v,
+            Box::new(map_rexpr_regions(idx, f)),
+            Box::new(map_rexpr_regions(val, f)),
+        ),
+        RExprKind::ArrayLen(v) => RExprKind::ArrayLen(*v),
+        RExprKind::CallVirtual {
+            recv,
+            method,
+            inst,
+            args,
+        } => RExprKind::CallVirtual {
+            recv: *recv,
+            method: *method,
+            inst: map_vec(inst),
+            args: args.clone(),
+        },
+        RExprKind::CallStatic { method, inst, args } => RExprKind::CallStatic {
+            method: *method,
+            inst: map_vec(inst),
+            args: args.clone(),
+        },
+        RExprKind::Seq(a, b) => RExprKind::Seq(
+            Box::new(map_rexpr_regions(a, f)),
+            Box::new(map_rexpr_regions(b, f)),
+        ),
+        RExprKind::Let { var, init, body } => RExprKind::Let {
+            var: *var,
+            init: init.as_ref().map(|i| Box::new(map_rexpr_regions(i, f))),
+            body: Box::new(map_rexpr_regions(body, f)),
+        },
+        RExprKind::Letreg(r, inner) => {
+            RExprKind::Letreg(f(*r), Box::new(map_rexpr_regions(inner, f)))
+        }
+        RExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => RExprKind::If {
+            cond: Box::new(map_rexpr_regions(cond, f)),
+            then_e: Box::new(map_rexpr_regions(then_e, f)),
+            else_e: Box::new(map_rexpr_regions(else_e, f)),
+        },
+        RExprKind::While { cond, body } => RExprKind::While {
+            cond: Box::new(map_rexpr_regions(cond, f)),
+            body: Box::new(map_rexpr_regions(body, f)),
+        },
+        RExprKind::Cast {
+            class,
+            regions,
+            var,
+        } => RExprKind::Cast {
+            class: *class,
+            regions: map_vec(regions),
+            var: *var,
+        },
+        RExprKind::Unary(op, a) => RExprKind::Unary(*op, Box::new(map_rexpr_regions(a, f))),
+        RExprKind::Binary(op, a, b) => RExprKind::Binary(
+            *op,
+            Box::new(map_rexpr_regions(a, f)),
+            Box::new(map_rexpr_regions(b, f)),
+        ),
+        RExprKind::Print(a) => RExprKind::Print(Box::new(map_rexpr_regions(a, f))),
+    };
+    RExpr {
+        kind,
+        rtype: map_rtype_regions(&e.rtype, f),
+        span: e.span,
+    }
+}
+
+/// Rebuilds an annotated type with every region passed through `f`.
+pub fn map_rtype_regions(t: &RType, f: &impl Fn(RegVar) -> RegVar) -> RType {
+    match t {
+        RType::Void => RType::Void,
+        RType::Prim(p) => RType::Prim(*p),
+        RType::Class {
+            class,
+            regions,
+            pads,
+        } => RType::Class {
+            class: *class,
+            regions: regions.iter().map(|&r| f(r)).collect(),
+            pads: pads.iter().map(|&r| f(r)).collect(),
+        },
+        RType::Array { elem, region } => RType::Array {
+            elem: *elem,
+            region: f(*region),
+        },
+    }
+}
+
 /// A fully region-annotated program — the output of inference and the input
 /// of the region checker and the interpreter.
 #[derive(Debug, Clone)]

@@ -1,23 +1,29 @@
-//! # cj-driver — the `Session` compiler driver
+//! # cj-driver — the `Workspace` / `Session` compiler drivers
 //!
-//! The driver-style API over the PLDI 2004 region-inference pipeline:
-//! a [`Session`] holds one source text and exposes the staged methods
+//! The driver layer over the PLDI 2004 region-inference pipeline, built
+//! around the multi-file, demand-driven [`Workspace`]:
 //!
 //! ```text
-//! parse → typecheck → infer → check → run
+//! set_source ─▶ per-file AST ─▶ merged program ─▶ kernel ─▶ per-options
+//!               (slot-stable spans)                          compilation
 //! ```
 //!
-//! Every stage memoizes its artifact, and inference artifacts are cached
-//! per [`InferOptions`](cj_infer::InferOptions) — so ablating the three
-//! region-subtyping modes runs the front end **once**, and tools can
-//! inspect intermediate artifacts (AST, kernel, annotated program)
-//! without recompiling. Errors from every stage are structured
+//! Every derived artifact is a memoized query with fine-grained
+//! invalidation: editing one file re-parses **only that file**, and
+//! re-inference replays per-method symbolic results and per-SCC solved
+//! abstractions from content-addressed caches — re-running only what the
+//! edit dirtied, while producing output bit-identical to a from-scratch
+//! compile. The closed constraint-abstraction environment `Q` is
+//! queryable ([`Workspace::q`], [`Workspace::precondition`],
+//! [`Workspace::invariant`], [`Workspace::entails`]) without re-solving.
+//!
+//! [`Session`] is the single-source facade (one file named `<input>`),
+//! [`Server`] the JSON-lines compile-server loop behind `cjrc serve`, and
+//! [`compile_many`] batch-compiles independent sources on worker threads.
+//! Errors from every stage are structured
 //! [`Diagnostics`](cj_diag::Diagnostics) with spans, stable codes, caret
 //! rendering and a JSON form; no stage returns `Box<dyn Error>` or
 //! strings.
-//!
-//! [`compile_many`] batch-compiles independent sources on worker
-//! threads.
 //!
 //! # Examples
 //!
@@ -50,7 +56,11 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod server;
 pub mod session;
+pub mod workspace;
 
 pub use batch::{compile_many, SourceInput};
-pub use session::{Compilation, CompileResult, PassCounts, Session, SessionOptions};
+pub use server::{parse_json, Json, Server};
+pub use session::{Compilation, CompileResult, Session, SessionOptions};
+pub use workspace::{PassCounts, Workspace, FILE_SPAN_STRIDE};

@@ -1,0 +1,657 @@
+//! The `cjrc serve` compile server: a long-lived JSON-lines protocol over
+//! a [`Workspace`].
+//!
+//! One request per line on stdin, one response per line on stdout. Every
+//! response carries the workspace `revision` and a `passes_executed`
+//! object — the per-request delta of the workspace pass counters — so
+//! clients (and tests) can *observe* incrementality: after editing one
+//! method body, a `check` response shows one file re-parsed and only the
+//! dirty abstraction SCCs re-solved.
+//!
+//! # Requests
+//!
+//! | `cmd` | fields | effect |
+//! |---|---|---|
+//! | `open` / `edit` | `file`, `text` | add or replace a source file |
+//! | `close` | `file` | remove a source file |
+//! | `check` | — | compile + region-check the workspace |
+//! | `annotate` | — | return the annotated program text |
+//! | `query` | `name` \| `invariant` \| `precondition` [+ `class`] [+ `entails`] | read the closed environment `Q` |
+//! | `stats` | — | revision, files, cumulative passes, infer stats |
+//! | `shutdown` | — | acknowledge and stop |
+//!
+//! # Example exchange
+//!
+//! ```text
+//! → {"cmd":"open","file":"pair.cj","text":"class Pair { Object fst; Object snd; }"}
+//! ← {"ok":true,"revision":1,"passes_executed":{...}}
+//! → {"cmd":"check"}
+//! ← {"ok":true,"revision":1,"status":"well-region-typed","warnings":[],"passes_executed":{"parse":1,...}}
+//! → {"cmd":"query","invariant":"Pair"}
+//! ← {"ok":true,"revision":1,"abs":"inv.Pair<r1,r2,r3> = r2>=r1 & r3>=r1",...}
+//! ```
+
+use crate::session::SessionOptions;
+use crate::workspace::{PassCounts, Workspace};
+use cj_diag::json_string;
+use cj_infer::InferOptions;
+use cj_runtime::Value;
+use std::fmt::Write as _;
+
+// ---- a minimal JSON value model -------------------------------------------
+
+/// A parsed JSON value (the subset the protocol needs — which is all of
+/// JSON except number edge cases beyond `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String member lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value from `input` (must consume the whole input up to
+/// trailing whitespace).
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid token at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut unit = read_hex4(b, *pos + 1)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        // Surrogate pair: a high surrogate must be followed
+                        // by `\uDC00`–`\uDFFF`; combine into one scalar.
+                        if (0xd800..0xdc00).contains(&unit) {
+                            if b.get(*pos + 1..*pos + 3) != Some(&b"\\u"[..]) {
+                                return Err(format!("lone high surrogate at byte {pos}"));
+                            }
+                            let low = read_hex4(b, *pos + 3)
+                                .filter(|l| (0xdc00..0xe000).contains(l))
+                                .ok_or_else(|| format!("invalid low surrogate at byte {pos}"))?;
+                            unit = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                            *pos += 6;
+                        }
+                        out.push(char::from_u32(unit).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?);
+            }
+        }
+    }
+}
+
+fn read_hex4(b: &[u8], at: usize) -> Option<u32> {
+    b.get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+}
+
+// ---- the server ------------------------------------------------------------
+
+/// A compile server processing one JSON request per line. Pure with
+/// respect to I/O: [`handle_line`](Server::handle_line) maps a request
+/// string to a response string, so tests can drive it directly.
+#[derive(Debug)]
+pub struct Server {
+    ws: Workspace,
+    done: bool,
+}
+
+impl Server {
+    /// A server over an empty workspace.
+    pub fn new(opts: SessionOptions) -> Server {
+        Server {
+            ws: Workspace::new(opts),
+            done: false,
+        }
+    }
+
+    /// Whether a `shutdown` request has been processed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The underlying workspace (for tests and embedders).
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Processes one request line, returning the response line (without a
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let before = self.ws.pass_counts();
+        let body = match parse_json(line) {
+            Ok(req) => self.dispatch(&req),
+            Err(e) => Err(format!("malformed request: {e}")),
+        };
+        let passes = self.ws.pass_counts().since(before);
+        let revision = self.ws.revision();
+        match body {
+            Ok(fields) => {
+                let mut out = String::from("{\"ok\":true");
+                let _ = write!(out, ",\"revision\":{revision}");
+                if !fields.is_empty() {
+                    let _ = write!(out, ",{fields}");
+                }
+                let _ = write!(out, ",\"passes_executed\":{}", passes_json(passes));
+                out.push('}');
+                out
+            }
+            Err(error) => format!(
+                "{{\"ok\":false,\"revision\":{revision},\"error\":{},\
+                 \"passes_executed\":{}}}",
+                json_string(&error),
+                passes_json(passes)
+            ),
+        }
+    }
+
+    /// Dispatches a parsed request; `Ok` carries extra response fields
+    /// (already JSON-encoded, comma-separated, no braces).
+    fn dispatch(&mut self, req: &Json) -> Result<String, String> {
+        let cmd = req.get_str("cmd").ok_or("missing `cmd`")?;
+        match cmd {
+            "open" | "edit" => {
+                let file = req.get_str("file").ok_or("`open` needs `file`")?;
+                let text = req.get_str("text").ok_or("`open` needs `text`")?;
+                self.ws
+                    .set_source(file, text)
+                    .map_err(|d| d.to_string().trim_end().to_string())?;
+                Ok(String::new())
+            }
+            "close" => {
+                let file = req.get_str("file").ok_or("`close` needs `file`")?;
+                self.ws
+                    .remove_source(file)
+                    .ok_or_else(|| format!("no file `{file}` in the workspace"))?;
+                Ok(String::new())
+            }
+            "check" => {
+                let opts = self.request_opts(req)?;
+                match self.ws.check_with(opts) {
+                    Ok(_) => {
+                        let warnings = self.downcast_warnings()?;
+                        Ok(format!(
+                            "\"status\":\"well-region-typed\",\"warnings\":{warnings}"
+                        ))
+                    }
+                    Err(diags) => Ok(format!(
+                        "\"status\":\"error\",\"diagnostics\":{}",
+                        self.ws.render_json(&diags)
+                    )),
+                }
+            }
+            "annotate" => {
+                let opts = self.request_opts(req)?;
+                let annotated = self
+                    .ws
+                    .annotate_with(opts)
+                    .map_err(|d| d.to_string().trim_end().to_string())?;
+                Ok(format!("\"annotated\":{}", json_string(&annotated)))
+            }
+            "run" => {
+                let args: Vec<Value> = match req.get("args") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|v| match v {
+                            Json::Num(n) => Ok(Value::Int(*n as i64)),
+                            _ => Err("`run` args must be integers".to_string()),
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => Vec::new(),
+                    _ => return Err("`args` must be an array".to_string()),
+                };
+                let opts = self.request_opts(req)?;
+                let out = self
+                    .ws
+                    .run_values_with(opts, &args)
+                    .map_err(|d| d.to_string().trim_end().to_string())?;
+                Ok(format!(
+                    "\"result\":{},\"space_ratio\":{:.4}",
+                    json_string(&out.value.to_string()),
+                    out.space.space_ratio()
+                ))
+            }
+            "query" => self.query(req),
+            "stats" => {
+                let files: Vec<String> =
+                    self.ws.file_names().into_iter().map(json_string).collect();
+                let mut extra = format!(
+                    "\"files\":[{}],\"passes_total\":{}",
+                    files.join(","),
+                    passes_json(self.ws.pass_counts())
+                );
+                // A pure read of cached state: `stats` never compiles.
+                let opts = self.request_opts(req)?;
+                if let Some(compilation) = self.ws.cached_compilation(opts) {
+                    let s = &compilation.stats;
+                    let _ = write!(
+                        extra,
+                        ",\"infer_stats\":{{\"regions_created\":{},\"localized_regions\":{},\
+                         \"fixpoint_iterations\":{},\"override_repairs\":{},\
+                         \"methods_inferred\":{},\"methods_reused\":{},\
+                         \"sccs_solved\":{},\"sccs_reused\":{}}}",
+                        s.regions_created,
+                        s.localized_regions,
+                        s.fixpoint_iterations,
+                        s.override_repairs,
+                        s.methods_inferred,
+                        s.methods_reused,
+                        s.sccs_solved,
+                        s.sccs_reused
+                    );
+                }
+                Ok(extra)
+            }
+            "shutdown" => {
+                self.done = true;
+                Ok("\"status\":\"bye\"".to_string())
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    fn request_opts(&self, req: &Json) -> Result<InferOptions, String> {
+        let mut opts = self.ws.options().infer;
+        if let Some(mode) = req.get_str("mode") {
+            opts.mode = mode.parse().map_err(|e| format!("{e}"))?;
+        }
+        if let Some(policy) = req.get_str("downcast") {
+            opts.downcast = policy.parse().map_err(|e| format!("{e}"))?;
+        }
+        Ok(opts)
+    }
+
+    fn query(&mut self, req: &Json) -> Result<String, String> {
+        let name = if let Some(name) = req.get_str("name") {
+            name.to_string()
+        } else if let Some(class) = req.get_str("invariant") {
+            format!("inv.{class}")
+        } else if let Some(method) = req.get_str("precondition") {
+            match req.get_str("class") {
+                Some(class) => format!("pre.{class}.{method}"),
+                None => format!("pre.{method}"),
+            }
+        } else {
+            return Err("`query` needs `name`, `invariant` or `precondition`".to_string());
+        };
+        let opts = self.request_opts(req)?;
+        if let Some(atom) = req.get_str("entails") {
+            let atom = atom.to_string();
+            return match self
+                .ws
+                .entails_with(opts, &name, &atom)
+                .map_err(|d| d.to_string().trim_end().to_string())?
+            {
+                Some(v) => Ok(format!("\"name\":{},\"entails\":{v}", json_string(&name))),
+                None => Err(format!("unknown abstraction `{name}`")),
+            };
+        }
+        match self
+            .ws
+            .q_with(opts, &name)
+            .map_err(|d| d.to_string().trim_end().to_string())?
+        {
+            Some(abs) => Ok(format!(
+                "\"name\":{},\"params\":{},\"abs\":{}",
+                json_string(&name),
+                abs.params.len(),
+                json_string(&abs.to_string())
+            )),
+            None => Err(format!("unknown abstraction `{name}`")),
+        }
+    }
+
+    fn downcast_warnings(&mut self) -> Result<String, String> {
+        let kernel = self
+            .ws
+            .typecheck()
+            .map_err(|d| d.to_string().trim_end().to_string())?;
+        let analysis = self
+            .ws
+            .downcast_analysis()
+            .map_err(|d| d.to_string().trim_end().to_string())?;
+        Ok(self.ws.render_json(&analysis.diagnostics(&kernel)))
+    }
+}
+
+fn passes_json(p: PassCounts) -> String {
+    format!(
+        "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\
+         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{}}}",
+        p.parse,
+        p.typecheck,
+        p.infer,
+        p.check,
+        p.run,
+        p.methods_inferred,
+        p.methods_reused,
+        p.sccs_solved,
+        p.sccs_reused
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(SessionOptions::default())
+    }
+
+    #[test]
+    fn json_parser_roundtrips_protocol_shapes() {
+        let v = parse_json(r#"{"cmd":"open","file":"a.cj","text":"class A { }","n":3}"#).unwrap();
+        assert_eq!(v.get_str("cmd"), Some("open"));
+        assert_eq!(v.get_str("text"), Some("class A { }"));
+        assert_eq!(v.get("n"), Some(&Json::Num(3.0)));
+        let v = parse_json(r#"{"a":[1,true,null,"x\nA"]}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Bool(true),
+                Json::Null,
+                Json::Str("x\nA".to_string()),
+            ]))
+        );
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a":1} extra"#).is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn json_parser_decodes_surrogate_pairs() {
+        // ensure_ascii-style encoders escape non-BMP chars as pairs.
+        let v = parse_json(r#"{"text":"a😀b é"}"#).unwrap();
+        assert_eq!(v.get_str("text"), Some("a\u{1f600}b é"));
+        assert!(parse_json(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse_json(r#""\ud83dxx""#).is_err());
+        assert!(parse_json(r#""\ud83dA""#).is_err(), "bad low unit");
+    }
+
+    #[test]
+    fn queries_honor_per_request_mode() {
+        // Sec 3.2's foo: no-sub coalesces the two parameter regions,
+        // object-sub keeps them apart — the same query must answer per the
+        // requested mode, not the workspace default (field-sub).
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"foo.cj","text":"class M { static void foo(Object a, Object b, bool c) { Object tmp; if (c) { tmp = a; } else { tmp = b; } } }"}"#,
+        );
+        let none =
+            s.handle_line(r#"{"cmd":"query","name":"pre.foo","entails":"r1=r2","mode":"none"}"#);
+        assert!(none.contains("\"entails\":true"), "{none}");
+        let object =
+            s.handle_line(r#"{"cmd":"query","name":"pre.foo","entails":"r1=r2","mode":"object"}"#);
+        assert!(object.contains("\"entails\":false"), "{object}");
+    }
+
+    #[test]
+    fn stats_is_a_pure_read() {
+        let mut s = server();
+        s.handle_line(r#"{"cmd":"open","file":"a.cj","text":"class A { Object x; }"}"#);
+        // Before any compile: no passes run, no infer_stats to report.
+        let resp = s.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(resp.contains("\"files\":[\"a.cj\"]"), "{resp}");
+        assert!(!resp.contains("infer_stats"), "{resp}");
+        assert!(resp.contains("\"passes_executed\":{\"parse\":0"), "{resp}");
+        // After a check, stats reports the cached compilation — still
+        // without executing anything new.
+        s.handle_line(r#"{"cmd":"check"}"#);
+        let resp = s.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(resp.contains("\"infer_stats\":{"), "{resp}");
+        assert!(resp.contains("\"passes_executed\":{\"parse\":0"), "{resp}");
+    }
+
+    #[test]
+    fn open_check_query_shutdown_flow() {
+        let mut s = server();
+        let resp = s.handle_line(
+            r#"{"cmd":"open","file":"pair.cj","text":"class Pair { Object fst; Object snd; }"}"#,
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"revision\":1"), "{resp}");
+
+        let resp = s.handle_line(r#"{"cmd":"check"}"#);
+        assert!(resp.contains("\"status\":\"well-region-typed\""), "{resp}");
+        assert!(resp.contains("\"parse\":1"), "{resp}");
+
+        let resp = s.handle_line(r#"{"cmd":"query","invariant":"Pair"}"#);
+        assert!(resp.contains("\"abs\":\"inv.Pair<"), "{resp}");
+        assert!(resp.contains("\"params\":3"), "{resp}");
+
+        let resp = s.handle_line(r#"{"cmd":"query","invariant":"Pair","entails":"r2>=r1"}"#);
+        assert!(resp.contains("\"entails\":true"), "{resp}");
+
+        assert!(!s.is_done());
+        let resp = s.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert!(resp.contains("\"status\":\"bye\""), "{resp}");
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn check_reports_structured_diagnostics() {
+        let mut s = server();
+        s.handle_line(r#"{"cmd":"open","file":"bad.cj","text":"class A { Pear p; }"}"#);
+        let resp = s.handle_line(r#"{"cmd":"check"}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"status\":\"error\""), "{resp}");
+        assert!(resp.contains("unknown class `Pear`"), "{resp}");
+        assert!(resp.contains("\"file\":\"bad.cj\""), "{resp}");
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let mut s = server();
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"cmd":"explode"}"#,
+            r#"{"cmd":"open","file":"x"}"#,
+            r#"{"cmd":"close","file":"missing.cj"}"#,
+            r#"{"cmd":"query"}"#,
+            r#"{"cmd":"query","name":"inv.Nope"}"#,
+            r#"{"cmd":"check","mode":"bogus"}"#,
+        ] {
+            let resp = s.handle_line(line);
+            assert!(resp.contains("\"ok\":false"), "line {line:?} → {resp}");
+            assert!(resp.contains("\"error\":"), "line {line:?} → {resp}");
+        }
+    }
+
+    #[test]
+    fn edit_responses_expose_incrementality() {
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"a.cj","text":"class Cell { Object item; Object get() { this.item } Object id() { this.item } }"}"#,
+        );
+        s.handle_line(
+            r#"{"cmd":"open","file":"b.cj","text":"class M { static Object f(Cell c) { c.get() } }"}"#,
+        );
+        let cold = s.handle_line(r#"{"cmd":"check"}"#);
+        assert!(cold.contains("\"parse\":2"), "{cold}");
+
+        // Edit only b.cj: one re-parse, and Cell's methods are replayed.
+        s.handle_line(
+            r#"{"cmd":"edit","file":"b.cj","text":"class M { static Object f(Cell c) { c.id() } }"}"#,
+        );
+        let warm = s.handle_line(r#"{"cmd":"check"}"#);
+        assert!(warm.contains("\"parse\":1"), "{warm}");
+        assert!(warm.contains("\"methods_inferred\":1"), "{warm}");
+        assert!(warm.contains("\"methods_reused\":2"), "{warm}");
+    }
+
+    #[test]
+    fn run_executes_main() {
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"m.cj","text":"class M { static int main(int n) { n * 2 } }"}"#,
+        );
+        let resp = s.handle_line(r#"{"cmd":"run","args":[21]}"#);
+        assert!(resp.contains("\"result\":\"42\""), "{resp}");
+    }
+}

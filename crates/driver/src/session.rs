@@ -1,11 +1,18 @@
-//! The staged [`Session`] driver.
+//! The staged [`Session`] driver — a single-file facade over
+//! [`Workspace`].
+//!
+//! A session holds one source text and exposes the staged pipeline
+//! `parse → typecheck → infer → check → run` with per-stage memoization.
+//! All artifact caching, invalidation and inference reuse live in the
+//! underlying workspace; `Session` adds the single-source conveniences
+//! (one display name, a borrowed [`Emitter`], integer `main` arguments).
 
-use cj_diag::{codes, Diagnostic, Diagnostics, Emitter, IntoDiagnostics, SourceMap, Span};
+use crate::workspace::{PassCounts, Workspace};
+use cj_diag::{codes, Diagnostic, Diagnostics, Emitter, SourceMap, Span};
 use cj_frontend::ast;
 use cj_frontend::KProgram;
 use cj_infer::{InferOptions, InferStats, RProgram};
 use cj_runtime::{Outcome, RunConfig, Value};
-use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -13,7 +20,10 @@ use std::sync::Arc;
 /// diagnostics. No `Box<dyn Error>`, no strings.
 pub type CompileResult<T> = Result<T, Diagnostics>;
 
-/// Configuration for a [`Session`].
+/// The file name a [`Session`]'s source occupies inside its workspace.
+const SESSION_FILE: &str = "<input>";
+
+/// Configuration for a [`Session`] or [`Workspace`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionOptions {
     /// Region-inference options used by the option-less staged methods
@@ -42,24 +52,6 @@ pub struct Compilation {
     pub program: RProgram,
     /// Inference statistics.
     pub stats: InferStats,
-}
-
-/// How many times each pipeline stage actually executed (as opposed to
-/// being served from the artifact cache). Lets callers — and the ablation
-/// bench — *demonstrate* that one typechecked kernel is shared across
-/// subtype modes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PassCounts {
-    /// Parser executions.
-    pub parse: u32,
-    /// Normal-typecheck executions.
-    pub typecheck: u32,
-    /// Region-inference executions (one per distinct [`InferOptions`]).
-    pub infer: u32,
-    /// Region-checker executions.
-    pub check: u32,
-    /// Interpreter executions.
-    pub run: u32,
 }
 
 /// A compiler driver holding one source text and every artifact derived
@@ -92,14 +84,11 @@ pub struct PassCounts {
 #[derive(Debug)]
 pub struct Session {
     name: String,
-    source: String,
-    opts: SessionOptions,
+    ws: Workspace,
     map: SourceMap,
-    ast: Option<Arc<ast::Program>>,
-    kernel: Option<Arc<KProgram>>,
-    inferred: HashMap<InferOptions, Arc<Compilation>>,
-    checked: HashSet<InferOptions>,
-    counts: PassCounts,
+    /// Set when the source was rejected at ingestion (oversized); surfaced
+    /// by the first staged call.
+    ingest_error: Option<Diagnostics>,
 }
 
 impl Session {
@@ -109,16 +98,13 @@ impl Session {
     pub fn new(source: impl Into<String>, opts: SessionOptions) -> Session {
         let source = source.into();
         let map = SourceMap::new(&source);
+        let mut ws = Workspace::new(opts);
+        let ingest_error = ws.set_source(SESSION_FILE, source).err();
         Session {
-            name: "<input>".to_string(),
-            source,
-            opts,
+            name: SESSION_FILE.to_string(),
+            ws,
             map,
-            ast: None,
-            kernel: None,
-            inferred: HashMap::new(),
-            checked: HashSet::new(),
-            counts: PassCounts::default(),
+            ingest_error,
         }
     }
 
@@ -146,7 +132,7 @@ impl Session {
 
     /// The source text.
     pub fn source(&self) -> &str {
-        &self.source
+        self.ws.source(SESSION_FILE).unwrap_or("")
     }
 
     /// The display name of the source.
@@ -156,7 +142,7 @@ impl Session {
 
     /// The session options.
     pub fn options(&self) -> &SessionOptions {
-        &self.opts
+        self.ws.options()
     }
 
     /// The line index of the source.
@@ -166,12 +152,19 @@ impl Session {
 
     /// How many times each stage has actually executed so far.
     pub fn pass_counts(&self) -> PassCounts {
-        self.counts
+        self.ws.pass_counts()
     }
 
     /// An emitter that renders diagnostics against this session's source.
     pub fn emitter(&self) -> Emitter<'_> {
-        Emitter::new(&self.name, &self.source)
+        Emitter::new(&self.name, self.source())
+    }
+
+    fn ingest_ok(&self) -> CompileResult<()> {
+        match &self.ingest_error {
+            Some(diags) => Err(diags.clone()),
+            None => Ok(()),
+        }
     }
 
     // ---- staged pipeline -------------------------------------------------
@@ -183,14 +176,8 @@ impl Session {
     /// Lexical ([`codes::LEX`]) and syntactic ([`codes::PARSE`])
     /// diagnostics.
     pub fn parse(&mut self) -> CompileResult<Arc<ast::Program>> {
-        if let Some(ast) = &self.ast {
-            return Ok(Arc::clone(ast));
-        }
-        self.counts.parse += 1;
-        let program = cj_frontend::parser::parse_program(&self.source)?;
-        let program = Arc::new(program);
-        self.ast = Some(Arc::clone(&program));
-        Ok(program)
+        self.ingest_ok()?;
+        self.ws.merged_ast()
     }
 
     /// Stage 2: normal-typechecks and lowers to kernel form (cached).
@@ -199,15 +186,8 @@ impl Session {
     ///
     /// Parse diagnostics, or type errors ([`codes::TYPECHECK`]).
     pub fn typecheck(&mut self) -> CompileResult<Arc<KProgram>> {
-        if let Some(kernel) = &self.kernel {
-            return Ok(Arc::clone(kernel));
-        }
-        let ast = self.parse()?;
-        self.counts.typecheck += 1;
-        let kernel = cj_frontend::typecheck::check(&ast)?;
-        let kernel = Arc::new(kernel);
-        self.kernel = Some(Arc::clone(&kernel));
-        Ok(kernel)
+        self.ingest_ok()?;
+        self.ws.typecheck()
     }
 
     /// Stage 3: region inference under the session's options (cached).
@@ -216,7 +196,7 @@ impl Session {
     ///
     /// Front-end diagnostics or inference failures ([`codes::INFER`]).
     pub fn infer(&mut self) -> CompileResult<Arc<Compilation>> {
-        self.infer_with(self.opts.infer)
+        self.infer_with(self.ws.options().infer)
     }
 
     /// Stage 3, parameterized: region inference under `opts`.
@@ -228,16 +208,8 @@ impl Session {
     ///
     /// Front-end diagnostics or inference failures ([`codes::INFER`]).
     pub fn infer_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
-        if let Some(c) = self.inferred.get(&opts) {
-            return Ok(Arc::clone(c));
-        }
-        let kernel = self.typecheck()?;
-        self.counts.infer += 1;
-        let (program, stats) =
-            cj_infer::infer(&kernel, opts).map_err(IntoDiagnostics::into_diagnostics)?;
-        let compilation = Arc::new(Compilation { program, stats });
-        self.inferred.insert(opts, Arc::clone(&compilation));
-        Ok(compilation)
+        self.ingest_ok()?;
+        self.ws.infer_with(opts)
     }
 
     /// Stage 4: region-checks the inferred program (cached), returning it.
@@ -248,7 +220,7 @@ impl Session {
     /// ([`codes::REGION_CHECK`] — a Theorem 1 breach, i.e. an inference
     /// bug).
     pub fn check(&mut self) -> CompileResult<Arc<Compilation>> {
-        self.check_with(self.opts.infer)
+        self.check_with(self.ws.options().infer)
     }
 
     /// Stage 4, parameterized: region-checks under `opts`.
@@ -257,13 +229,8 @@ impl Session {
     ///
     /// Any earlier-stage diagnostics, or checker violations.
     pub fn check_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
-        let compilation = self.infer_with(opts)?;
-        if !self.checked.contains(&opts) {
-            self.counts.check += 1;
-            cj_check::check(&compilation.program).map_err(IntoDiagnostics::into_diagnostics)?;
-            self.checked.insert(opts);
-        }
-        Ok(compilation)
+        self.ingest_ok()?;
+        self.ws.check_with(opts)
     }
 
     /// Stage 5: compiles (through [`check`](Session::check)) and executes
@@ -284,11 +251,8 @@ impl Session {
     ///
     /// Any compilation diagnostics, or a runtime fault.
     pub fn run_values(&mut self, args: &[Value]) -> CompileResult<Outcome> {
-        let run_config = self.opts.run;
-        let compilation = self.check()?;
-        self.counts.run += 1;
-        cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
-            .map_err(IntoDiagnostics::into_diagnostics)
+        self.ingest_ok()?;
+        self.ws.run_values(args)
     }
 
     // ---- derived reports -------------------------------------------------
@@ -299,8 +263,8 @@ impl Session {
     ///
     /// Any compilation diagnostics.
     pub fn annotate(&mut self) -> CompileResult<String> {
-        let compilation = self.infer()?;
-        Ok(cj_infer::pretty::program_to_string(&compilation.program))
+        self.ingest_ok()?;
+        self.ws.annotate()
     }
 
     /// Runs the Sec 5 backward flow analysis on the typechecked kernel.
@@ -309,7 +273,7 @@ impl Session {
     ///
     /// Front-end diagnostics.
     pub fn downcast_analysis(&mut self) -> CompileResult<cj_downcast::DowncastAnalysis> {
-        let kernel = self.typecheck()?;
-        Ok(cj_downcast::analyze(&kernel))
+        self.ingest_ok()?;
+        self.ws.downcast_analysis()
     }
 }

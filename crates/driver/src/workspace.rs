@@ -1,0 +1,862 @@
+//! The multi-file, demand-driven [`Workspace`] driver.
+//!
+//! A workspace holds *named source files* and derives every compiler
+//! artifact — per-file ASTs, the merged program, the typechecked kernel,
+//! per-[`InferOptions`] compilations — as memoized queries with
+//! fine-grained invalidation:
+//!
+//! - editing one file re-parses **only that file** (per-file ASTs are
+//!   cached by content; every file owns a fixed slice of the workspace
+//!   span space, so other files' spans never move);
+//! - re-inference reuses the per-method symbolic results and the
+//!   content-addressed per-SCC solve memo of
+//!   [`cj_infer::InferCache`], so an edit to one method body re-infers
+//!   one body and re-solves only the dirty abstraction SCCs — while
+//!   producing output bit-identical to a from-scratch compile;
+//! - the closed constraint-abstraction environment `Q` is queryable
+//!   ([`q`](Workspace::q), [`precondition`](Workspace::precondition),
+//!   [`invariant`](Workspace::invariant), [`entails`](Workspace::entails))
+//!   without re-running inference.
+//!
+//! [`Session`](crate::Session) is a single-file facade over this type; the
+//! `cjrc serve` compile server ([`crate::server`]) drives it over a
+//! JSON-lines protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_driver::{SessionOptions, Workspace};
+//!
+//! let mut ws = Workspace::new(SessionOptions::default());
+//! ws.set_source("cell.cj", "class Cell { Object item; Object get() { this.item } }")
+//!     .unwrap();
+//! ws.set_source("use.cj", "class M { static Object f(Cell c) { c.get() } }")
+//!     .unwrap();
+//! ws.check().unwrap();
+//! let first = ws.pass_counts();
+//! assert_eq!(first.parse, 2);
+//!
+//! // Editing one method body re-parses only that file…
+//! ws.set_source("use.cj", "class M { static Object f(Cell c) { c.get(); c.get() } }")
+//!     .unwrap();
+//! ws.check().unwrap();
+//! let second = ws.pass_counts().since(first);
+//! assert_eq!(second.parse, 1);
+//! // …re-infers only the edited body, and replays `Cell.get`.
+//! assert_eq!(second.methods_inferred, 1);
+//! assert_eq!(second.methods_reused, 1);
+//! ```
+
+use crate::session::{Compilation, CompileResult, SessionOptions};
+use cj_diag::{codes, Diagnostic, Diagnostics, Emitter, IntoDiagnostics, SourceMap, Span};
+use cj_frontend::ast;
+use cj_frontend::KProgram;
+use cj_infer::{InferCache, InferOptions};
+use cj_regions::abstraction::ConstraintAbs;
+use cj_regions::constraint::Atom;
+use cj_regions::solve::Solver;
+use cj_regions::var::RegVar;
+use cj_runtime::{Outcome, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Size of each file's slice of the workspace span space. Spans of file
+/// *k* (in insertion order) live in `[k·STRIDE, (k+1)·STRIDE)`, so an edit
+/// to one file never moves another file's spans — the keystone of
+/// span-insensitive downstream caching.
+pub const FILE_SPAN_STRIDE: u32 = 1 << 20;
+
+/// Maximum number of files a workspace can ever hold (span space / stride).
+pub const MAX_FILES: u32 = u32::MAX / FILE_SPAN_STRIDE;
+
+/// How many times each pipeline stage actually executed, including the
+/// incremental-inference counters. Monotone; diff two snapshots with
+/// [`since`](PassCounts::since) to see what one request cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassCounts {
+    /// Per-file parser executions.
+    pub parse: u32,
+    /// Whole-program normal-typecheck executions.
+    pub typecheck: u32,
+    /// Region-inference pipeline executions (one per distinct
+    /// [`InferOptions`] per revision).
+    pub infer: u32,
+    /// Region-checker executions.
+    pub check: u32,
+    /// Interpreter executions.
+    pub run: u32,
+    /// Method bodies symbolically inferred.
+    pub methods_inferred: u32,
+    /// Method bodies replayed from the per-method cache.
+    pub methods_reused: u32,
+    /// Abstraction SCC fixpoints actually run.
+    pub sccs_solved: u32,
+    /// Abstraction SCC solves served from the content-addressed memo.
+    pub sccs_reused: u32,
+}
+
+impl PassCounts {
+    /// Field-wise difference `self - earlier` (both snapshots of the same
+    /// monotone counter set).
+    pub fn since(self, earlier: PassCounts) -> PassCounts {
+        PassCounts {
+            parse: self.parse - earlier.parse,
+            typecheck: self.typecheck - earlier.typecheck,
+            infer: self.infer - earlier.infer,
+            check: self.check - earlier.check,
+            run: self.run - earlier.run,
+            methods_inferred: self.methods_inferred - earlier.methods_inferred,
+            methods_reused: self.methods_reused - earlier.methods_reused,
+            sccs_solved: self.sccs_solved - earlier.sccs_solved,
+            sccs_reused: self.sccs_reused - earlier.sccs_reused,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SourceFile {
+    text: String,
+    slot: u32,
+    /// Workspace revision at which the text last changed.
+    revision: u64,
+    /// Cached parse outcome, spans already shifted into this file's slice.
+    parsed: Option<CompileResult<Arc<ast::Program>>>,
+}
+
+impl SourceFile {
+    fn base(&self) -> u32 {
+        self.slot * FILE_SPAN_STRIDE
+    }
+}
+
+/// Per-[`InferOptions`] derived state: the long-lived incremental cache
+/// plus the current revision's artifacts.
+#[derive(Debug, Default)]
+struct InferState {
+    cache: InferCache,
+    compilation: Option<Arc<Compilation>>,
+    checked: bool,
+}
+
+/// A demand-driven, incrementally recompiled set of named sources. See the
+/// module docs.
+#[derive(Debug)]
+pub struct Workspace {
+    opts: SessionOptions,
+    files: BTreeMap<String, SourceFile>,
+    next_slot: u32,
+    revision: u64,
+    merged: Option<Arc<ast::Program>>,
+    kernel: Option<Arc<KProgram>>,
+    states: HashMap<InferOptions, InferState>,
+    counts: PassCounts,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new(opts: SessionOptions) -> Workspace {
+        Workspace {
+            opts,
+            files: BTreeMap::new(),
+            next_slot: 0,
+            revision: 0,
+            merged: None,
+            kernel: None,
+            states: HashMap::new(),
+            counts: PassCounts::default(),
+        }
+    }
+
+    /// The workspace options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.opts
+    }
+
+    /// The current revision; bumped by every successful
+    /// [`set_source`](Workspace::set_source) /
+    /// [`remove_source`](Workspace::remove_source) that changes anything.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// How many times each stage has actually executed so far.
+    pub fn pass_counts(&self) -> PassCounts {
+        self.counts
+    }
+
+    /// The file names, in merge (lexicographic) order.
+    pub fn file_names(&self) -> Vec<&str> {
+        self.files.keys().map(String::as_str).collect()
+    }
+
+    /// The text of a file, if present.
+    pub fn source(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(|f| f.text.as_str())
+    }
+
+    /// Adds or replaces a source file. A no-op (returning the unchanged
+    /// revision) when the text is identical; otherwise derived artifacts
+    /// are invalidated — but long-lived inference caches survive, so the
+    /// next compile replays everything the edit did not touch.
+    ///
+    /// # Errors
+    ///
+    /// A [`codes::IO`] diagnostic when the file exceeds the per-file span
+    /// budget ([`FILE_SPAN_STRIDE`]) or the workspace is full
+    /// ([`MAX_FILES`]).
+    pub fn set_source(
+        &mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> CompileResult<u64> {
+        let name = name.into();
+        let text = text.into();
+        if text.len() as u64 >= FILE_SPAN_STRIDE as u64 {
+            return Err(Diagnostics::from_one(
+                Diagnostic::error(
+                    format!(
+                        "file `{name}` is {} bytes; workspace files are limited to {} bytes",
+                        text.len(),
+                        FILE_SPAN_STRIDE - 1
+                    ),
+                    Span::DUMMY,
+                )
+                .with_code(codes::IO),
+            ));
+        }
+        match self.files.get_mut(&name) {
+            Some(file) => {
+                if file.text == text {
+                    return Ok(self.revision);
+                }
+                self.revision += 1;
+                file.text = text;
+                file.revision = self.revision;
+                file.parsed = None;
+            }
+            None => {
+                if self.next_slot >= MAX_FILES {
+                    return Err(Diagnostics::from_one(
+                        Diagnostic::error(
+                            format!("workspace is full ({MAX_FILES} files)"),
+                            Span::DUMMY,
+                        )
+                        .with_code(codes::IO),
+                    ));
+                }
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.revision += 1;
+                self.files.insert(
+                    name,
+                    SourceFile {
+                        text,
+                        slot,
+                        revision: self.revision,
+                        parsed: None,
+                    },
+                );
+            }
+        }
+        self.invalidate_program();
+        Ok(self.revision)
+    }
+
+    /// Removes a file; returns the new revision, or `None` when the file
+    /// was not present. The file's span slot is retired, not recycled.
+    pub fn remove_source(&mut self, name: &str) -> Option<u64> {
+        self.files.remove(name)?;
+        self.revision += 1;
+        self.invalidate_program();
+        Some(self.revision)
+    }
+
+    fn invalidate_program(&mut self) {
+        self.merged = None;
+        self.kernel = None;
+        for state in self.states.values_mut() {
+            state.compilation = None;
+            state.checked = false;
+        }
+    }
+
+    // ---- staged, memoized queries ---------------------------------------
+
+    /// Parses one file (cached per revision). Spans in the returned AST —
+    /// and in any diagnostics — are global workspace spans.
+    ///
+    /// # Errors
+    ///
+    /// Lexical/syntactic diagnostics, or an unknown-file diagnostic.
+    pub fn parse_file(&mut self, name: &str) -> CompileResult<Arc<ast::Program>> {
+        let Some(file) = self.files.get(name) else {
+            return Err(Diagnostics::from_one(
+                Diagnostic::error(format!("no file `{name}` in the workspace"), Span::DUMMY)
+                    .with_code(codes::IO),
+            ));
+        };
+        if let Some(res) = &file.parsed {
+            return res.clone();
+        }
+        let base = file.base();
+        self.counts.parse += 1;
+        let res = match cj_frontend::parser::parse_program(&file.text) {
+            Ok(mut program) => {
+                ast::shift_spans(&mut program, base);
+                Ok(Arc::new(program))
+            }
+            Err(diags) => Err(shift_diagnostics(diags, base)),
+        };
+        self.files.get_mut(name).expect("file present").parsed = Some(res.clone());
+        res
+    }
+
+    /// The merged program: every file's classes, files in name order
+    /// (cached).
+    ///
+    /// # Errors
+    ///
+    /// The combined parse diagnostics of every ill-formed file.
+    pub fn merged_ast(&mut self) -> CompileResult<Arc<ast::Program>> {
+        if let Some(m) = &self.merged {
+            return Ok(Arc::clone(m));
+        }
+        let names: Vec<String> = self.files.keys().cloned().collect();
+        let mut errors = Diagnostics::new();
+        let mut classes = Vec::new();
+        for name in &names {
+            match self.parse_file(name) {
+                Ok(program) => classes.extend(program.classes.iter().cloned()),
+                Err(diags) => errors.extend(diags),
+            }
+        }
+        if errors.has_errors() {
+            return Err(errors);
+        }
+        let merged = Arc::new(ast::Program { classes });
+        self.merged = Some(Arc::clone(&merged));
+        Ok(merged)
+    }
+
+    /// Normal-typechecks the merged program and lowers it to kernel form
+    /// (cached).
+    ///
+    /// # Errors
+    ///
+    /// Parse or type diagnostics.
+    pub fn typecheck(&mut self) -> CompileResult<Arc<KProgram>> {
+        if let Some(k) = &self.kernel {
+            return Ok(Arc::clone(k));
+        }
+        let merged = self.merged_ast()?;
+        self.counts.typecheck += 1;
+        let kernel = cj_frontend::typecheck::check(&merged)?;
+        let kernel = Arc::new(kernel);
+        self.kernel = Some(Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Region inference under the workspace's default options (cached per
+    /// revision; reuses the per-options incremental cache across
+    /// revisions).
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics or inference failures.
+    pub fn infer(&mut self) -> CompileResult<Arc<Compilation>> {
+        self.infer_with(self.opts.infer)
+    }
+
+    /// Region inference under explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics or inference failures.
+    pub fn infer_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
+        if let Some(c) = self
+            .states
+            .get(&opts)
+            .and_then(|state| state.compilation.clone())
+        {
+            return Ok(c);
+        }
+        let kernel = self.typecheck()?;
+        self.counts.infer += 1;
+        let state = self.states.entry(opts).or_default();
+        let (program, stats) = cj_infer::infer_with_cache(&kernel, opts, &mut state.cache)
+            .map_err(IntoDiagnostics::into_diagnostics)?;
+        self.counts.methods_inferred += stats.methods_inferred as u32;
+        self.counts.methods_reused += stats.methods_reused as u32;
+        self.counts.sccs_solved += stats.sccs_solved as u32;
+        self.counts.sccs_reused += stats.sccs_reused as u32;
+        let compilation = Arc::new(Compilation { program, stats });
+        state.compilation = Some(Arc::clone(&compilation));
+        Ok(compilation)
+    }
+
+    /// Region-checks the inferred program (cached), returning it.
+    ///
+    /// # Errors
+    ///
+    /// Any earlier-stage diagnostics, or checker violations (a Theorem 1
+    /// breach, i.e. an inference bug).
+    pub fn check(&mut self) -> CompileResult<Arc<Compilation>> {
+        self.check_with(self.opts.infer)
+    }
+
+    /// The cached compilation for `opts` at the current revision, if one
+    /// exists — a pure read that never triggers compilation.
+    pub fn cached_compilation(&self, opts: InferOptions) -> Option<Arc<Compilation>> {
+        self.states.get(&opts)?.compilation.clone()
+    }
+
+    /// Region-checks under explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Any earlier-stage diagnostics, or checker violations.
+    pub fn check_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
+        let compilation = self.infer_with(opts)?;
+        let state = self.states.entry(opts).or_default();
+        if !state.checked {
+            self.counts.check += 1;
+            cj_check::check(&compilation.program).map_err(IntoDiagnostics::into_diagnostics)?;
+            self.states.entry(opts).or_default().checked = true;
+        }
+        Ok(compilation)
+    }
+
+    /// Compiles (through [`check`](Workspace::check)) and executes `main`
+    /// on a big-stack worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault.
+    pub fn run_values(&mut self, args: &[Value]) -> CompileResult<Outcome> {
+        self.run_values_with(self.opts.infer, args)
+    }
+
+    /// [`run_values`](Workspace::run_values) under explicit inference
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault.
+    pub fn run_values_with(
+        &mut self,
+        opts: InferOptions,
+        args: &[Value],
+    ) -> CompileResult<Outcome> {
+        let run_config = self.opts.run;
+        let compilation = self.check_with(opts)?;
+        self.counts.run += 1;
+        cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
+            .map_err(IntoDiagnostics::into_diagnostics)
+    }
+
+    /// Renders the inferred program in the paper's annotation syntax.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn annotate(&mut self) -> CompileResult<String> {
+        self.annotate_with(self.opts.infer)
+    }
+
+    /// [`annotate`](Workspace::annotate) under explicit inference options.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn annotate_with(&mut self, opts: InferOptions) -> CompileResult<String> {
+        let compilation = self.infer_with(opts)?;
+        Ok(cj_infer::pretty::program_to_string(&compilation.program))
+    }
+
+    /// Runs the Sec 5 backward flow analysis on the typechecked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Front-end diagnostics.
+    pub fn downcast_analysis(&mut self) -> CompileResult<cj_downcast::DowncastAnalysis> {
+        let kernel = self.typecheck()?;
+        Ok(cj_downcast::analyze(&kernel))
+    }
+
+    // ---- the `Q` query API ----------------------------------------------
+
+    /// The closed constraint abstraction named `name` (`inv.cn`,
+    /// `pre.cn.mn`, or `pre.mn` for statics), answered from cached solver
+    /// state. `None` when no such abstraction exists.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics (inference runs on demand if needed).
+    pub fn q(&mut self, name: &str) -> CompileResult<Option<ConstraintAbs>> {
+        self.q_with(self.opts.infer, name)
+    }
+
+    /// [`q`](Workspace::q) under explicit inference options.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn q_with(
+        &mut self,
+        opts: InferOptions,
+        name: &str,
+    ) -> CompileResult<Option<ConstraintAbs>> {
+        let compilation = self.infer_with(opts)?;
+        Ok(compilation.program.q.get(name).cloned())
+    }
+
+    /// The solved precondition of a method: `class = Some(cn)` looks up
+    /// `pre.cn.mn`, `None` the static `pre.mn`.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn precondition(
+        &mut self,
+        class: Option<&str>,
+        method: &str,
+    ) -> CompileResult<Option<ConstraintAbs>> {
+        let name = match class {
+            Some(c) => format!("pre.{c}.{method}"),
+            None => format!("pre.{method}"),
+        };
+        self.q(&name)
+    }
+
+    /// The solved invariant `inv.cn` of a class.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn invariant(&mut self, class: &str) -> CompileResult<Option<ConstraintAbs>> {
+        self.q(&format!("inv.{class}"))
+    }
+
+    /// Whether the closed abstraction `name` entails `atom`, written over
+    /// the abstraction's **positional** parameters: `r1` is the first
+    /// formal parameter, `heap` the global heap — e.g. `"r2>=r1"` or
+    /// `"r2=r3"`. Returns `None` when the abstraction does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics, or a [`codes::CLI`] diagnostic for a
+    /// malformed atom.
+    pub fn entails(&mut self, name: &str, atom: &str) -> CompileResult<Option<bool>> {
+        self.entails_with(self.opts.infer, name, atom)
+    }
+
+    /// [`entails`](Workspace::entails) under explicit inference options.
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics, or a [`codes::CLI`] diagnostic for a
+    /// malformed atom.
+    pub fn entails_with(
+        &mut self,
+        opts: InferOptions,
+        name: &str,
+        atom: &str,
+    ) -> CompileResult<Option<bool>> {
+        let Some(abs) = self.q_with(opts, name)? else {
+            return Ok(None);
+        };
+        let parsed = parse_positional_atom(atom, &abs.params).map_err(|msg| {
+            Diagnostics::from_one(Diagnostic::error(msg, Span::DUMMY).with_code(codes::CLI))
+        })?;
+        let mut solver = Solver::from_set(&abs.body.atoms);
+        Ok(Some(solver.entails_atom(parsed)))
+    }
+
+    // ---- diagnostics rendering ------------------------------------------
+
+    /// The file owning a global span, with the span rebased to file-local
+    /// coordinates.
+    pub fn locate(&self, span: Span) -> Option<(&str, Span)> {
+        if span.is_dummy() {
+            return None;
+        }
+        let slot = span.lo / FILE_SPAN_STRIDE;
+        self.files.iter().find_map(|(name, f)| {
+            (f.slot == slot).then(|| {
+                let base = f.base();
+                (name.as_str(), Span::new(span.lo - base, span.hi - base))
+            })
+        })
+    }
+
+    /// Renders diagnostics as caret snippets against their owning files.
+    /// Labels in other files are appended as location notes.
+    pub fn render(&self, diags: &Diagnostics) -> String {
+        let mut out = String::new();
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&self.render_one(d));
+        }
+        out
+    }
+
+    fn render_one(&self, d: &Diagnostic) -> String {
+        let Some((file, local)) = self.locate(d.span) else {
+            // No location: render against an empty pseudo-file.
+            let emitter = Emitter::new("<workspace>", "");
+            return emitter.render(d);
+        };
+        let text = self.source(file).expect("located file exists");
+        let mut local_d = d.clone();
+        local_d.span = local;
+        local_d.labels.clear();
+        let mut foreign_notes = Vec::new();
+        for label in &d.labels {
+            match self.locate(label.span) {
+                Some((lf, ls)) if lf == file => {
+                    local_d.labels.push(cj_diag::Label {
+                        span: ls,
+                        message: label.message.clone(),
+                    });
+                }
+                Some((lf, ls)) => {
+                    let (line, col) =
+                        SourceMap::new(self.source(lf).expect("file")).line_col(ls.lo);
+                    foreign_notes.push(format!("{} ({lf}:{line}:{col})", label.message));
+                }
+                None => foreign_notes.push(label.message.clone()),
+            }
+        }
+        local_d.notes.extend(foreign_notes);
+        Emitter::new(file, text).render(&local_d)
+    }
+
+    /// Renders diagnostics as a JSON array; every span is file-local and
+    /// tagged with its file name.
+    pub fn render_json(&self, diags: &Diagnostics) -> String {
+        let mut out = String::from("[");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&self.render_json_one(d));
+        }
+        out.push(']');
+        out
+    }
+
+    fn render_json_one(&self, d: &Diagnostic) -> String {
+        use std::fmt::Write as _;
+        let span_json = |span: Span| -> String {
+            match self.locate(span) {
+                Some((file, local)) => {
+                    let (line, col) =
+                        SourceMap::new(self.source(file).expect("file")).line_col(local.lo);
+                    format!(
+                        "{{\"file\":{},\"lo\":{},\"hi\":{},\"line\":{},\"col\":{}}}",
+                        cj_diag::json_string(file),
+                        local.lo,
+                        local.hi,
+                        line,
+                        col
+                    )
+                }
+                None => "null".to_string(),
+            }
+        };
+        let mut out = String::from("{");
+        let _ = write!(out, "\"severity\":\"{}\"", d.severity);
+        match d.code {
+            Some(code) => {
+                let _ = write!(out, ",\"code\":{}", cj_diag::json_string(code));
+            }
+            None => out.push_str(",\"code\":null"),
+        }
+        let _ = write!(out, ",\"message\":{}", cj_diag::json_string(&d.message));
+        let _ = write!(out, ",\"span\":{}", span_json(d.span));
+        out.push_str(",\"labels\":[");
+        for (i, label) in d.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"message\":{}}}",
+                span_json(label.span),
+                cj_diag::json_string(&label.message)
+            );
+        }
+        out.push_str("],\"notes\":[");
+        for (i, note) in d.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&cj_diag::json_string(note));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Parses an atom over an abstraction's positional parameters: `rK` is the
+/// K-th (1-based) formal parameter, `heap` the heap region.
+fn parse_positional_atom(atom: &str, params: &[RegVar]) -> Result<Atom, String> {
+    let (lhs, op, rhs) = if let Some((l, r)) = atom.split_once(">=") {
+        (l, ">=", r)
+    } else if let Some((l, r)) = atom.split_once('=') {
+        (l, "=", r)
+    } else {
+        return Err(format!(
+            "malformed atom `{atom}` (expected `rI>=rJ` or `rI=rJ`)"
+        ));
+    };
+    let var = |tok: &str| -> Result<RegVar, String> {
+        let tok = tok.trim();
+        if tok == "heap" {
+            return Ok(RegVar::HEAP);
+        }
+        let idx: usize = tok
+            .strip_prefix('r')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("malformed region `{tok}` (expected `rK` or `heap`)"))?;
+        if idx == 0 || idx > params.len() {
+            return Err(format!(
+                "region index `{tok}` out of range (abstraction has {} parameters)",
+                params.len()
+            ));
+        }
+        Ok(params[idx - 1])
+    };
+    let (a, b) = (var(lhs)?, var(rhs)?);
+    Ok(match op {
+        ">=" => Atom::outlives(a, b),
+        _ => Atom::eq(a, b),
+    })
+}
+
+/// Shifts every non-dummy span of a diagnostics batch by `base`.
+fn shift_diagnostics(diags: Diagnostics, base: u32) -> Diagnostics {
+    diags
+        .into_iter()
+        .map(|mut d| {
+            if !d.span.is_dummy() {
+                d.span = Span::new(d.span.lo + base, d.span.hi + base);
+            }
+            for label in &mut d.labels {
+                if !label.span.is_dummy() {
+                    label.span = Span::new(label.span.lo + base, label.span.hi + base);
+                }
+            }
+            d
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CELL: &str = "class Cell { Object item; Object get() { this.item } }";
+    const USER: &str = "class M { static Object f(Cell c) { c.get() } }";
+
+    #[test]
+    fn identical_set_source_is_a_noop() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        let r1 = ws.set_source("a.cj", CELL).unwrap();
+        ws.check().unwrap();
+        let counts = ws.pass_counts();
+        let r2 = ws.set_source("a.cj", CELL).unwrap();
+        assert_eq!(r1, r2, "identical text must not bump the revision");
+        ws.check().unwrap();
+        assert_eq!(ws.pass_counts(), counts, "and must invalidate nothing");
+    }
+
+    #[test]
+    fn files_merge_in_name_order_and_spans_identify_files() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        ws.set_source("b.cj", USER).unwrap();
+        ws.set_source("a.cj", CELL).unwrap();
+        let merged = ws.merged_ast().unwrap();
+        assert_eq!(merged.classes[0].name.as_str(), "Cell");
+        assert_eq!(merged.classes[1].name.as_str(), "M");
+        // b.cj was added first, so its spans live in slot 0; a.cj in slot 1.
+        let (file, local) = ws.locate(merged.classes[1].span).unwrap();
+        assert_eq!(file, "b.cj");
+        assert_eq!(local.lo, 0);
+        let (file, _) = ws.locate(merged.classes[0].span).unwrap();
+        assert_eq!(file, "a.cj");
+    }
+
+    #[test]
+    fn typecheck_errors_point_into_the_owning_file() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        ws.set_source("a.cj", CELL).unwrap();
+        ws.set_source("b.cj", "class N { Pear p; }").unwrap();
+        let err = ws.check().unwrap_err();
+        let rendered = ws.render(&err);
+        assert!(rendered.contains("--> b.cj:1:11"), "{rendered}");
+        assert!(rendered.contains("unknown class `Pear`"), "{rendered}");
+        let json = ws.render_json(&err);
+        assert!(json.contains("\"file\":\"b.cj\""), "{json}");
+        assert!(json.contains("\"line\":1"), "{json}");
+    }
+
+    #[test]
+    fn cross_file_duplicate_labels_render_as_location_notes() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        ws.set_source("a.cj", "class A { }").unwrap();
+        ws.set_source("b.cj", "class A { }").unwrap();
+        let err = ws.check().unwrap_err();
+        let rendered = ws.render(&err);
+        assert!(rendered.contains("duplicate class `A`"), "{rendered}");
+        assert!(
+            rendered.contains("first declared here (a.cj:1:1)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn q_and_entails_answer_from_cached_state() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        ws.set_source("pair.cj", "class Pair { Object fst; Object snd; }")
+            .unwrap();
+        let inv = ws.invariant("Pair").unwrap().expect("inv.Pair exists");
+        assert_eq!(inv.params.len(), 3);
+        let before = ws.pass_counts();
+        // Entailment queries re-run nothing.
+        assert_eq!(ws.entails("inv.Pair", "r2>=r1").unwrap(), Some(true));
+        assert_eq!(ws.entails("inv.Pair", "r2=r3").unwrap(), Some(false));
+        assert_eq!(ws.entails("inv.Pair", "heap>=r1").unwrap(), Some(true));
+        assert_eq!(ws.entails("inv.Nope", "r1=r1").unwrap(), None);
+        assert_eq!(ws.pass_counts(), before);
+        // Malformed atoms are CLI diagnostics.
+        let err = ws.entails("inv.Pair", "r9>=r1").unwrap_err();
+        assert!(err.items[0].message.contains("out of range"));
+        let err = ws.entails("inv.Pair", "banana").unwrap_err();
+        assert!(err.items[0].message.contains("malformed atom"));
+    }
+
+    #[test]
+    fn remove_source_invalidates() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        ws.set_source("a.cj", CELL).unwrap();
+        ws.set_source("b.cj", USER).unwrap();
+        ws.check().unwrap();
+        assert!(ws.remove_source("b.cj").is_some());
+        ws.check().unwrap();
+        assert!(ws.remove_source("b.cj").is_none());
+        // `M` is gone from the merged program.
+        let kernel = ws.typecheck().unwrap();
+        assert!(kernel.table.class_id("M").is_none());
+    }
+
+    #[test]
+    fn oversized_file_is_rejected() {
+        let mut ws = Workspace::new(SessionOptions::default());
+        let big = "x".repeat(FILE_SPAN_STRIDE as usize);
+        let err = ws.set_source("big.cj", big).unwrap_err();
+        assert!(err.items[0].message.contains("limited to"));
+    }
+}

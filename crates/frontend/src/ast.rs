@@ -23,6 +23,146 @@ pub struct Program {
     pub classes: Vec<ClassDecl>,
 }
 
+/// Shifts every span of `program` forward by `delta` bytes (dummy spans are
+/// left untouched). Multi-file drivers parse each file at offset 0 and
+/// relocate the tree into that file's slice of a workspace-wide span space,
+/// so spans identify both the file and the position within it.
+pub fn shift_spans(program: &mut Program, delta: u32) {
+    if delta == 0 {
+        return;
+    }
+    let f = &|s: Span| -> Span {
+        if s.is_dummy() {
+            s
+        } else {
+            Span::new(s.lo + delta, s.hi + delta)
+        }
+    };
+    for class in &mut program.classes {
+        class.span = f(class.span);
+        for field in &mut class.fields {
+            field.span = f(field.span);
+        }
+        for method in &mut class.methods {
+            method.span = f(method.span);
+            for p in &mut method.params {
+                p.span = f(p.span);
+            }
+            shift_block(&mut method.body, f);
+        }
+    }
+}
+
+fn shift_block(b: &mut Block, f: &impl Fn(Span) -> Span) {
+    b.span = f(b.span);
+    for s in &mut b.stmts {
+        shift_stmt(s, f);
+    }
+    if let Some(tail) = &mut b.tail {
+        shift_expr(tail, f);
+    }
+}
+
+fn shift_stmt(s: &mut Stmt, f: &impl Fn(Span) -> Span) {
+    match s {
+        Stmt::Decl { init, span, .. } => {
+            *span = f(*span);
+            if let Some(e) = init {
+                shift_expr(e, f);
+            }
+        }
+        Stmt::Assign {
+            target,
+            value,
+            span,
+        } => {
+            *span = f(*span);
+            shift_lvalue(target, f);
+            shift_expr(value, f);
+        }
+        Stmt::Expr(e) => shift_expr(e, f),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span,
+        } => {
+            *span = f(*span);
+            shift_expr(cond, f);
+            shift_block(then_blk, f);
+            if let Some(b) = else_blk {
+                shift_block(b, f);
+            }
+        }
+        Stmt::While { cond, body, span } => {
+            *span = f(*span);
+            shift_expr(cond, f);
+            shift_block(body, f);
+        }
+        Stmt::Return { value, span } => {
+            *span = f(*span);
+            if let Some(e) = value {
+                shift_expr(e, f);
+            }
+        }
+    }
+}
+
+fn shift_lvalue(lv: &mut LValue, f: &impl Fn(Span) -> Span) {
+    match lv {
+        LValue::Var(_) => {}
+        LValue::Field(e, _) => shift_expr(e, f),
+        LValue::Index(a, i) => {
+            shift_expr(a, f);
+            shift_expr(i, f);
+        }
+    }
+}
+
+fn shift_expr(e: &mut Expr, f: &impl Fn(Span) -> Span) {
+    e.span = f(e.span);
+    match &mut e.kind {
+        ExprKind::Int(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Float(_)
+        | ExprKind::Null
+        | ExprKind::This
+        | ExprKind::Var(_)
+        | ExprKind::TypedNull(_) => {}
+        ExprKind::Unary(_, a) | ExprKind::Length(a) | ExprKind::Print(a) => shift_expr(a, f),
+        ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+            shift_expr(a, f);
+            shift_expr(b, f);
+        }
+        ExprKind::Field(a, _) => shift_expr(a, f),
+        ExprKind::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                shift_expr(r, f);
+            }
+            for a in args {
+                shift_expr(a, f);
+            }
+        }
+        ExprKind::New { args, .. } => {
+            for a in args {
+                shift_expr(a, f);
+            }
+        }
+        ExprKind::NewArray { len, .. } => shift_expr(len, f),
+        ExprKind::Cast { expr, .. } => shift_expr(expr, f),
+        ExprKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            shift_expr(cond, f);
+            shift_block(then_blk, f);
+            shift_block(else_blk, f);
+        }
+        ExprKind::Block(b) => shift_block(b, f),
+    }
+}
+
 /// `class cn extends cn' { fields methods }`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassDecl {

@@ -124,8 +124,16 @@ impl ClassTable {
 
         // Pass 1: allocate ids.
         for decl in &program.classes {
-            if by_name.contains_key(&decl.name) {
-                diags.error(format!("duplicate class `{}`", decl.name), decl.span);
+            if let Some(&prev) = by_name.get(&decl.name) {
+                let mut d = crate::span::Diagnostic::error(
+                    format!("duplicate class `{}`", decl.name),
+                    decl.span,
+                );
+                let prev_span = classes[prev.index()].span;
+                if !prev_span.is_dummy() {
+                    d = d.with_label(prev_span, format!("`{}` first declared here", decl.name));
+                }
+                diags.push(d);
                 continue;
             }
             let id = ClassId(classes.len() as u32);
@@ -220,16 +228,25 @@ impl ClassTable {
                     );
                     continue;
                 }
-                if table.lookup_field(id, fd.name).is_some()
-                    || own_fields.iter().any(|f: &FieldInfo| f.name == fd.name)
-                {
-                    diags.error(
+                let existing_field_span =
+                    table.lookup_field(id, fd.name).map(|f| f.span).or_else(|| {
+                        own_fields
+                            .iter()
+                            .find(|f: &&FieldInfo| f.name == fd.name)
+                            .map(|f| f.span)
+                    });
+                if let Some(prev_span) = existing_field_span {
+                    let mut d = crate::span::Diagnostic::error(
                         format!(
                             "field `{}` shadows or duplicates an existing field",
                             fd.name
                         ),
                         fd.span,
                     );
+                    if !prev_span.is_dummy() {
+                        d = d.with_label(prev_span, format!("`{}` declared here", fd.name));
+                    }
+                    diags.push(d);
                     continue;
                 }
                 own_fields.push(FieldInfo {
@@ -263,8 +280,23 @@ impl ClassTable {
                     params.push(ty);
                 }
                 if md.is_static {
-                    if table.statics_by_name.contains_key(&md.name) {
-                        diags.error(format!("duplicate static method `{}`", md.name), md.span);
+                    if let Some(&idx) = table.statics_by_name.get(&md.name) {
+                        let prev = &table.statics[idx as usize];
+                        let mut d = crate::span::Diagnostic::error(
+                            format!("duplicate static method `{}`", md.name),
+                            md.span,
+                        );
+                        if !prev.span.is_dummy() {
+                            d = d.with_label(
+                                prev.span,
+                                format!(
+                                    "`{}` first declared here, in `{}`",
+                                    md.name,
+                                    table.name(prev.declared_in)
+                                ),
+                            );
+                        }
+                        diags.push(d);
                         continue;
                     }
                     let idx = table.statics.len() as u32;
@@ -277,17 +309,25 @@ impl ClassTable {
                         span: md.span,
                     });
                 } else {
-                    if own_methods.iter().any(|m: &MethodSig| m.name == md.name) {
-                        diags.error(
+                    if let Some(prev) = own_methods.iter().find(|m: &&MethodSig| m.name == md.name)
+                    {
+                        let mut d = crate::span::Diagnostic::error(
                             format!("duplicate method `{}` (no overloading)", md.name),
                             md.span,
                         );
+                        if !prev.span.is_dummy() {
+                            d = d.with_label(
+                                prev.span,
+                                format!("`{}` first declared here", md.name),
+                            );
+                        }
+                        diags.push(d);
                         continue;
                     }
                     // Override check: identical signature required.
-                    if let Some((_, sup_sig)) = table.lookup_method(sup, md.name) {
+                    if let Some((decl_class, sup_sig)) = table.lookup_method(sup, md.name) {
                         if sup_sig.params != params || sup_sig.ret != ret {
-                            diags.error(
+                            let mut d = crate::span::Diagnostic::error(
                                 format!(
                                     "method `{}` overrides a superclass method with a \
                                      different signature",
@@ -295,6 +335,16 @@ impl ClassTable {
                                 ),
                                 md.span,
                             );
+                            if !sup_sig.span.is_dummy() {
+                                d = d.with_label(
+                                    sup_sig.span,
+                                    format!(
+                                        "overridden method declared here, in `{}`",
+                                        table.name(decl_class)
+                                    ),
+                                );
+                            }
+                            diags.push(d);
                         }
                     }
                     own_methods.push(MethodSig {
@@ -650,7 +700,40 @@ mod tests {
         let r = ClassTable::build(
             &parse_program("class A { int x; } class B extends A { int x; }").unwrap(),
         );
-        assert!(r.is_err());
+        let diags = r.unwrap_err();
+        let d = &diags.items[0];
+        assert_eq!(d.labels.len(), 1, "shadowed field points at the original");
+        assert!(d.labels[0].message.contains("`x` declared here"));
+        assert!(d.labels[0].span.lo < d.span.lo, "label sits on class A");
+    }
+
+    #[test]
+    fn duplicate_class_labels_first_declaration() {
+        let diags =
+            ClassTable::build(&parse_program("class A { } class A { }").unwrap()).unwrap_err();
+        let d = &diags.items[0];
+        assert!(d.message.contains("duplicate class `A`"));
+        assert_eq!(d.labels.len(), 1);
+        assert!(d.labels[0].message.contains("first declared here"));
+    }
+
+    #[test]
+    fn duplicate_method_and_static_label_first_declaration() {
+        let diags =
+            ClassTable::build(&parse_program("class A { int m() { 1 } int m() { 2 } }").unwrap())
+                .unwrap_err();
+        assert!(diags.items[0].labels[0]
+            .message
+            .contains("`m` first declared here"));
+
+        let diags = ClassTable::build(
+            &parse_program("class A { static int f() { 1 } } class B { static int f() { 2 } }")
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(diags.items[0].labels[0]
+            .message
+            .contains("first declared here, in `A`"));
     }
 
     #[test]
@@ -659,7 +742,13 @@ mod tests {
             &parse_program("class A { int m() { 1 } } class B extends A { bool m() { true } }")
                 .unwrap(),
         );
-        assert!(bad.is_err());
+        let diags = bad.unwrap_err();
+        let d = &diags.items[0];
+        assert!(d.message.contains("different signature"));
+        assert_eq!(d.labels.len(), 1, "override mismatch points at the base");
+        assert!(d.labels[0]
+            .message
+            .contains("overridden method declared here, in `A`"));
         let ok = table("class A { int m() { 1 } } class B extends A { int m() { 2 } }");
         let b = ok.class_id("B").unwrap();
         let (decl, _) = ok.lookup_method(b, Symbol::intern("m")).unwrap();

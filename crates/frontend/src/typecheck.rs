@@ -685,7 +685,7 @@ impl<'a> Lowerer<'a> {
                 if !self.table.is_subclass(target, source)
                     && !self.table.is_subclass(source, target)
                 {
-                    self.diags.error(
+                    let mut d = crate::span::Diagnostic::error(
                         format!(
                             "cast between unrelated classes `{}` and `{}`",
                             self.table.name(source),
@@ -693,6 +693,16 @@ impl<'a> Lowerer<'a> {
                         ),
                         span,
                     );
+                    for class in [source, target] {
+                        let decl_span = self.table.class(class).span;
+                        if !decl_span.is_dummy() {
+                            d = d.with_label(
+                                decl_span,
+                                format!("`{}` declared here", self.table.name(class)),
+                            );
+                        }
+                    }
+                    self.diags.push(d);
                 }
                 let core = KExpr::new(KExprKind::Cast(target, v), NType::Class(target), span);
                 wrap_bindings(binds, core)
@@ -1134,10 +1144,31 @@ mod tests {
             "class A { } class B extends A { }
              class M { static B f(A a) { (B) a } static A g(B b) { (A) b } }",
         );
-        check_err(
+        let diags = check_err(
             "class A { } class B { }
              class M { static B f(A a) { (B) a } }",
         );
+        let d = diags
+            .iter()
+            .find(|d| d.message.contains("unrelated classes"))
+            .expect("bad-cast diagnostic");
+        assert_eq!(d.labels.len(), 2, "both classes get `declared here` labels");
+        assert!(d.labels.iter().any(|l| l.message == "`A` declared here"));
+        assert!(d.labels.iter().any(|l| l.message == "`B` declared here"));
+    }
+
+    #[test]
+    fn shifted_program_typechecks_with_shifted_spans() {
+        let src = "class A { Pear p; }";
+        let mut program = parse_program(src).unwrap();
+        let plain_err = check(&program).unwrap_err();
+        crate::ast::shift_spans(&mut program, 1000);
+        let shifted_err = check(&program).unwrap_err();
+        assert_eq!(
+            shifted_err.items[0].span.lo,
+            plain_err.items[0].span.lo + 1000
+        );
+        assert_eq!(shifted_err.items[0].message, plain_err.items[0].message);
     }
 
     #[test]

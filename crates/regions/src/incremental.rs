@@ -1,0 +1,402 @@
+//! Incremental solving: canonical forms and a content-addressed memo for
+//! per-SCC fixed points.
+//!
+//! The global analysis (paper Sec 4.3) solves the constraint-abstraction
+//! system bottom-up over its SCC condensation. The result of solving one
+//! SCC is fully determined by
+//!
+//! 1. the raw bodies of the SCC's members (atoms + applications), and
+//! 2. the *closed* forms of every abstraction applied from inside the SCC
+//!    but defined outside it (already solved, by bottom-up order),
+//!
+//! both considered **up to a consistent renaming of region variables**.
+//! [`canon`] computes that α-invariant form: formal parameters map to
+//! `1..=k` positionally, the heap to `0`, and every other (body-local)
+//! variable to the next id in first-occurrence order. [`SolveMemo`] keys
+//! solved SCCs by the canonical serialization of (1) + (2); on a hit the
+//! cached closed forms — which mention only parameters and the heap — are
+//! re-expressed over the current parameters and written back without
+//! re-running the Kleene iteration.
+//!
+//! Because the key is content-addressed rather than name- or
+//! revision-based, the same memo serves two tiers of reuse:
+//!
+//! - **within one inference run**: the repair loop (escaping-region
+//!   instantiation, override resolution) re-solves after strengthening a
+//!   few abstractions; every untouched SCC whose imports are unchanged is
+//!   a hit;
+//! - **across revisions of a workspace**: editing one method body leaves
+//!   every other SCC's canonical key unchanged, so only the dirty SCCs and
+//!   the dependents whose imports actually changed are re-solved.
+
+use crate::abstraction::{solve_fixpoint, AbsEnv, ConstraintAbs};
+use crate::constraint::{Atom, ConstraintSet};
+use crate::var::RegVar;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// A canonical variable numbering: heap ↦ 0, params ↦ 1..=k, locals ↦
+/// k+1... in first-occurrence order.
+#[derive(Debug, Default)]
+struct Canonizer {
+    map: BTreeMap<RegVar, u32>,
+    next: u32,
+}
+
+impl Canonizer {
+    fn for_params(params: &[RegVar]) -> Canonizer {
+        let mut c = Canonizer {
+            map: BTreeMap::new(),
+            next: params.len() as u32 + 1,
+        };
+        c.map.insert(RegVar::HEAP, 0);
+        for (i, &p) in params.iter().enumerate() {
+            c.map.entry(p).or_insert(i as u32 + 1);
+        }
+        c
+    }
+
+    fn id(&mut self, v: RegVar) -> u32 {
+        if let Some(&i) = self.map.get(&v) {
+            return i;
+        }
+        let i = self.next;
+        self.next += 1;
+        self.map.insert(v, i);
+        i
+    }
+}
+
+/// The canonical (α-invariant) serialization of one abstraction's raw body:
+/// parameter count, atoms, and applications. Applications are rendered with
+/// the callee's *name* replaced by the placeholder the caller supplies (see
+/// [`canon_with`]) so the form can be made independent of naming.
+pub fn canon(abs: &ConstraintAbs) -> String {
+    canon_with(abs, |name| format!("@{name}"))
+}
+
+/// [`canon`] with control over how callee names are rendered.
+pub fn canon_with(abs: &ConstraintAbs, callee_tag: impl Fn(&str) -> String) -> String {
+    let mut c = Canonizer::for_params(&abs.params);
+    let mut out = String::new();
+    let _ = write!(out, "p{}|", abs.params.len());
+    for atom in abs.body.atoms.iter() {
+        match atom {
+            Atom::Outlives(a, b) => {
+                let _ = write!(out, "{}>{};", c.id(a), c.id(b));
+            }
+            Atom::Eq(a, b) => {
+                let _ = write!(out, "{}={};", c.id(a), c.id(b));
+            }
+        }
+    }
+    for call in &abs.body.calls {
+        let _ = write!(out, "[{}](", callee_tag(&call.name));
+        for &a in &call.args {
+            let _ = write!(out, "{},", c.id(a));
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// The canonical form of a *closed* abstraction (no residual calls): its
+/// atoms with parameters renamed positionally to `1..=k` and the heap to
+/// `0`. Closed forms mention only parameters and the heap, so this is a
+/// total renaming.
+pub fn canon_closed(abs: &ConstraintAbs) -> ConstraintSet {
+    debug_assert!(abs.body.calls.is_empty(), "canon_closed needs closed form");
+    let mut c = Canonizer::for_params(&abs.params);
+    abs.body
+        .atoms
+        .iter()
+        .map(|a| match a {
+            Atom::Outlives(x, y) => Atom::outlives(RegVar(c.id(x)), RegVar(c.id(y))),
+            Atom::Eq(x, y) => Atom::eq(RegVar(c.id(x)), RegVar(c.id(y))),
+        })
+        .collect()
+}
+
+/// Re-expresses a canonical closed form over concrete parameters:
+/// canonical id `i` (1-based) becomes `params[i-1]`, `0` the heap.
+pub fn uncanon_closed(canonical: &ConstraintSet, params: &[RegVar]) -> ConstraintSet {
+    let decode = |v: RegVar| -> RegVar {
+        if v.0 == 0 {
+            RegVar::HEAP
+        } else {
+            params[v.0 as usize - 1]
+        }
+    };
+    canonical
+        .iter()
+        .map(|a| match a {
+            Atom::Outlives(x, y) => Atom::outlives(decode(x), decode(y)),
+            Atom::Eq(x, y) => Atom::eq(decode(x), decode(y)),
+        })
+        .collect()
+}
+
+/// Result of [`solve_scc_memo`] for one SCC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SccOutcome {
+    /// Whether the closed forms came from the memo.
+    pub reused: bool,
+    /// Kleene iterations actually performed (0 on reuse).
+    pub iterations: usize,
+}
+
+/// A content-addressed memo of solved SCCs. See the module docs.
+///
+/// Bounded: when the entry count reaches [`SolveMemo::MAX_ENTRIES`] the
+/// memo is flushed wholesale. Correctness never depends on a hit, so the
+/// only cost of a flush is one cold re-solve per SCC — which keeps a
+/// long-lived compile server's memory flat across unbounded edit streams.
+#[derive(Debug, Clone, Default)]
+pub struct SolveMemo {
+    /// canonical SCC key → canonical closed atoms per member, in the same
+    /// (name-sorted) member order the key was built in.
+    entries: HashMap<String, Vec<ConstraintSet>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SolveMemo {
+    /// Entry count at which the memo flushes itself (see the type docs).
+    pub const MAX_ENTRIES: usize = 1 << 14;
+
+    /// An empty memo.
+    pub fn new() -> SolveMemo {
+        SolveMemo::default()
+    }
+
+    /// Number of memo hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of memo misses (actual fixpoint runs) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct solved-SCC entries retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Builds the content-addressed key of one SCC: the canonical raw bodies of
+/// its members (in name-sorted order, calls to members rendered by member
+/// index) together with the canonical closed forms of every external
+/// callee.
+///
+/// # Panics
+///
+/// Panics when an external callee has residual calls (i.e. the SCC order is
+/// not bottom-up).
+fn scc_key(env: &AbsEnv, members: &[String]) -> String {
+    let member_index: BTreeMap<&str, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut key = String::new();
+    for name in members {
+        let abs = env
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown abstraction `{name}`"));
+        let body = canon_with(abs, |callee| match member_index.get(callee) {
+            Some(i) => format!("m{i}"),
+            None => {
+                let c = env
+                    .get(callee)
+                    .unwrap_or_else(|| panic!("unknown abstraction `{callee}`"));
+                assert!(
+                    c.body.calls.is_empty(),
+                    "external callee `{callee}` is not closed"
+                );
+                format!("x{}", canon_closed(c))
+            }
+        });
+        key.push_str(&body);
+        key.push('\n');
+    }
+    key
+}
+
+/// Solves one SCC to closed forms, reusing the memo when an identical SCC
+/// (up to renaming) has been solved before. `names` may arrive in any
+/// order; results are written back into `env` either way.
+///
+/// # Panics
+///
+/// Panics if a member or callee is unknown, or an external callee is not
+/// yet closed (the caller must process SCCs bottom-up).
+pub fn solve_scc_memo(env: &mut AbsEnv, names: &[String], memo: &mut SolveMemo) -> SccOutcome {
+    let mut members: Vec<String> = names.to_vec();
+    members.sort();
+    let key = scc_key(env, &members);
+    if let Some(closed) = memo.entries.get(&key) {
+        for (name, canonical) in members.iter().zip(closed.clone()) {
+            let abs = env.get(name).expect("member present").clone();
+            let atoms = uncanon_closed(&canonical, &abs.params);
+            env.insert(ConstraintAbs {
+                name: abs.name,
+                params: abs.params,
+                body: crate::abstraction::AbsBody::from_atoms(atoms),
+            });
+        }
+        memo.hits += 1;
+        return SccOutcome {
+            reused: true,
+            iterations: 0,
+        };
+    }
+    let iterations = solve_fixpoint(env, names);
+    let closed: Vec<ConstraintSet> = members
+        .iter()
+        .map(|n| canon_closed(env.get(n).expect("member solved")))
+        .collect();
+    if memo.entries.len() >= SolveMemo::MAX_ENTRIES {
+        memo.entries.clear();
+    }
+    memo.entries.insert(key, closed);
+    memo.misses += 1;
+    SccOutcome {
+        reused: false,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{AbsBody, AbsCall};
+
+    fn r(i: u32) -> RegVar {
+        RegVar(i)
+    }
+
+    fn join_abs(name: &str, base: u32) -> ConstraintAbs {
+        // pre⟨p1..p9⟩ = (p2 ≥ p8) ∧ pre⟨p4,p5,p6,p1,p2,p3,p7,p8,p9⟩, with
+        // params starting at `base` so alpha-equivalent copies differ in ids.
+        let params: Vec<RegVar> = (0..9).map(|i| r(base + i)).collect();
+        let args: Vec<RegVar> = [3, 4, 5, 0, 1, 2, 6, 7, 8]
+            .iter()
+            .map(|&i| params[i])
+            .collect();
+        let mut body = AbsBody::from_atoms(ConstraintSet::singleton(Atom::outlives(
+            params[1], params[7],
+        )));
+        body.calls.push(AbsCall {
+            name: name.to_string(),
+            args,
+        });
+        ConstraintAbs {
+            name: name.to_string(),
+            params,
+            body,
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_alpha_invariant() {
+        let a = join_abs("pre.join", 1);
+        let b = join_abs("pre.join", 100);
+        assert_eq!(canon(&a), canon(&b));
+        let c = join_abs("pre.other", 1);
+        // Same shape, different name: canon (default tag) differs…
+        assert_ne!(canon(&a), canon(&c));
+        // …but a name-insensitive tag matches.
+        let tagless = |_: &str| "self".to_string();
+        assert_eq!(canon_with(&a, tagless), canon_with(&c, tagless));
+    }
+
+    #[test]
+    fn memo_reuses_alpha_equivalent_sccs() {
+        let mut memo = SolveMemo::new();
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 1));
+        let first = solve_scc_memo(&mut env, &["pre.join".to_string()], &mut memo);
+        assert!(!first.reused);
+        assert!(first.iterations > 0);
+        let closed1 = env.get("pre.join").unwrap().body.atoms.to_string();
+        assert_eq!(closed1, "r2>=r8 & r5>=r8");
+
+        // A renamed copy of the same system must hit the memo and produce
+        // the matching closed form over its own parameters.
+        let mut env2 = AbsEnv::new();
+        env2.insert(join_abs("pre.join", 41));
+        let second = solve_scc_memo(&mut env2, &["pre.join".to_string()], &mut memo);
+        assert!(second.reused);
+        assert_eq!(second.iterations, 0);
+        assert_eq!(
+            env2.get("pre.join").unwrap().body.atoms.to_string(),
+            "r42>=r48 & r45>=r48"
+        );
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn key_tracks_external_callee_closed_forms() {
+        // pre.m⟨a,b⟩ = inv.A⟨a,b⟩ with inv.A closed as b ≥ a: solving twice
+        // hits; changing inv.A's closed form misses.
+        let mut memo = SolveMemo::new();
+        let mk_env = |inv_atoms: ConstraintSet| {
+            let mut env = AbsEnv::new();
+            env.insert(ConstraintAbs {
+                name: "inv.A".into(),
+                params: vec![r(1), r(2)],
+                body: AbsBody::from_atoms(inv_atoms),
+            });
+            env.insert(ConstraintAbs {
+                name: "pre.m".into(),
+                params: vec![r(3), r(4)],
+                body: AbsBody {
+                    atoms: ConstraintSet::new(),
+                    calls: vec![AbsCall {
+                        name: "inv.A".into(),
+                        args: vec![r(3), r(4)],
+                    }],
+                },
+            });
+            env
+        };
+        let weak = ConstraintSet::singleton(Atom::outlives(r(2), r(1)));
+        let strong = ConstraintSet::singleton(Atom::eq(r(1), r(2)));
+
+        let mut env = mk_env(weak.clone());
+        solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        let mut env = mk_env(weak);
+        let hit = solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        assert!(hit.reused);
+        assert_eq!(env.get("pre.m").unwrap().body.atoms.to_string(), "r4>=r3");
+
+        let mut env = mk_env(strong);
+        let miss = solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        assert!(!miss.reused, "changed import must invalidate");
+        assert_eq!(env.get("pre.m").unwrap().body.atoms.to_string(), "r3=r4");
+    }
+
+    #[test]
+    fn closed_forms_roundtrip_through_canonical_ids() {
+        let abs = ConstraintAbs {
+            name: "inv.X".into(),
+            params: vec![r(7), r(9), r(11)],
+            body: AbsBody::from_atoms(
+                [Atom::outlives(r(9), r(7)), Atom::eq(r(11), RegVar::HEAP)]
+                    .into_iter()
+                    .collect(),
+            ),
+        };
+        let canonical = canon_closed(&abs);
+        let back = uncanon_closed(&canonical, &abs.params);
+        assert_eq!(back, abs.body.atoms);
+    }
+}

@@ -12,7 +12,10 @@
 //!   escape closure of rule \[exp-block\];
 //! - [`abstraction`]: constraint abstractions `inv.cn` / `pre.m` and the
 //!   Kleene fixed-point analysis of Fig 6(d) that supports
-//!   region-polymorphic recursion.
+//!   region-polymorphic recursion;
+//! - [`incremental`]: α-invariant canonical forms of abstractions and a
+//!   content-addressed memo of solved SCCs, the engine behind demand-driven
+//!   re-solving in the `Workspace` driver.
 //!
 //! This crate is deliberately independent of the Core-Java frontend: it
 //! deals only in region variables and names.
@@ -32,12 +35,14 @@
 
 pub mod abstraction;
 pub mod constraint;
+pub mod incremental;
 pub mod solve;
 pub mod subst;
 pub mod var;
 
 pub use abstraction::{AbsBody, AbsCall, AbsEnv, ConstraintAbs};
 pub use constraint::{Atom, ConstraintSet};
+pub use incremental::{solve_scc_memo, SccOutcome, SolveMemo};
 pub use solve::Solver;
 pub use subst::RegSubst;
 pub use var::{RegVar, RegVarGen};

@@ -5,6 +5,7 @@
 //! cjrc check  <file> [--mode M] [--downcast D] [--json]             infer + region-check
 //! cjrc run    <file> [--mode M] [--downcast D] [--json] [args…]     compile and run main
 //! cjrc flows  <file> [--json]                                       downcast-set report
+//! cjrc serve         [--mode M] [--downcast D]                      JSON-lines compile server
 //! ```
 //!
 //! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
@@ -13,11 +14,19 @@
 //!
 //! Errors are rendered as caret-style source snippets on stderr, or — with
 //! `--json` — as a JSON array of structured diagnostics (severity, code,
-//! message, span, labels, notes) on stdout.
+//! message, span, labels, notes) on stdout. `check` additionally surfaces
+//! the Sec 5 *bound-to-fail* downcast warnings in both modes.
+//!
+//! `serve` reads one JSON request per line on stdin and writes one JSON
+//! response per line on stdout (`open`/`edit`/`close`/`check`/`annotate`/
+//! `run`/`query`/`stats`/`shutdown`); every response carries the workspace
+//! `revision` and the `passes_executed` delta, so clients can observe
+//! incremental recompilation. See the README protocol reference.
 
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
-use cj_driver::{Session, SessionOptions};
+use cj_driver::{Server, Session, SessionOptions};
 use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -63,6 +72,7 @@ enum Command {
     Check,
     Run,
     Flows,
+    Serve,
 }
 
 /// A command-line usage error.
@@ -87,10 +97,11 @@ impl IntoDiagnostic for CliError {
 
 fn usage() -> String {
     format!(
-        "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {}] \
-         [--downcast {}] [--stats] [--json] [run args…]",
-        SubtypeMode::NAMES[..3].join("|"),
-        DowncastPolicy::NAMES[..3].join("|"),
+        "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
+         [--downcast {d}] [--stats] [--json] [run args…]\n       \
+         cjrc serve [--mode {m}] [--downcast {d}]",
+        m = SubtypeMode::NAMES[..3].join("|"),
+        d = DowncastPolicy::NAMES[..3].join("|"),
     )
 }
 
@@ -101,6 +112,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         Some("check") => Command::Check,
         Some("run") => Command::Run,
         Some("flows") => Command::Flows,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(CliError::new(format!("unknown command `{other}`"))),
         None => return Err(CliError::new("missing command")),
     };
@@ -137,9 +149,24 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
             }
         }
     }
+    let file = match command {
+        Command::Serve => {
+            if let Some(extra) = file {
+                return Err(CliError::new(format!(
+                    "`serve` takes no input file (sources arrive over the \
+                     protocol), found `{extra}`"
+                )));
+            }
+            if stats || json || !run_args.is_empty() {
+                return Err(CliError::new("`serve` accepts only --mode and --downcast"));
+            }
+            String::new()
+        }
+        _ => file.ok_or_else(|| CliError::new("missing input file"))?,
+    };
     Ok(Cli {
         command,
-        file: file.ok_or_else(|| CliError::new("missing input file"))?,
+        file,
         opts,
         stats,
         json,
@@ -158,6 +185,10 @@ struct Failure {
 
 fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
     let opts = SessionOptions::with_infer(cli.opts);
+    if cli.command == Command::Serve {
+        serve(opts);
+        return Ok(());
+    }
     let mut session = match Session::from_file(&cli.file, opts) {
         Ok(s) => s,
         Err(diags) => {
@@ -202,17 +233,25 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
         }
         Command::Check => {
             session.check()?;
+            // Sec 5 bound-to-fail downcast warnings surface here too, not
+            // only under `flows`.
+            let kernel = session.typecheck()?;
+            let warnings = session.downcast_analysis()?.diagnostics(&kernel);
             if cli.json {
                 println!(
-                    "{{\"status\":\"well-region-typed\",\"file\":{},\"mode\":\"{}\"}}",
+                    "{{\"status\":\"well-region-typed\",\"file\":{},\"mode\":\"{}\",\
+                     \"warnings\":{}}}",
                     cj_diag::json_string(session.name()),
-                    cli.opts.mode
+                    cli.opts.mode,
+                    session.emitter().render_json_all(&warnings)
                 );
             } else {
+                eprint!("{}", session.emitter().render_all(&warnings));
                 println!("{}: well-region-typed ({})", session.name(), cli.opts.mode);
             }
             Ok(())
         }
+        Command::Serve => unreachable!("serve is dispatched before file loading"),
         Command::Run => {
             let out = session.run(&cli.run_args)?;
             if cli.json {
@@ -303,16 +342,41 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
     }
 }
 
+/// The `cjrc serve` loop: one JSON request per stdin line, one JSON
+/// response per stdout line, until EOF or a `shutdown` request.
+fn serve(opts: SessionOptions) {
+    let mut server = Server::new(opts);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = server.handle_line(&line);
+        let _ = writeln!(stdout, "{response}");
+        let _ = stdout.flush();
+        if server.is_done() {
+            break;
+        }
+    }
+}
+
 fn stats_json(stats: &cj_infer::InferStats) -> String {
     format!(
         "{{\"global_iterations\":{},\"fixpoint_iterations\":{},\"regions_created\":{},\
-         \"localized_regions\":{},\"override_repairs\":{},\"downcast_sites\":{}}}",
+         \"localized_regions\":{},\"override_repairs\":{},\"downcast_sites\":{},\
+         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{}}}",
         stats.global_iterations,
         stats.fixpoint_iterations,
         stats.regions_created,
         stats.localized_regions,
         stats.override_repairs,
-        stats.downcast_sites
+        stats.downcast_sites,
+        stats.methods_inferred,
+        stats.methods_reused,
+        stats.sccs_solved,
+        stats.sccs_reused
     )
 }
 
@@ -376,6 +440,24 @@ mod tests {
         assert_eq!(cli.run_args, vec![3, -7]);
         assert_eq!(cli.command, Command::Run);
         assert_eq!(cli.file, "x.cj");
+    }
+
+    #[test]
+    fn serve_needs_no_file() {
+        let cli = parse_cli(argv(&["serve"])).unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        let cli = parse_cli(argv(&["serve", "--mode", "object"])).unwrap();
+        assert_eq!(cli.opts.mode, SubtypeMode::Object);
+        // The other commands still require one.
+        assert!(parse_cli(argv(&["check"]))
+            .unwrap_err()
+            .message
+            .contains("input file"));
+        // Arguments `serve` would silently ignore are rejected instead.
+        let err = parse_cli(argv(&["serve", "main.cj"])).unwrap_err();
+        assert!(err.message.contains("takes no input file"), "{err:?}");
+        let err = parse_cli(argv(&["serve", "--json"])).unwrap_err();
+        assert!(err.message.contains("only --mode and --downcast"));
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! - [`runtime`]: a lexically scoped region allocator and interpreter with
 //!   space accounting;
 //! - [`benchmarks`]: the Fig 8 and Fig 9 program suites;
-//! - [`driver`]: the staged [`Session`] compiler driver every entry point
-//!   builds on.
+//! - [`driver`]: the demand-driven, incrementally recompiling
+//!   [`driver::Workspace`] (multi-file inputs, per-SCC re-solving, the `Q`
+//!   query API), the staged single-file [`Session`] facade, and the
+//!   JSON-lines compile server behind `cjrc serve`.
 //!
 //! ## Quick start — the `Session` driver
 //!
@@ -73,7 +75,8 @@ pub mod prelude {
     pub use cj_check::check;
     pub use cj_diag::{Diagnostic, Diagnostics, Emitter, IntoDiagnostic, IntoDiagnostics};
     pub use cj_driver::{
-        compile_many, Compilation, CompileResult, PassCounts, Session, SessionOptions, SourceInput,
+        compile_many, Compilation, CompileResult, PassCounts, Server, Session, SessionOptions,
+        SourceInput, Workspace,
     };
     pub use cj_infer::{
         infer_source, DowncastPolicy, InferOptions, InferStats, RProgram, SubtypeMode,

@@ -110,6 +110,119 @@ fn missing_file_is_an_io_diagnostic() {
     assert!(stdout.contains("missing.cj"), "{stdout}");
 }
 
+/// A program with a downcast the `E` allocation can never satisfy (Sec 5
+/// bound-to-fail): `check` must surface the warning, not only `flows`.
+const DOOMED: &str = "
+class A { Object f1; }
+class B extends A { Object f2; }
+class E extends A { Object f3; Object f4; }
+class M {
+  static void main(bool c) {
+    A a;
+    if (c) { a = new B(null, null); } else { a = new E(null, null, null); }
+    B b = (B) a;
+  }
+}";
+
+#[test]
+fn check_surfaces_bound_to_fail_warnings_in_caret_mode() {
+    let path = temp_source("doomed.cj", DOOMED);
+    let out = cjrc(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "warnings must not fail the build");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("well-region-typed"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("can never satisfy the downcasts"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("warning[E0500]"), "{stderr}");
+    assert!(stderr.contains("~~~"), "warning caret marker: {stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_surfaces_bound_to_fail_warnings_in_json_mode() {
+    let path = temp_source("doomedjson.cj", DOOMED);
+    let out = cjrc(&["check", path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"status\":\"well-region-typed\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"warnings\":["), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"warning\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"E0500\""), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn clean_check_reports_empty_warning_list_in_json() {
+    let path = temp_source("cleanjson.cj", "class A { }");
+    let out = cjrc(&["check", path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"warnings\":[\n]"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn serve_speaks_json_lines_and_observes_incrementality() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cjrc"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("cjrc serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ask = |req: &str| -> String {
+        writeln!(stdin, "{req}").expect("write request");
+        lines.next().expect("one response per request").unwrap()
+    };
+
+    let r = ask(
+        r#"{"cmd":"open","file":"cell.cj","text":"class Cell { Object item; Object get() { this.item } }"}"#,
+    );
+    assert!(
+        r.contains("\"ok\":true") && r.contains("\"revision\":1"),
+        "{r}"
+    );
+    let r = ask(
+        r#"{"cmd":"open","file":"use.cj","text":"class M { static Object f(Cell c) { c.get() } }"}"#,
+    );
+    assert!(r.contains("\"revision\":2"), "{r}");
+
+    let cold = ask(r#"{"cmd":"check"}"#);
+    assert!(cold.contains("\"status\":\"well-region-typed\""), "{cold}");
+    assert!(cold.contains("\"parse\":2"), "{cold}");
+
+    // Edit one method body: the response's passes_executed must show one
+    // re-parse, one re-inferred body, and SCC-solve reuse.
+    let r = ask(
+        r#"{"cmd":"edit","file":"use.cj","text":"class M { static Object f(Cell c) { c.get(); c.get() } }"}"#,
+    );
+    assert!(r.contains("\"revision\":3"), "{r}");
+    let warm = ask(r#"{"cmd":"check"}"#);
+    assert!(warm.contains("\"parse\":1"), "{warm}");
+    assert!(warm.contains("\"methods_inferred\":1"), "{warm}");
+    assert!(warm.contains("\"methods_reused\":1"), "{warm}");
+
+    let q = ask(r#"{"cmd":"query","invariant":"Cell"}"#);
+    assert!(q.contains("\"abs\":\"inv.Cell<"), "{q}");
+    let e = ask(r#"{"cmd":"query","invariant":"Cell","entails":"r2>=r1"}"#);
+    assert!(e.contains("\"entails\":true"), "{e}");
+
+    let bye = ask(r#"{"cmd":"shutdown"}"#);
+    assert!(bye.contains("\"status\":\"bye\""), "{bye}");
+    let status = child.wait().expect("server exits");
+    assert!(status.success());
+}
+
 #[test]
 fn check_reports_mode_in_canonical_spelling() {
     let path = temp_source("mode.cj", "class A { }");

@@ -1,0 +1,168 @@
+//! End-to-end proof of incrementality (the PR's acceptance criterion):
+//! in a multi-file, multi-class, multi-SCC workspace, editing one method
+//! body re-parses only the edited file and re-solves only the dirty
+//! abstraction SCCs — strictly fewer infer/solve executions than the
+//! initial compile — while query results for untouched SCCs stay
+//! byte-identical, and the whole result matches a from-scratch compile.
+
+use region_inference::prelude::*;
+
+const LIST_CJ: &str = "
+class List { Object value; List next;
+  Object getValue() { this.value }
+  List getNext() { this.next }
+  static bool isNull(List l) { l == null }
+  static List join(List xs, List ys) {
+    if (isNull(xs)) { ys } else {
+      List r = join(xs.getNext(), ys);
+      new List(xs.getValue(), r)
+    }
+  }
+}";
+
+const STACK_CJ: &str = "
+class Stack { List top;
+  void push(Object o) { this.top = new List(o, this.top); }
+  Object peek() { this.top.getValue() }
+  List drain() { List t = this.top; this.top = (List) null; t }
+}";
+
+const MAIN_CJ: &str = "
+class Main {
+  static Object roundtrip(Stack s, Object o) {
+    s.push(o);
+    s.peek()
+  }
+  static List merge(Stack a, Stack b) {
+    join(a.drain(), b.drain())
+  }
+}";
+
+/// `Main.roundtrip` with an edited body (same signature).
+const MAIN_EDITED_CJ: &str = "
+class Main {
+  static Object roundtrip(Stack s, Object o) {
+    s.push(o);
+    s.push(s.peek());
+    s.peek()
+  }
+  static List merge(Stack a, Stack b) {
+    join(a.drain(), b.drain())
+  }
+}";
+
+fn dump_q(p: &cj_infer::RProgram) -> Vec<String> {
+    p.q.iter().map(|a| a.to_string()).collect()
+}
+
+#[test]
+fn one_body_edit_recompiles_one_file_and_only_dirty_sccs() {
+    let mut ws = Workspace::new(SessionOptions::default());
+    ws.set_source("list.cj", LIST_CJ).unwrap();
+    ws.set_source("stack.cj", STACK_CJ).unwrap();
+    ws.set_source("main.cj", MAIN_CJ).unwrap();
+
+    // ---- cold compile ----------------------------------------------------
+    let cold_compilation = ws.check().unwrap();
+    let cold = ws.pass_counts();
+    assert_eq!(cold.parse, 3, "three files parsed");
+    assert!(cold.sccs_solved > 4, "multi-SCC program: {cold:?}");
+    let total_methods = cold_compilation.stats.methods_inferred;
+    assert_eq!(total_methods, 9, "all nine methods inferred cold");
+
+    // Untouched-SCC observables, before the edit.
+    let join_before = ws.q("pre.join").unwrap().expect("join solved");
+    let inv_list_before = ws.invariant("List").unwrap().expect("inv.List");
+    let push_before = ws.precondition(Some("Stack"), "push").unwrap().unwrap();
+
+    // ---- the edit: one method body in main.cj ---------------------------
+    ws.set_source("main.cj", MAIN_EDITED_CJ).unwrap();
+    let warm_compilation = ws.check().unwrap();
+    let warm = ws.pass_counts().since(cold);
+
+    // Only the edited file re-parses; the merged program re-typechecks once.
+    assert_eq!(warm.parse, 1, "only main.cj re-parses: {warm:?}");
+    assert_eq!(warm.typecheck, 1);
+    assert_eq!(warm.infer, 1);
+
+    // Only the edited body re-infers; everything else is replayed.
+    assert_eq!(warm.methods_inferred, 1, "{warm:?}");
+    assert_eq!(warm.methods_reused, 8, "{warm:?}");
+
+    // Strictly fewer SCC solves than the initial compile, with reuse.
+    assert!(
+        warm.sccs_solved < cold.sccs_solved,
+        "dirty SCCs ({}) must be strictly fewer than cold ({})",
+        warm.sccs_solved,
+        cold.sccs_solved
+    );
+    assert!(warm.sccs_reused > 0, "{warm:?}");
+
+    // ---- untouched SCCs: byte-identical query answers -------------------
+    let join_after = ws.q("pre.join").unwrap().expect("join solved");
+    assert_eq!(join_before.to_string(), join_after.to_string());
+    let inv_list_after = ws.invariant("List").unwrap().expect("inv.List");
+    assert_eq!(inv_list_before.to_string(), inv_list_after.to_string());
+    let push_after = ws.precondition(Some("Stack"), "push").unwrap().unwrap();
+    assert_eq!(push_before.to_string(), push_after.to_string());
+
+    // ---- equivalence with a from-scratch compile ------------------------
+    // The workspace merges files in name order: list.cj, main.cj, stack.cj.
+    let concatenated = format!("{LIST_CJ}{MAIN_EDITED_CJ}{STACK_CJ}");
+    let mut scratch = Session::new(concatenated, SessionOptions::default());
+    let scratch_compilation = scratch.check().unwrap();
+    assert_eq!(
+        region_inference::annotate(&warm_compilation.program),
+        region_inference::annotate(&scratch_compilation.program),
+        "incremental result must be bit-identical to from-scratch"
+    );
+    assert_eq!(
+        dump_q(&warm_compilation.program),
+        dump_q(&scratch_compilation.program)
+    );
+}
+
+#[test]
+fn queries_are_demand_driven_and_cached() {
+    let mut ws = Workspace::new(SessionOptions::default());
+    ws.set_source("list.cj", LIST_CJ).unwrap();
+    // The first query runs the pipeline on demand…
+    let join = ws.q("pre.join").unwrap().expect("join");
+    assert!(!join.params.is_empty());
+    let counts = ws.pass_counts();
+    assert_eq!(counts.infer, 1);
+    // …subsequent queries (and entailment checks) re-run nothing.
+    assert!(ws.entails("pre.join", "r1=r1").unwrap().is_some());
+    ws.invariant("List").unwrap().unwrap();
+    assert_eq!(ws.pass_counts(), counts);
+}
+
+#[test]
+fn fig6_join_precondition_queryable_through_workspace() {
+    // The Fig 6(d) fixed point pre.join = r2>=r8 & r5>=r8, asked through
+    // the positional `entails` query API.
+    let src = "
+    class List { Object value; List next;
+      Object getValue() { this.value }
+      List getNext() { this.next }
+      static bool isNull(List l) { l == null }
+      static List join(List xs, List ys) {
+        if (isNull(xs)) {
+          if (isNull(ys)) { (List) null } else { join(ys, xs) }
+        } else {
+          Object x; List res;
+          x = xs.getValue();
+          xs = xs.getNext();
+          res = join(ys, xs);
+          new List(x, res)
+        }
+      }
+    }";
+    let mut ws = Workspace::new(SessionOptions::with_infer(InferOptions::with_mode(
+        SubtypeMode::Object,
+    )));
+    ws.set_source("join.cj", src).unwrap();
+    assert_eq!(ws.entails("pre.join", "r2>=r8").unwrap(), Some(true));
+    assert_eq!(ws.entails("pre.join", "r5>=r8").unwrap(), Some(true));
+    assert_eq!(ws.entails("pre.join", "r1=r2").unwrap(), Some(false));
+}
