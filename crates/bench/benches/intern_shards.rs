@@ -1,0 +1,68 @@
+//! Micro-benchmark for the sharded interner: warm (read-path) lookups from
+//! one thread and from many concurrent threads — the contention profile of
+//! a multi-client compile daemon, where every connection lexes identifiers
+//! through the process-global interner. With the lock sharded by string
+//! hash, the N-thread case should scale instead of serializing on one
+//! `RwLock`.
+
+use cj_frontend::intern::{Symbol, INTERNER_SHARDS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A deterministic identifier pool resembling real program symbols.
+fn names() -> Vec<String> {
+    (0..512)
+        .map(|i| match i % 4 {
+            0 => format!("Class{i}"),
+            1 => format!("method{i}"),
+            2 => format!("field{i}"),
+            _ => format!("var{i}"),
+        })
+        .collect()
+}
+
+fn bench_warm_lookups(c: &mut Criterion) {
+    let pool = names();
+    // Warm the interner so the benchmark measures the read fast path.
+    for n in &pool {
+        Symbol::intern(n);
+    }
+    let mut group = c.benchmark_group("intern_shards");
+    group.bench_function("warm-lookup/1-thread", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in &pool {
+                acc ^= Symbol::intern(black_box(n)).as_str().len();
+            }
+            black_box(acc)
+        })
+    });
+    for threads in [2usize, 8] {
+        group.bench_function(format!("warm-lookup/{threads}-threads"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for t in 0..threads {
+                        let pool = &pool;
+                        handles.push(scope.spawn(move || {
+                            let mut acc = 0usize;
+                            for n in pool.iter().skip(t % 7) {
+                                acc ^= Symbol::intern(black_box(n)).as_str().len();
+                            }
+                            acc
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("bench thread"))
+                        .fold(0usize, |a, b| a ^ b)
+                })
+            })
+        });
+    }
+    group.finish();
+    eprintln!("interner shards: {INTERNER_SHARDS}");
+}
+
+criterion_group!(benches, bench_warm_lookups);
+criterion_main!(benches);

@@ -206,6 +206,9 @@ pub struct InferStats {
     pub sccs_solved: usize,
     /// Abstraction SCCs served from the content-addressed solve memo.
     pub sccs_reused: usize,
+    /// Of the reused SCCs, how many were served from an entry solved by a
+    /// *different* client of a shared memo (always 0 for a private cache).
+    pub sccs_shared_hits: usize,
 }
 
 #[cfg(test)]

@@ -73,40 +73,11 @@ impl<'a> Emitter<'a> {
         out
     }
 
-    /// Renders one diagnostic as a JSON object (single line).
+    /// Renders one diagnostic as a JSON object (single line): the shared
+    /// serializer with this emitter's single file as the top-level `file`
+    /// and file-relative span locations.
     pub fn render_json(&self, d: &Diagnostic) -> String {
-        let mut out = String::from("{");
-        let _ = write!(out, "\"severity\":\"{}\"", d.severity);
-        match d.code {
-            Some(code) => {
-                let _ = write!(out, ",\"code\":{}", json_string(code));
-            }
-            None => out.push_str(",\"code\":null"),
-        }
-        let _ = write!(out, ",\"message\":{}", json_string(&d.message));
-        let _ = write!(out, ",\"file\":{}", json_string(self.name));
-        let _ = write!(out, ",\"span\":{}", self.json_span(d.span));
-        out.push_str(",\"labels\":[");
-        for (i, label) in d.labels.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"span\":{},\"message\":{}}}",
-                self.json_span(label.span),
-                json_string(&label.message)
-            );
-        }
-        out.push_str("],\"notes\":[");
-        for (i, note) in d.notes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&json_string(note));
-        }
-        out.push_str("]}");
-        out
+        render_json_diagnostic(d, Some(self.name), &|span| self.json_span(span))
     }
 
     /// Renders a whole batch as a JSON array (one object per line).
@@ -187,6 +158,59 @@ fn caret_char(severity: Severity) -> char {
         Severity::Error => '^',
         Severity::Warning => '~',
     }
+}
+
+/// The one JSON serializer for diagnostics, parameterized by a span →
+/// location rendering so every driver agrees on the object shape:
+///
+/// ```text
+/// {"severity":..,"code":..,"message":..[,"file":..],"span":..,
+///  "labels":[{"span":..,"message":..},…],"notes":[..]}
+/// ```
+///
+/// `span_json` renders one span as a JSON value — a single-file emitter
+/// emits `{"lo":..,"hi":..,"line":..,"col":..}` plus a top-level `file`
+/// (pass `Some(name)`); a multi-file workspace passes `None` and tags each
+/// span with its owning file instead (`null` for unlocated spans).
+pub fn render_json_diagnostic(
+    d: &Diagnostic,
+    file: Option<&str>,
+    span_json: &dyn Fn(Span) -> String,
+) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"severity\":\"{}\"", d.severity);
+    match d.code {
+        Some(code) => {
+            let _ = write!(out, ",\"code\":{}", json_string(code));
+        }
+        None => out.push_str(",\"code\":null"),
+    }
+    let _ = write!(out, ",\"message\":{}", json_string(&d.message));
+    if let Some(name) = file {
+        let _ = write!(out, ",\"file\":{}", json_string(name));
+    }
+    let _ = write!(out, ",\"span\":{}", span_json(d.span));
+    out.push_str(",\"labels\":[");
+    for (i, label) in d.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"span\":{},\"message\":{}}}",
+            span_json(label.span),
+            json_string(&label.message)
+        );
+    }
+    out.push_str("],\"notes\":[");
+    for (i, note) in d.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(note));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Escapes `s` as a JSON string literal (with quotes).

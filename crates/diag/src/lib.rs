@@ -32,7 +32,7 @@ pub mod emit;
 pub mod span;
 
 pub use diagnostic::{Diagnostic, Diagnostics, Label, Severity};
-pub use emit::{json_string, Emitter};
+pub use emit::{json_string, render_json_diagnostic, Emitter};
 pub use span::{SourceMap, Span};
 
 /// Stable error-code ranges, one block per pipeline stage.

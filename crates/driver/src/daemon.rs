@@ -1,0 +1,419 @@
+//! `cjrcd` — the multi-client compile daemon behind `cjrc daemon`.
+//!
+//! A [`Daemon`] listens on a TCP or Unix-domain socket and speaks the
+//! `cjrc serve` JSON-lines protocol ([`crate::server`]) *per connection*:
+//! every client gets its own [`Server`] over its own [`Workspace`]
+//! (private files, revisions and pass counters), while all workspaces
+//! feed **one shared content-addressed SCC solve memo**
+//! ([`cj_regions::incremental::SolveMemo`]). The memo keys are
+//! α-invariant and name-independent, so a constraint-abstraction SCC
+//! solved for one client is a hit for every other client compiling an
+//! equivalent fragment — cross-client reuse the `stats` command reports
+//! as `shared_memo.shared_hits` (and per-compilation as
+//! `sccs_shared_hits`).
+//!
+//! Connections are served by a fixed pool of worker threads; the shared
+//! memo is sharded and lock-striped, so concurrent clients contend only
+//! on the shard owning one canonical key, never on a global lock.
+//!
+//! # Connection lifecycle
+//!
+//! 1. connect (TCP `host:port` or Unix socket path);
+//! 2. send one JSON request per line, read one JSON response per line —
+//!    exactly the `serve` protocol (`open`/`edit`/`close`/`check`/
+//!    `annotate`/`run`/`query`/`stats`/`shutdown`);
+//! 3. `{"cmd":"shutdown"}` (or EOF) ends the connection; the daemon keeps
+//!    running;
+//! 4. `{"cmd":"shutdown","scope":"daemon"}` ends the connection **and**
+//!    stops the daemon: the accept loop exits, queued connections are
+//!    drained, workers join, and [`Daemon::run`] returns.
+//!
+//! # Example (in-process)
+//!
+//! ```no_run
+//! use cj_driver::{Daemon, DaemonConfig};
+//!
+//! let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).unwrap();
+//! println!("listening on {}", daemon.describe_addr());
+//! let summary = daemon.run().unwrap(); // until a daemon-scope shutdown
+//! println!("served {} clients", summary.clients_served);
+//! ```
+
+use crate::server::{parse_json, Server};
+use crate::session::SessionOptions;
+use crate::workspace::Workspace;
+use cj_regions::incremental::SolveMemo;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Default session (inference + runtime) options for every client;
+    /// requests may still override `mode`/`downcast` per call.
+    pub opts: SessionOptions,
+    /// Worker threads serving connections (also the number of clients
+    /// served concurrently; further connections queue).
+    pub workers: usize,
+    /// Worker threads each compilation's per-SCC solve fans out over
+    /// (1 = sequential; output is identical either way).
+    pub solve_threads: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            opts: SessionOptions::default(),
+            workers: 4,
+            solve_threads: 1,
+        }
+    }
+}
+
+/// What a finished daemon reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Connections accepted over the daemon's lifetime.
+    pub clients_served: u64,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn set_blocking(&self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(false),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(false),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+}
+
+/// Accept errors that should be retried rather than kill the daemon.
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The socket front end multiplexing many `serve`-protocol clients over
+/// one shared solve memo. See the module docs.
+pub struct Daemon {
+    listener: Listener,
+    config: DaemonConfig,
+    memo: Arc<SolveMemo>,
+    stop: Arc<AtomicBool>,
+    clients_served: Arc<AtomicU64>,
+}
+
+impl Daemon {
+    /// Binds a TCP daemon (use port `0` to let the OS pick; read the
+    /// result back with [`local_addr`](Daemon::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind_tcp(addr: &str, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Daemon::over(Listener::Tcp(listener), config))
+    }
+
+    /// Binds a Unix-domain-socket daemon at `path` (removed first if a
+    /// stale socket file is present).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &std::path::Path, config: DaemonConfig) -> std::io::Result<Daemon> {
+        use std::os::unix::fs::FileTypeExt as _;
+        if let Ok(meta) = std::fs::symlink_metadata(path) {
+            if !meta.file_type().is_socket() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!("refusing to replace non-socket file `{}`", path.display()),
+                ));
+            }
+            if UnixStream::connect(path).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on `{}`", path.display()),
+                ));
+            }
+            // A socket nothing answers on: stale leftover, safe to reclaim.
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(Daemon::over(Listener::Unix(listener), config))
+    }
+
+    fn over(listener: Listener, config: DaemonConfig) -> Daemon {
+        Daemon {
+            listener,
+            config,
+            memo: Arc::new(SolveMemo::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            clients_served: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The bound TCP address (`None` for a Unix-socket daemon).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// A printable form of the listening address (`tcp://…` /  `unix://…`).
+    pub fn describe_addr(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp://{a}"),
+                Err(_) => "tcp://<unknown>".to_string(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.local_addr() {
+                Ok(a) => match a.as_pathname() {
+                    Some(p) => format!("unix://{}", p.display()),
+                    None => "unix://<unnamed>".to_string(),
+                },
+                Err(_) => "unix://<unknown>".to_string(),
+            },
+        }
+    }
+
+    /// The cross-client solve memo (shared with every connection).
+    pub fn shared_memo(&self) -> Arc<SolveMemo> {
+        Arc::clone(&self.memo)
+    }
+
+    /// A handle that stops the accept loop when set (the in-band
+    /// alternative is a `{"cmd":"shutdown","scope":"daemon"}` request).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves connections until a daemon-scope shutdown arrives (or the
+    /// [`stop_handle`](Daemon::stop_handle) is set), then drains queued
+    /// connections, joins every worker and returns.
+    ///
+    /// # Errors
+    ///
+    /// Setting the listener non-blocking; individual connection I/O
+    /// errors only terminate that connection.
+    pub fn run(self) -> std::io::Result<DaemonSummary> {
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let (tx, rx) = mpsc::channel::<Conn>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = self.config.workers.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let opts = self.config.opts.clone();
+            let solve_threads = self.config.solve_threads;
+            let memo = Arc::clone(&self.memo);
+            let stop = Arc::clone(&self.stop);
+            handles.push(std::thread::spawn(move || loop {
+                let conn = rx.lock().expect("daemon queue poisoned").recv();
+                match conn {
+                    Ok(conn) => {
+                        serve_connection(conn, opts.clone(), solve_threads, &memo, &stop);
+                    }
+                    Err(_) => break, // accept loop gone, queue drained
+                }
+            }));
+        }
+        let mut fatal = None;
+        while !self.stop.load(Ordering::SeqCst) {
+            let accepted = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    // The listener is nonblocking only so this loop can
+                    // poll the stop flag; clients must block normally (on
+                    // several platforms accepted sockets inherit the
+                    // listener's nonblocking mode).
+                    if conn.set_blocking().is_err() {
+                        continue;
+                    }
+                    self.clients_served.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(conn).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if transient_accept_error(&e) => {
+                    // E.g. the client reset between SYN and accept: not a
+                    // reason to take the daemon down.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    // A broken listener is an error the operator must see,
+                    // not a clean-looking shutdown.
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(DaemonSummary {
+                clients_served: self.clients_served.load(Ordering::Relaxed),
+            }),
+        }
+    }
+}
+
+/// Whether a request line asks for a daemon-scope shutdown.
+fn is_daemon_shutdown(line: &str) -> bool {
+    parse_json(line).is_ok_and(|req| {
+        req.get_str("cmd") == Some("shutdown") && req.get_str("scope") == Some("daemon")
+    })
+}
+
+/// One connection: a private `Server`/`Workspace` over the shared memo,
+/// driven line by line until shutdown or EOF. I/O errors just end the
+/// connection — they never unwind into the worker pool.
+///
+/// Reads are bounded by a short timeout so the worker observes the stop
+/// flag between requests: an idle (or half-open) client can never pin a
+/// worker and block [`Daemon::run`]'s drain-and-join shutdown.
+fn serve_connection(
+    conn: Conn,
+    opts: SessionOptions,
+    solve_threads: usize,
+    memo: &Arc<SolveMemo>,
+    stop: &AtomicBool,
+) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    if read_half
+        .set_read_timeout(Duration::from_millis(100))
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    let mut ws = Workspace::with_shared_memo(opts, Arc::clone(memo));
+    ws.set_solve_threads(solve_threads);
+    let mut server = Server::with_workspace(ws);
+    // Accumulates one request line across read timeouts (a timeout may
+    // fire mid-line; `read_line` keeps the partial bytes in the buffer).
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = std::mem::take(&mut line);
+        if request.trim().is_empty() {
+            continue;
+        }
+        let daemon_stop = is_daemon_shutdown(&request);
+        let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
+        if daemon_stop {
+            // Before the write: a client hanging up right after asking for
+            // a daemon shutdown must still stop the daemon.
+            stop.store(true, Ordering::SeqCst);
+        }
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if daemon_stop || server.is_done() {
+            break;
+        }
+    }
+}

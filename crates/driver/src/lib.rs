@@ -18,8 +18,10 @@
 //! [`Workspace::invariant`], [`Workspace::entails`]) without re-solving.
 //!
 //! [`Session`] is the single-source facade (one file named `<input>`),
-//! [`Server`] the JSON-lines compile-server loop behind `cjrc serve`, and
-//! [`compile_many`] batch-compiles independent sources on worker threads.
+//! [`Server`] the JSON-lines compile-server loop behind `cjrc serve`,
+//! [`Daemon`] the `cjrcd` socket front end multiplexing many such servers
+//! over one shared cross-client SCC solve memo, and [`compile_many`]
+//! batch-compiles independent sources on worker threads.
 //! Errors from every stage are structured
 //! [`Diagnostics`](cj_diag::Diagnostics) with spans, stable codes, caret
 //! rendering and a JSON form; no stage returns `Box<dyn Error>` or
@@ -56,11 +58,13 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod daemon;
 pub mod server;
 pub mod session;
 pub mod workspace;
 
 pub use batch::{compile_many, SourceInput};
+pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use server::{parse_json, Json, Server};
 pub use session::{Compilation, CompileResult, Session, SessionOptions};
 pub use workspace::{PassCounts, Workspace, FILE_SPAN_STRIDE};

@@ -17,8 +17,8 @@
 //! | `check` | — | compile + region-check the workspace |
 //! | `annotate` | — | return the annotated program text |
 //! | `query` | `name` \| `invariant` \| `precondition` [+ `class`] [+ `entails`] | read the closed environment `Q` |
-//! | `stats` | — | revision, files, cumulative passes, infer stats |
-//! | `shutdown` | — | acknowledge and stop |
+//! | `stats` | — | revision, files, cumulative passes, shared-memo hit rates, infer stats |
+//! | `shutdown` | optional `scope:"daemon"` | acknowledge and stop (the whole daemon with `scope`) |
 //!
 //! # Example exchange
 //!
@@ -262,10 +262,14 @@ pub struct Server {
 impl Server {
     /// A server over an empty workspace.
     pub fn new(opts: SessionOptions) -> Server {
-        Server {
-            ws: Workspace::new(opts),
-            done: false,
-        }
+        Server::with_workspace(Workspace::new(opts))
+    }
+
+    /// A server over an existing workspace — how the daemon front end
+    /// gives every connection a workspace feeding one shared SCC memo
+    /// ([`Workspace::with_shared_memo`]).
+    pub fn with_workspace(ws: Workspace) -> Server {
+        Server { ws, done: false }
     }
 
     /// Whether a `shutdown` request has been processed.
@@ -378,10 +382,17 @@ impl Server {
             "stats" => {
                 let files: Vec<String> =
                     self.ws.file_names().into_iter().map(json_string).collect();
+                let memo = self.ws.shared_memo();
                 let mut extra = format!(
-                    "\"files\":[{}],\"passes_total\":{}",
+                    "\"files\":[{}],\"passes_total\":{},\
+                     \"shared_memo\":{{\"entries\":{},\"hits\":{},\"misses\":{},\
+                     \"shared_hits\":{}}}",
                     files.join(","),
-                    passes_json(self.ws.pass_counts())
+                    passes_json(self.ws.pass_counts()),
+                    memo.len(),
+                    memo.hits(),
+                    memo.misses(),
+                    memo.shared_hits()
                 );
                 // A pure read of cached state: `stats` never compiles.
                 let opts = self.request_opts(req)?;
@@ -392,7 +403,7 @@ impl Server {
                         ",\"infer_stats\":{{\"regions_created\":{},\"localized_regions\":{},\
                          \"fixpoint_iterations\":{},\"override_repairs\":{},\
                          \"methods_inferred\":{},\"methods_reused\":{},\
-                         \"sccs_solved\":{},\"sccs_reused\":{}}}",
+                         \"sccs_solved\":{},\"sccs_reused\":{},\"sccs_shared_hits\":{}}}",
                         s.regions_created,
                         s.localized_regions,
                         s.fixpoint_iterations,
@@ -400,12 +411,25 @@ impl Server {
                         s.methods_inferred,
                         s.methods_reused,
                         s.sccs_solved,
-                        s.sccs_reused
+                        s.sccs_reused,
+                        s.sccs_shared_hits
                     );
                 }
                 Ok(extra)
             }
             "shutdown" => {
+                // `scope:"daemon"` is acted on by the daemon front end; a
+                // misspelled scope must not silently degrade to a
+                // connection-scope shutdown the client mistakes for a
+                // daemon stop.
+                match req.get_str("scope") {
+                    None | Some("daemon") | Some("connection") => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown shutdown scope `{other}` (expected `connection` or `daemon`)"
+                        ))
+                    }
+                }
                 self.done = true;
                 Ok("\"status\":\"bye\"".to_string())
             }
@@ -480,7 +504,8 @@ impl Server {
 fn passes_json(p: PassCounts) -> String {
     format!(
         "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\
-         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{}}}",
+         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
+         \"sccs_shared_hits\":{}}}",
         p.parse,
         p.typecheck,
         p.infer,
@@ -489,7 +514,8 @@ fn passes_json(p: PassCounts) -> String {
         p.methods_inferred,
         p.methods_reused,
         p.sccs_solved,
-        p.sccs_reused
+        p.sccs_reused,
+        p.sccs_shared_hits
     )
 }
 
@@ -558,12 +584,22 @@ mod tests {
         assert!(resp.contains("\"files\":[\"a.cj\"]"), "{resp}");
         assert!(!resp.contains("infer_stats"), "{resp}");
         assert!(resp.contains("\"passes_executed\":{\"parse\":0"), "{resp}");
+        assert!(
+            resp.contains(
+                "\"shared_memo\":{\"entries\":0,\"hits\":0,\"misses\":0,\
+                           \"shared_hits\":0}"
+            ),
+            "{resp}"
+        );
         // After a check, stats reports the cached compilation — still
         // without executing anything new.
         s.handle_line(r#"{"cmd":"check"}"#);
         let resp = s.handle_line(r#"{"cmd":"stats"}"#);
         assert!(resp.contains("\"infer_stats\":{"), "{resp}");
+        assert!(resp.contains("\"sccs_shared_hits\":0"), "{resp}");
         assert!(resp.contains("\"passes_executed\":{\"parse\":0"), "{resp}");
+        assert!(resp.contains("\"shared_memo\":{"), "{resp}");
+        assert!(resp.contains("\"misses\":"), "{resp}");
     }
 
     #[test]

@@ -54,6 +54,7 @@ use cj_frontend::KProgram;
 use cj_infer::{InferCache, InferOptions};
 use cj_regions::abstraction::ConstraintAbs;
 use cj_regions::constraint::Atom;
+use cj_regions::incremental::SolveMemo;
 use cj_regions::solve::Solver;
 use cj_regions::var::RegVar;
 use cj_runtime::{Outcome, Value};
@@ -93,6 +94,12 @@ pub struct PassCounts {
     pub sccs_solved: u32,
     /// Abstraction SCC solves served from the content-addressed memo.
     pub sccs_reused: u32,
+    /// Of the reused SCCs, solves served from a memo entry another
+    /// *workspace* produced (0 unless this workspace shares its memo via
+    /// [`Workspace::with_shared_memo`]; a workspace hitting its own
+    /// earlier work — even from a different per-options cache — never
+    /// counts).
+    pub sccs_shared_hits: u32,
 }
 
 impl PassCounts {
@@ -109,6 +116,7 @@ impl PassCounts {
             methods_reused: self.methods_reused - earlier.methods_reused,
             sccs_solved: self.sccs_solved - earlier.sccs_solved,
             sccs_reused: self.sccs_reused - earlier.sccs_reused,
+            sccs_shared_hits: self.sccs_shared_hits - earlier.sccs_shared_hits,
         }
     }
 }
@@ -131,7 +139,7 @@ impl SourceFile {
 
 /// Per-[`InferOptions`] derived state: the long-lived incremental cache
 /// plus the current revision's artifacts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct InferState {
     cache: InferCache,
     compilation: Option<Arc<Compilation>>,
@@ -150,11 +158,30 @@ pub struct Workspace {
     kernel: Option<Arc<KProgram>>,
     states: HashMap<InferOptions, InferState>,
     counts: PassCounts,
+    /// One content-addressed SCC memo fed by every per-options cache; pass
+    /// a clone of the same `Arc` to other workspaces (daemon clients) to
+    /// share solved SCCs across them.
+    memo: Arc<SolveMemo>,
+    /// This workspace's single client id within `memo` (all per-options
+    /// caches share it, so only cross-workspace reuse counts as shared).
+    memo_client: u64,
+    /// Worker threads per global solve (see [`InferCache::set_solve_threads`]).
+    solve_threads: usize,
 }
 
 impl Workspace {
-    /// An empty workspace.
+    /// An empty workspace with a private solve memo.
     pub fn new(opts: SessionOptions) -> Workspace {
+        Workspace::with_shared_memo(opts, Arc::new(SolveMemo::new()))
+    }
+
+    /// An empty workspace whose per-SCC solves feed (and are fed by)
+    /// `memo`. The workspace registers as **one** memo client (shared by
+    /// all its per-options caches), so `sccs_shared_hits` in
+    /// [`PassCounts`] counts only reuse across *workspaces* — never a
+    /// workspace hitting its own earlier work.
+    pub fn with_shared_memo(opts: SessionOptions, memo: Arc<SolveMemo>) -> Workspace {
+        let memo_client = memo.register_client();
         Workspace {
             opts,
             files: BTreeMap::new(),
@@ -164,6 +191,23 @@ impl Workspace {
             kernel: None,
             states: HashMap::new(),
             counts: PassCounts::default(),
+            memo,
+            memo_client,
+            solve_threads: 1,
+        }
+    }
+
+    /// The solve memo this workspace feeds.
+    pub fn shared_memo(&self) -> Arc<SolveMemo> {
+        Arc::clone(&self.memo)
+    }
+
+    /// Sets the worker-thread count for the per-SCC solve of every future
+    /// (and existing) per-options cache. Output never depends on it.
+    pub fn set_solve_threads(&mut self, threads: usize) {
+        self.solve_threads = threads.max(1);
+        for state in self.states.values_mut() {
+            state.cache.set_solve_threads(threads);
         }
     }
 
@@ -280,6 +324,23 @@ impl Workspace {
         }
     }
 
+    /// The per-options state, created on first use with a cache feeding
+    /// the workspace's (possibly shared) solve memo.
+    fn state_mut(&mut self, opts: InferOptions) -> &mut InferState {
+        let memo = Arc::clone(&self.memo);
+        let client = self.memo_client;
+        let threads = self.solve_threads;
+        self.states.entry(opts).or_insert_with(|| {
+            let mut cache = InferCache::with_shared_memo_as(memo, client);
+            cache.set_solve_threads(threads);
+            InferState {
+                cache,
+                compilation: None,
+                checked: false,
+            }
+        })
+    }
+
     // ---- staged, memoized queries ---------------------------------------
 
     /// Parses one file (cached per revision). Spans in the returned AST —
@@ -382,15 +443,17 @@ impl Workspace {
         }
         let kernel = self.typecheck()?;
         self.counts.infer += 1;
-        let state = self.states.entry(opts).or_default();
+        let state = self.state_mut(opts);
         let (program, stats) = cj_infer::infer_with_cache(&kernel, opts, &mut state.cache)
             .map_err(IntoDiagnostics::into_diagnostics)?;
+        let compilation = Arc::new(Compilation { program, stats });
+        state.compilation = Some(Arc::clone(&compilation));
+        let stats = &compilation.stats;
         self.counts.methods_inferred += stats.methods_inferred as u32;
         self.counts.methods_reused += stats.methods_reused as u32;
         self.counts.sccs_solved += stats.sccs_solved as u32;
         self.counts.sccs_reused += stats.sccs_reused as u32;
-        let compilation = Arc::new(Compilation { program, stats });
-        state.compilation = Some(Arc::clone(&compilation));
+        self.counts.sccs_shared_hits += stats.sccs_shared_hits as u32;
         Ok(compilation)
     }
 
@@ -417,11 +480,10 @@ impl Workspace {
     /// Any earlier-stage diagnostics, or checker violations.
     pub fn check_with(&mut self, opts: InferOptions) -> CompileResult<Arc<Compilation>> {
         let compilation = self.infer_with(opts)?;
-        let state = self.states.entry(opts).or_default();
-        if !state.checked {
+        if !self.state_mut(opts).checked {
             self.counts.check += 1;
             cj_check::check(&compilation.program).map_err(IntoDiagnostics::into_diagnostics)?;
-            self.states.entry(opts).or_default().checked = true;
+            self.state_mut(opts).checked = true;
         }
         Ok(compilation)
     }
@@ -648,55 +710,24 @@ impl Workspace {
     }
 
     fn render_json_one(&self, d: &Diagnostic) -> String {
-        use std::fmt::Write as _;
-        let span_json = |span: Span| -> String {
-            match self.locate(span) {
-                Some((file, local)) => {
-                    let (line, col) =
-                        SourceMap::new(self.source(file).expect("file")).line_col(local.lo);
-                    format!(
-                        "{{\"file\":{},\"lo\":{},\"hi\":{},\"line\":{},\"col\":{}}}",
-                        cj_diag::json_string(file),
-                        local.lo,
-                        local.hi,
-                        line,
-                        col
-                    )
-                }
-                None => "null".to_string(),
+        // The shared cj-diag serializer, with workspace-located spans: no
+        // top-level file (diagnostics may cross files), every span tagged
+        // with its owner instead.
+        cj_diag::render_json_diagnostic(d, None, &|span| match self.locate(span) {
+            Some((file, local)) => {
+                let (line, col) =
+                    SourceMap::new(self.source(file).expect("file")).line_col(local.lo);
+                format!(
+                    "{{\"file\":{},\"lo\":{},\"hi\":{},\"line\":{},\"col\":{}}}",
+                    cj_diag::json_string(file),
+                    local.lo,
+                    local.hi,
+                    line,
+                    col
+                )
             }
-        };
-        let mut out = String::from("{");
-        let _ = write!(out, "\"severity\":\"{}\"", d.severity);
-        match d.code {
-            Some(code) => {
-                let _ = write!(out, ",\"code\":{}", cj_diag::json_string(code));
-            }
-            None => out.push_str(",\"code\":null"),
-        }
-        let _ = write!(out, ",\"message\":{}", cj_diag::json_string(&d.message));
-        let _ = write!(out, ",\"span\":{}", span_json(d.span));
-        out.push_str(",\"labels\":[");
-        for (i, label) in d.labels.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"span\":{},\"message\":{}}}",
-                span_json(label.span),
-                cj_diag::json_string(&label.message)
-            );
-        }
-        out.push_str("],\"notes\":[");
-        for (i, note) in d.notes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&cj_diag::json_string(note));
-        }
-        out.push_str("]}");
-        out
+            None => "null".to_string(),
+        })
     }
 }
 
@@ -850,6 +881,55 @@ mod tests {
         // `M` is gone from the merged program.
         let kernel = ws.typecheck().unwrap();
         assert!(kernel.table.class_id("M").is_none());
+    }
+
+    #[test]
+    fn workspaces_share_scc_solves_through_one_memo() {
+        let memo = Arc::new(SolveMemo::new());
+        let mut a = Workspace::with_shared_memo(SessionOptions::default(), Arc::clone(&memo));
+        a.set_source("cell.cj", CELL).unwrap();
+        a.set_source("use.cj", USER).unwrap();
+        a.check().unwrap();
+        let a_counts = a.pass_counts();
+        assert!(a_counts.sccs_solved > 0);
+        assert_eq!(a_counts.sccs_shared_hits, 0, "first client solves cold");
+
+        // A second workspace compiling an overlapping program: the SCCs it
+        // shares with `a` (cell.cj and friends) come from the memo, and
+        // are visible as cross-client shared hits.
+        let mut b = Workspace::with_shared_memo(SessionOptions::default(), Arc::clone(&memo));
+        b.set_source("cell.cj", CELL).unwrap();
+        b.check().unwrap();
+        let b_counts = b.pass_counts();
+        assert!(
+            b_counts.sccs_shared_hits > 0,
+            "overlapping SCCs must be shared hits: {b_counts:?}"
+        );
+        assert_eq!(b_counts.sccs_reused, b_counts.sccs_shared_hits);
+        assert_eq!(memo.shared_hits(), b_counts.sccs_shared_hits as u64);
+
+        // Identity: the shared memo changes work counts, never results.
+        let mut isolated = Workspace::new(SessionOptions::default());
+        isolated.set_source("cell.cj", CELL).unwrap();
+        assert_eq!(
+            b.annotate().unwrap(),
+            isolated.annotate().unwrap(),
+            "shared-memo output must equal an isolated compile"
+        );
+        assert_eq!(isolated.pass_counts().sccs_shared_hits, 0);
+        // A private workspace compiling under several options reuses its
+        // own SCCs across the per-options caches — that reuse must NOT be
+        // reported as cross-client.
+        isolated
+            .infer_with(cj_infer::InferOptions::with_mode(
+                cj_infer::SubtypeMode::None,
+            ))
+            .unwrap();
+        let counts = isolated.pass_counts();
+        assert_eq!(
+            counts.sccs_shared_hits, 0,
+            "self-reuse across options misreported as shared: {counts:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! End-to-end tests for the `cjrcd` compile daemon: N concurrent socket
+//! clients compiling overlapping programs must receive byte-identical
+//! `check`/`annotate`/`query` answers to isolated sequential `Server`
+//! sessions (the shared memo changes how much work runs, never what is
+//! computed), cross-client SCC reuse must actually happen and be
+//! observable, and a daemon-scope shutdown must drain cleanly.
+
+use cj_driver::{Daemon, DaemonConfig, Server, SessionOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const CELL: &str = "class Cell { Object item; Object get() { this.item } \
+                    void put(Object o) { this.item = o; } }";
+
+/// The request script of client `i`: the shared `cell.cj` plus a
+/// client-specific consumer, then semantic queries.
+fn script(i: usize) -> Vec<String> {
+    let user = match i % 3 {
+        0 => "class M { static Object f(Cell c) { c.get() } }",
+        1 => "class M { static Object f(Cell c) { c.put(c.get()); c.get() } }",
+        _ => {
+            "class M { static Object f(Cell c) { Cell d = new Cell(null); \
+              d.put(c.get()); d.get() } }"
+        }
+    };
+    vec![
+        format!(
+            "{{\"cmd\":\"open\",\"file\":\"cell.cj\",\"text\":{}}}",
+            cj_diag::json_string(CELL)
+        ),
+        format!(
+            "{{\"cmd\":\"open\",\"file\":\"use.cj\",\"text\":{}}}",
+            cj_diag::json_string(user)
+        ),
+        "{\"cmd\":\"check\"}".to_string(),
+        "{\"cmd\":\"annotate\"}".to_string(),
+        "{\"cmd\":\"query\",\"invariant\":\"Cell\"}".to_string(),
+        "{\"cmd\":\"query\",\"invariant\":\"Cell\",\"entails\":\"r2>=r1\"}".to_string(),
+        "{\"cmd\":\"query\",\"precondition\":\"f\"}".to_string(),
+        "{\"cmd\":\"shutdown\"}".to_string(),
+    ]
+}
+
+/// Drops the `passes_executed` suffix: with a shared memo the *work
+/// counters* legitimately differ from an isolated session (that is the
+/// point); everything semantic must match byte for byte.
+fn strip_passes(response: &str) -> String {
+    match response.find(",\"passes_executed\"") {
+        Some(i) => format!("{}}}", &response[..i]),
+        None => response.to_string(),
+    }
+}
+
+/// Runs a script against a live daemon over TCP, one response per line.
+fn drive_tcp(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    lines
+        .iter()
+        .map(|line| {
+            writeln!(writer, "{line}").expect("send request");
+            writer.flush().expect("flush");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            assert!(!response.is_empty(), "daemon closed early on `{line}`");
+            response.trim_end().to_string()
+        })
+        .collect()
+}
+
+/// Runs the same script through an isolated in-process `Server`.
+fn drive_isolated(lines: &[String]) -> Vec<String> {
+    let mut server = Server::new(SessionOptions::default());
+    lines.iter().map(|l| server.handle_line(l)).collect()
+}
+
+#[test]
+fn concurrent_clients_match_isolated_sessions_and_share_sccs() {
+    let daemon = Daemon::bind_tcp(
+        "127.0.0.1:0",
+        DaemonConfig {
+            workers: 4,
+            solve_threads: 2,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let memo = daemon.shared_memo();
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // Phase 1: three clients connected and compiling at the same time.
+    let mut clients = Vec::new();
+    for i in 0..3 {
+        clients.push(std::thread::spawn(move || (i, drive_tcp(addr, &script(i)))));
+    }
+    for handle in clients {
+        let (i, got) = handle.join().expect("client thread");
+        let want = drive_isolated(&script(i));
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(
+                strip_passes(g),
+                strip_passes(w),
+                "client {i}: daemon answer diverged from isolated session"
+            );
+        }
+        // Sanity: the interesting answers actually appeared.
+        assert!(got[2].contains("\"status\":\"well-region-typed\""));
+        assert!(got[4].contains("\"abs\":\"inv.Cell<"));
+        assert!(got[5].contains("\"entails\":true"));
+    }
+
+    // Phase 2: a fourth client arriving after the others must hit SCCs
+    // they solved — cross-client reuse through the shared memo.
+    let shared_before = memo.shared_hits();
+    let script4 = {
+        let mut s = script(0);
+        s.insert(s.len() - 1, "{\"cmd\":\"stats\"}".to_string());
+        s
+    };
+    let got = drive_tcp(addr, &script4);
+    assert!(
+        memo.shared_hits() > shared_before,
+        "fourth client must reuse SCCs other clients solved"
+    );
+    // Its own compile reported the shared hits...
+    let check = &got[2];
+    let shared_field = check
+        .split("\"sccs_shared_hits\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("check response carries sccs_shared_hits");
+    assert!(shared_field > 0, "expected cross-client hits in {check}");
+    // ...and `stats` exposes the memo-wide shared view.
+    let stats = &got[7];
+    assert!(stats.contains("\"shared_memo\":{"), "{stats}");
+    assert!(!stats.contains("\"shared_hits\":0"), "{stats}");
+    // Byte-identical semantics for the late client too.
+    let want = drive_isolated(&script(0));
+    for (k, w) in want.iter().enumerate() {
+        let g = if k < 7 { &got[k] } else { &got[k + 1] }; // skip stats
+        if k == 7 {
+            // shutdown response
+            assert!(g.contains("\"status\":\"bye\""));
+        } else {
+            assert_eq!(strip_passes(g), strip_passes(w), "late client line {k}");
+        }
+    }
+
+    // Phase 3: daemon-scope shutdown drains and joins cleanly.
+    let bye = drive_tcp(
+        addr,
+        &["{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string()],
+    );
+    assert!(bye[0].contains("\"status\":\"bye\""), "{:?}", bye);
+    let summary = daemon_thread.join().expect("daemon thread");
+    assert_eq!(summary.clients_served, 5);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_daemon_serves_and_shuts_down() {
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("cjrcd-test-{}.sock", std::process::id()));
+    let daemon = Daemon::bind_unix(&path, DaemonConfig::default()).expect("bind unix");
+    assert!(daemon.local_addr().is_none());
+    assert!(daemon.describe_addr().starts_with("unix://"));
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let requests = [
+        format!(
+            "{{\"cmd\":\"open\",\"file\":\"cell.cj\",\"text\":{}}}",
+            cj_diag::json_string(CELL)
+        ),
+        "{\"cmd\":\"check\"}".to_string(),
+        "{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string(),
+    ];
+    let mut responses = Vec::new();
+    for line in &requests {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        responses.push(response);
+    }
+    assert!(responses[1].contains("\"status\":\"well-region-typed\""));
+    assert!(responses[2].contains("\"status\":\"bye\""));
+    let summary = daemon_thread.join().expect("daemon thread");
+    assert_eq!(summary.clients_served, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The externally observable stop handle also ends the daemon (what a
+/// supervising process would use instead of an in-band request).
+#[test]
+fn stop_handle_ends_the_accept_loop() {
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let stop = daemon.stop_handle();
+    let handle = std::thread::spawn(move || daemon.run().expect("run"));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let summary = handle.join().expect("join");
+    assert_eq!(summary.clients_served, 0);
+}
+
+/// A connected-but-silent client must not block a daemon-scope shutdown:
+/// workers poll the stop flag between reads, so `run()` drains and
+/// returns even while an idle connection is still open.
+#[test]
+fn idle_client_does_not_block_daemon_shutdown() {
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // The idle client: connects, sends nothing, and stays open.
+    let _idle = TcpStream::connect(addr).expect("idle connect");
+    let bye = drive_tcp(
+        addr,
+        &["{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string()],
+    );
+    assert!(bye[0].contains("\"status\":\"bye\""), "{bye:?}");
+    let summary = daemon_thread
+        .join()
+        .expect("daemon must not hang on the idle client");
+    assert_eq!(summary.clients_served, 2);
+}
+
+/// A typo'd shutdown scope must be an error, not a connection-scope
+/// shutdown the client mistakes for a daemon stop.
+#[test]
+fn unknown_shutdown_scope_is_rejected() {
+    let mut server = Server::new(SessionOptions::default());
+    let resp = server.handle_line("{\"cmd\":\"shutdown\",\"scope\":\"Daemon\"}");
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("unknown shutdown scope"), "{resp}");
+    assert!(
+        !server.is_done(),
+        "a rejected shutdown must not stop the session"
+    );
+    let resp = server.handle_line("{\"cmd\":\"shutdown\",\"scope\":\"connection\"}");
+    assert!(resp.contains("\"status\":\"bye\""), "{resp}");
+    assert!(server.is_done());
+}

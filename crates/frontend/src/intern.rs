@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash as _, Hasher as _};
 use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
@@ -33,29 +34,45 @@ struct Interner {
     map: HashMap<&'static str, Symbol>,
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
+/// Number of independently locked interner shards. Sharding by string hash
+/// means concurrent compilations (batch drivers, daemon clients) contend
+/// only when two threads intern strings landing in the same shard, instead
+/// of serializing on one global lock.
+pub const INTERNER_SHARDS: usize = 16;
+
+fn shards() -> &'static [RwLock<Interner>; INTERNER_SHARDS] {
+    static SHARDS: OnceLock<[RwLock<Interner>; INTERNER_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        std::array::from_fn(|_| {
+            RwLock::new(Interner {
+                map: HashMap::new(),
+            })
         })
     })
+}
+
+fn shard_for(s: &str) -> &'static RwLock<Interner> {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    &shards()[h.finish() as usize % INTERNER_SHARDS]
 }
 
 impl Symbol {
     /// Interns `s`, returning its canonical [`Symbol`].
     ///
     /// Lookups of already-interned strings (the overwhelmingly common case
-    /// once a workload warms up) take only the read lock, so parallel
-    /// compilation — e.g. [`compile_many`]-style batch drivers — does not
-    /// serialize on the interner.
+    /// once a workload warms up) take only the read lock of the shard
+    /// owning `s`'s hash ([`INTERNER_SHARDS`] shards), so parallel
+    /// compilation — [`compile_many`]-style batch drivers and concurrent
+    /// daemon clients — does not serialize on the interner.
     ///
     /// [`compile_many`]: https://docs.rs/cj-driver
     pub fn intern(s: &str) -> Symbol {
-        if let Some(&sym) = interner().read().expect("interner poisoned").map.get(s) {
+        let shard = shard_for(s);
+        if let Some(&sym) = shard.read().expect("interner poisoned").map.get(s) {
             return sym;
         }
-        let mut guard = interner().write().expect("interner poisoned");
+        let mut guard = shard.write().expect("interner poisoned");
         // Re-check under the write lock: another thread may have won.
         if let Some(&sym) = guard.map.get(s) {
             return sym;
@@ -136,5 +153,28 @@ mod tests {
         let e = Symbol::intern("");
         assert_eq!(e.as_str(), "");
         assert_eq!(format!("{:?}", e), "Symbol(\"\")");
+    }
+
+    #[test]
+    fn concurrent_interning_is_canonical_across_shards() {
+        // Many threads intern the same (and overlapping) strings; every
+        // thread must end up with pointer-identical symbols per string.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("sym-{}", (i + t) % 100)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all {
+            for sym in row {
+                let again = Symbol::intern(sym.as_str());
+                assert_eq!(*sym, again);
+                assert!(std::ptr::eq(sym.as_str(), again.as_str()));
+            }
+        }
     }
 }

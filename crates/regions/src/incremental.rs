@@ -27,13 +27,21 @@
 //!   a hit;
 //! - **across revisions of a workspace**: editing one method body leaves
 //!   every other SCC's canonical key unchanged, so only the dirty SCCs and
-//!   the dependents whose imports actually changed are re-solved.
+//!   the dependents whose imports actually changed are re-solved;
+//! - **across clients compiling different programs**: the memo is
+//!   thread-safe (sharded locks, atomic counters), so a compile daemon can
+//!   hand one `Arc<SolveMemo>` to every connection — α-equivalent SCCs
+//!   solved by *any* client are hits for all of them, counted separately
+//!   as [`SolveMemo::shared_hits`].
 
 use crate::abstraction::{solve_fixpoint, AbsEnv, ConstraintAbs};
 use crate::constraint::{Atom, ConstraintSet};
 use crate::var::RegVar;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
+use std::hash::{Hash as _, Hasher as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A canonical variable numbering: heap ↦ 0, params ↦ 1..=k, locals ↦
 /// k+1... in first-occurrence order.
@@ -141,52 +149,136 @@ pub fn uncanon_closed(canonical: &ConstraintSet, params: &[RegVar]) -> Constrain
 pub struct SccOutcome {
     /// Whether the closed forms came from the memo.
     pub reused: bool,
+    /// Whether the hit entry was solved by a *different* client (see
+    /// [`SolveMemo::register_client`]); always `false` on a miss.
+    pub shared: bool,
     /// Kleene iterations actually performed (0 on reuse).
     pub iterations: usize,
 }
 
+/// One solved-SCC record: the canonical closed atoms per member, in the
+/// same (name-sorted) member order the key was built in, tagged with the
+/// client that solved it.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    owner: u64,
+    closed: Vec<ConstraintSet>,
+}
+
 /// A content-addressed memo of solved SCCs. See the module docs.
 ///
-/// Bounded: when the entry count reaches [`SolveMemo::MAX_ENTRIES`] the
-/// memo is flushed wholesale. Correctness never depends on a hit, so the
-/// only cost of a flush is one cold re-solve per SCC — which keeps a
-/// long-lived compile server's memory flat across unbounded edit streams.
-#[derive(Debug, Clone, Default)]
+/// Thread-safe: entries live in [`SolveMemo::SHARDS`] mutex-protected
+/// shards selected by key hash, and the counters are atomics, so one memo
+/// can be shared (`Arc<SolveMemo>`) by many concurrently compiling clients
+/// — e.g. every connection of a compile daemon — without serializing their
+/// solves on a single lock.
+///
+/// Bounded: when a shard's entry count reaches its slice of
+/// [`SolveMemo::MAX_ENTRIES`] that shard is flushed wholesale. Correctness
+/// never depends on a hit, so the only cost of a flush is one cold
+/// re-solve per SCC — which keeps a long-lived compile server's memory
+/// flat across unbounded edit streams.
+///
+/// Entries are tagged with the *client* that solved them (see
+/// [`register_client`](SolveMemo::register_client)); a hit on another
+/// client's entry counts as a **shared hit**, making cross-client reuse
+/// observable.
+#[derive(Debug, Default)]
 pub struct SolveMemo {
-    /// canonical SCC key → canonical closed atoms per member, in the same
-    /// (name-sorted) member order the key was built in.
-    entries: HashMap<String, Vec<ConstraintSet>>,
-    hits: u64,
-    misses: u64,
+    shards: [Mutex<HashMap<String, MemoEntry>>; SolveMemo::SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shared_hits: AtomicU64,
+    next_client: AtomicU64,
 }
 
 impl SolveMemo {
     /// Entry count at which the memo flushes itself (see the type docs).
     pub const MAX_ENTRIES: usize = 1 << 14;
 
+    /// Number of independently locked shards.
+    pub const SHARDS: usize = 16;
+
     /// An empty memo.
     pub fn new() -> SolveMemo {
         SolveMemo::default()
     }
 
+    /// Allocates a fresh client id for owner-tagging entries. A *client*
+    /// is one logical user of the memo (one `InferCache`-style holder);
+    /// hits on entries solved by a different client are counted as
+    /// [`shared_hits`](SolveMemo::shared_hits). Ids start at 1 — id 0 is
+    /// reserved for anonymous callers ([`solve_scc_memo`]), so a
+    /// registered client never aliases them.
+    pub fn register_client(&self) -> u64 {
+        self.next_client.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Number of memo hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of memo misses (actual fixpoint runs) so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of hits served from an entry solved by a *different* client
+    /// — the cross-client reuse a shared daemon memo exists for.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct solved-SCC entries retained.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
     }
 
     /// Whether the memo holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, MemoEntry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % SolveMemo::SHARDS]
+    }
+
+    /// Looks up a solved SCC; on a hit updates the hit counters and
+    /// reports whether the entry was solved by a different client.
+    fn lookup(&self, key: &str, client: u64) -> Option<(Vec<ConstraintSet>, bool)> {
+        let shard = self.shard(key).lock().expect("memo shard poisoned");
+        let entry = shard.get(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let shared = entry.owner != client;
+        if shared {
+            self.shared_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((entry.closed.clone(), shared))
+    }
+
+    /// Records a freshly solved SCC, flushing the target shard when its
+    /// slice of the entry budget is exhausted. A concurrent solver may
+    /// have stored the same key already; the values are identical by
+    /// determinism of the fixpoint, so last-write-wins is safe.
+    fn store(&self, key: String, client: u64, closed: Vec<ConstraintSet>) {
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        if shard.len() >= SolveMemo::MAX_ENTRIES / SolveMemo::SHARDS {
+            shard.clear();
+        }
+        shard.insert(
+            key,
+            MemoEntry {
+                owner: client,
+                closed,
+            },
+        );
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -237,12 +329,28 @@ fn scc_key(env: &AbsEnv, members: &[String]) -> String {
 ///
 /// Panics if a member or callee is unknown, or an external callee is not
 /// yet closed (the caller must process SCCs bottom-up).
-pub fn solve_scc_memo(env: &mut AbsEnv, names: &[String], memo: &mut SolveMemo) -> SccOutcome {
+pub fn solve_scc_memo(env: &mut AbsEnv, names: &[String], memo: &SolveMemo) -> SccOutcome {
+    solve_scc_memo_as(env, names, memo, 0)
+}
+
+/// [`solve_scc_memo`] on behalf of a registered client (see
+/// [`SolveMemo::register_client`]): hits on entries another client solved
+/// are reported as `shared` in the outcome and counted by the memo.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_scc_memo`].
+pub fn solve_scc_memo_as(
+    env: &mut AbsEnv,
+    names: &[String],
+    memo: &SolveMemo,
+    client: u64,
+) -> SccOutcome {
     let mut members: Vec<String> = names.to_vec();
     members.sort();
     let key = scc_key(env, &members);
-    if let Some(closed) = memo.entries.get(&key) {
-        for (name, canonical) in members.iter().zip(closed.clone()) {
+    if let Some((closed, shared)) = memo.lookup(&key, client) {
+        for (name, canonical) in members.iter().zip(closed) {
             let abs = env.get(name).expect("member present").clone();
             let atoms = uncanon_closed(&canonical, &abs.params);
             env.insert(ConstraintAbs {
@@ -251,9 +359,9 @@ pub fn solve_scc_memo(env: &mut AbsEnv, names: &[String], memo: &mut SolveMemo) 
                 body: crate::abstraction::AbsBody::from_atoms(atoms),
             });
         }
-        memo.hits += 1;
         return SccOutcome {
             reused: true,
+            shared,
             iterations: 0,
         };
     }
@@ -262,13 +370,10 @@ pub fn solve_scc_memo(env: &mut AbsEnv, names: &[String], memo: &mut SolveMemo) 
         .iter()
         .map(|n| canon_closed(env.get(n).expect("member solved")))
         .collect();
-    if memo.entries.len() >= SolveMemo::MAX_ENTRIES {
-        memo.entries.clear();
-    }
-    memo.entries.insert(key, closed);
-    memo.misses += 1;
+    memo.store(key, client, closed);
     SccOutcome {
         reused: false,
+        shared: false,
         iterations,
     }
 }
@@ -319,10 +424,10 @@ mod tests {
 
     #[test]
     fn memo_reuses_alpha_equivalent_sccs() {
-        let mut memo = SolveMemo::new();
+        let memo = SolveMemo::new();
         let mut env = AbsEnv::new();
         env.insert(join_abs("pre.join", 1));
-        let first = solve_scc_memo(&mut env, &["pre.join".to_string()], &mut memo);
+        let first = solve_scc_memo(&mut env, &["pre.join".to_string()], &memo);
         assert!(!first.reused);
         assert!(first.iterations > 0);
         let closed1 = env.get("pre.join").unwrap().body.atoms.to_string();
@@ -332,7 +437,7 @@ mod tests {
         // the matching closed form over its own parameters.
         let mut env2 = AbsEnv::new();
         env2.insert(join_abs("pre.join", 41));
-        let second = solve_scc_memo(&mut env2, &["pre.join".to_string()], &mut memo);
+        let second = solve_scc_memo(&mut env2, &["pre.join".to_string()], &memo);
         assert!(second.reused);
         assert_eq!(second.iterations, 0);
         assert_eq!(
@@ -347,7 +452,7 @@ mod tests {
     fn key_tracks_external_callee_closed_forms() {
         // pre.m⟨a,b⟩ = inv.A⟨a,b⟩ with inv.A closed as b ≥ a: solving twice
         // hits; changing inv.A's closed form misses.
-        let mut memo = SolveMemo::new();
+        let memo = SolveMemo::new();
         let mk_env = |inv_atoms: ConstraintSet| {
             let mut env = AbsEnv::new();
             env.insert(ConstraintAbs {
@@ -372,16 +477,103 @@ mod tests {
         let strong = ConstraintSet::singleton(Atom::eq(r(1), r(2)));
 
         let mut env = mk_env(weak.clone());
-        solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        solve_scc_memo(&mut env, &["pre.m".to_string()], &memo);
         let mut env = mk_env(weak);
-        let hit = solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        let hit = solve_scc_memo(&mut env, &["pre.m".to_string()], &memo);
         assert!(hit.reused);
         assert_eq!(env.get("pre.m").unwrap().body.atoms.to_string(), "r4>=r3");
 
         let mut env = mk_env(strong);
-        let miss = solve_scc_memo(&mut env, &["pre.m".to_string()], &mut memo);
+        let miss = solve_scc_memo(&mut env, &["pre.m".to_string()], &memo);
         assert!(!miss.reused, "changed import must invalidate");
         assert_eq!(env.get("pre.m").unwrap().body.atoms.to_string(), "r3=r4");
+    }
+
+    #[test]
+    fn cross_client_hits_are_counted_as_shared() {
+        let memo = SolveMemo::new();
+        let (a, b) = (memo.register_client(), memo.register_client());
+        assert_ne!(a, b);
+        // Id 0 is reserved for anonymous `solve_scc_memo` callers; a
+        // registered client must never alias it.
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 1));
+        let first = solve_scc_memo_as(&mut env, &["pre.join".to_string()], &memo, a);
+        assert!(!first.reused && !first.shared);
+
+        // Same client again: a hit, but not a shared one.
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 1));
+        let own = solve_scc_memo_as(&mut env, &["pre.join".to_string()], &memo, a);
+        assert!(own.reused && !own.shared);
+        assert_eq!(memo.shared_hits(), 0);
+
+        // A different client compiling an α-equivalent system: shared hit.
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 77));
+        let other = solve_scc_memo_as(&mut env, &["pre.join".to_string()], &memo, b);
+        assert!(other.reused && other.shared);
+        assert_eq!(memo.shared_hits(), 1);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(
+            env.get("pre.join").unwrap().body.atoms.to_string(),
+            "r78>=r84 & r81>=r84"
+        );
+    }
+
+    #[test]
+    fn memo_is_safe_and_consistent_under_concurrent_solvers() {
+        use std::sync::Arc;
+        let memo = Arc::new(SolveMemo::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let memo = Arc::clone(&memo);
+            handles.push(std::thread::spawn(move || {
+                let client = memo.register_client();
+                let base = 1 + t * 100;
+                let mut env = AbsEnv::new();
+                env.insert(join_abs("pre.join", base));
+                solve_scc_memo_as(&mut env, &["pre.join".to_string()], &memo, client);
+                env.get("pre.join").unwrap().body.atoms.to_string()
+            }));
+        }
+        let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread must see the fixpoint expressed over its own params.
+        for (t, got) in results.iter().enumerate() {
+            let base = 1 + t as u32 * 100;
+            let expect = format!(
+                "r{}>=r{} & r{}>=r{}",
+                base + 1,
+                base + 7,
+                base + 4,
+                base + 7
+            );
+            assert_eq!(*got, expect);
+        }
+        // All eight solved the same canonical SCC: one entry, and every
+        // memo access is accounted as either a hit or a miss.
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.hits() + memo.misses(), 8);
+        assert!(memo.misses() >= 1);
+        assert_eq!(memo.shared_hits(), memo.hits());
+    }
+
+    #[test]
+    fn shard_flush_keeps_memo_bounded() {
+        let memo = SolveMemo::new();
+        let total = SolveMemo::MAX_ENTRIES + SolveMemo::MAX_ENTRIES / 4;
+        for i in 0..total {
+            memo.store(format!("key-{i}"), 0, Vec::new());
+            assert!(memo.len() <= SolveMemo::MAX_ENTRIES);
+        }
+        // More keys than the budget were stored, so at least one shard
+        // flushed — yet the memo kept serving within its bound.
+        assert!(memo.len() < total);
+        assert!(!memo.is_empty());
+        assert_eq!(memo.misses() as usize, total);
     }
 
     #[test]

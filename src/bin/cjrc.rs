@@ -6,6 +6,8 @@
 //! cjrc run    <file> [--mode M] [--downcast D] [--json] [args…]     compile and run main
 //! cjrc flows  <file> [--json]                                       downcast-set report
 //! cjrc serve         [--mode M] [--downcast D]                      JSON-lines compile server
+//! cjrc daemon        [--addr H:P | --socket PATH] [--workers N]
+//!                    [--solve-threads N] [--mode M] [--downcast D]  multi-client compile daemon
 //! ```
 //!
 //! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
@@ -22,9 +24,14 @@
 //! `run`/`query`/`stats`/`shutdown`); every response carries the workspace
 //! `revision` and the `passes_executed` delta, so clients can observe
 //! incremental recompilation. See the README protocol reference.
+//!
+//! `daemon` serves the same protocol to many concurrent socket clients
+//! (default `127.0.0.1:4871`), one workspace per connection, all feeding
+//! one shared content-addressed SCC solve memo; a client sends
+//! `{"cmd":"shutdown","scope":"daemon"}` to stop the daemon itself.
 
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
-use cj_driver::{Server, Session, SessionOptions};
+use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions};
 use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -64,6 +71,14 @@ struct Cli {
     stats: bool,
     json: bool,
     run_args: Vec<i64>,
+    /// `daemon`: TCP listen address (`host:port`).
+    addr: Option<String>,
+    /// `daemon`: Unix-socket path (conflicts with `addr`).
+    socket: Option<String>,
+    /// `daemon`: connection worker threads (default 4).
+    workers: Option<usize>,
+    /// `daemon`: per-compilation solver threads (default 1).
+    solve_threads: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +88,11 @@ enum Command {
     Run,
     Flows,
     Serve,
+    Daemon,
 }
+
+/// Default TCP listen address of `cjrc daemon`.
+const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:4871";
 
 /// A command-line usage error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +118,9 @@ fn usage() -> String {
     format!(
         "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
          [--downcast {d}] [--stats] [--json] [run args…]\n       \
-         cjrc serve [--mode {m}] [--downcast {d}]",
+         cjrc serve [--mode {m}] [--downcast {d}]\n       \
+         cjrc daemon [--addr host:port | --socket path] [--workers N] \
+         [--solve-threads N] [--mode {m}] [--downcast {d}]",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
     )
@@ -113,6 +134,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         Some("run") => Command::Run,
         Some("flows") => Command::Flows,
         Some("serve") => Command::Serve,
+        Some("daemon") => Command::Daemon,
         Some(other) => return Err(CliError::new(format!("unknown command `{other}`"))),
         None => return Err(CliError::new("missing command")),
     };
@@ -121,6 +143,10 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut stats = false;
     let mut json = false;
     let mut run_args = Vec::new();
+    let mut addr = None;
+    let mut socket = None;
+    let mut workers = None;
+    let mut solve_threads = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
@@ -134,6 +160,42 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     .next()
                     .ok_or_else(|| CliError::new("--downcast needs a value"))?;
                 opts.downcast = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
+            }
+            "--addr" => {
+                addr = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--addr needs a host:port value"))?,
+                );
+            }
+            "--socket" => {
+                socket = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--socket needs a path value"))?,
+                );
+            }
+            "--workers" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--workers needs a value"))?;
+                workers = Some(value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || {
+                        CliError::new(format!(
+                            "--workers needs a positive integer, found `{value}`"
+                        ))
+                    },
+                )?);
+            }
+            "--solve-threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--solve-threads needs a value"))?;
+                solve_threads = Some(value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || {
+                        CliError::new(format!(
+                            "--solve-threads needs a positive integer, found `{value}`"
+                        ))
+                    },
+                )?);
             }
             "--stats" => stats = true,
             "--json" => json = true,
@@ -149,16 +211,33 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
             }
         }
     }
+    if !matches!(command, Command::Daemon)
+        && (addr.is_some() || socket.is_some() || workers.is_some() || solve_threads.is_some())
+    {
+        return Err(CliError::new(
+            "--addr/--socket/--workers/--solve-threads apply to `daemon` only",
+        ));
+    }
     let file = match command {
-        Command::Serve => {
+        Command::Serve | Command::Daemon => {
+            let name = if command == Command::Serve {
+                "serve"
+            } else {
+                "daemon"
+            };
             if let Some(extra) = file {
                 return Err(CliError::new(format!(
-                    "`serve` takes no input file (sources arrive over the \
+                    "`{name}` takes no input file (sources arrive over the \
                      protocol), found `{extra}`"
                 )));
             }
             if stats || json || !run_args.is_empty() {
-                return Err(CliError::new("`serve` accepts only --mode and --downcast"));
+                return Err(CliError::new(format!(
+                    "`{name}` accepts no --stats/--json/run arguments"
+                )));
+            }
+            if addr.is_some() && socket.is_some() {
+                return Err(CliError::new("--addr and --socket are mutually exclusive"));
             }
             String::new()
         }
@@ -171,6 +250,10 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         stats,
         json,
         run_args,
+        addr,
+        socket,
+        workers,
+        solve_threads,
     })
 }
 
@@ -188,6 +271,17 @@ fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
     if cli.command == Command::Serve {
         serve(opts);
         return Ok(());
+    }
+    if cli.command == Command::Daemon {
+        return daemon(opts, cli).map_err(|e| {
+            Box::new(Failure {
+                session: Session::new("", SessionOptions::default()).with_name("cjrcd".to_string()),
+                diags: Diagnostics::from_one(
+                    Diagnostic::error(format!("daemon failed: {e}"), Span::DUMMY)
+                        .with_code(codes::IO),
+                ),
+            })
+        });
     }
     let mut session = match Session::from_file(&cli.file, opts) {
         Ok(s) => s,
@@ -251,7 +345,9 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             }
             Ok(())
         }
-        Command::Serve => unreachable!("serve is dispatched before file loading"),
+        Command::Serve | Command::Daemon => {
+            unreachable!("serve/daemon are dispatched before file loading")
+        }
         Command::Run => {
             let out = session.run(&cli.run_args)?;
             if cli.json {
@@ -342,6 +438,37 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
     }
 }
 
+/// The `cjrc daemon` front end: bind the requested socket, announce the
+/// address on stdout (so scripts can connect), and serve until a
+/// daemon-scope shutdown.
+fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
+    let config = DaemonConfig {
+        opts,
+        workers: cli.workers.unwrap_or(4),
+        solve_threads: cli.solve_threads.unwrap_or(1),
+    };
+    let daemon = match &cli.socket {
+        #[cfg(unix)]
+        Some(path) => Daemon::bind_unix(std::path::Path::new(path), config)?,
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "--socket requires a Unix platform; use --addr",
+            ))
+        }
+        None => {
+            let addr = cli.addr.as_deref().unwrap_or(DEFAULT_DAEMON_ADDR);
+            Daemon::bind_tcp(addr, config)?
+        }
+    };
+    println!("cjrcd listening on {}", daemon.describe_addr());
+    std::io::stdout().flush()?;
+    let summary = daemon.run()?;
+    eprintln!("cjrcd: served {} client(s), bye", summary.clients_served);
+    Ok(())
+}
+
 /// The `cjrc serve` loop: one JSON request per stdin line, one JSON
 /// response per stdout line, until EOF or a `shutdown` request.
 fn serve(opts: SessionOptions) {
@@ -366,7 +493,8 @@ fn stats_json(stats: &cj_infer::InferStats) -> String {
     format!(
         "{{\"global_iterations\":{},\"fixpoint_iterations\":{},\"regions_created\":{},\
          \"localized_regions\":{},\"override_repairs\":{},\"downcast_sites\":{},\
-         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{}}}",
+         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
+         \"sccs_shared_hits\":{}}}",
         stats.global_iterations,
         stats.fixpoint_iterations,
         stats.regions_created,
@@ -376,7 +504,8 @@ fn stats_json(stats: &cj_infer::InferStats) -> String {
         stats.methods_inferred,
         stats.methods_reused,
         stats.sccs_solved,
-        stats.sccs_reused
+        stats.sccs_reused,
+        stats.sccs_shared_hits
     )
 }
 
@@ -457,7 +586,51 @@ mod tests {
         let err = parse_cli(argv(&["serve", "main.cj"])).unwrap_err();
         assert!(err.message.contains("takes no input file"), "{err:?}");
         let err = parse_cli(argv(&["serve", "--json"])).unwrap_err();
-        assert!(err.message.contains("only --mode and --downcast"));
+        assert!(err.message.contains("no --stats/--json/run"));
+    }
+
+    #[test]
+    fn daemon_flags_parse_and_validate() {
+        let cli = parse_cli(argv(&["daemon"])).unwrap();
+        assert_eq!(cli.command, Command::Daemon);
+        assert_eq!(cli.addr, None);
+        assert_eq!(cli.workers, None);
+        assert_eq!(cli.solve_threads, None);
+        let cli = parse_cli(argv(&[
+            "daemon",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--solve-threads",
+            "2",
+            "--mode",
+            "object",
+        ]))
+        .unwrap();
+        assert_eq!(cli.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.workers, Some(8));
+        assert_eq!(cli.solve_threads, Some(2));
+        assert_eq!(cli.opts.mode, SubtypeMode::Object);
+        let cli = parse_cli(argv(&["daemon", "--socket", "/tmp/cjrcd.sock"])).unwrap();
+        assert_eq!(cli.socket.as_deref(), Some("/tmp/cjrcd.sock"));
+
+        // Invalid combinations are rejected.
+        let err = parse_cli(argv(&["daemon", "--addr", "a:1", "--socket", "/tmp/x"])).unwrap_err();
+        assert!(err.message.contains("mutually exclusive"));
+        let err = parse_cli(argv(&["daemon", "main.cj"])).unwrap_err();
+        assert!(err.message.contains("takes no input file"));
+        let err = parse_cli(argv(&["daemon", "--workers", "0"])).unwrap_err();
+        assert!(err.message.contains("positive integer"));
+        let err = parse_cli(argv(&["check", "x.cj", "--addr", "a:1"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+        let err = parse_cli(argv(&["serve", "--workers", "2"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+        // Even when the flag value equals the daemon default.
+        let err = parse_cli(argv(&["check", "x.cj", "--workers", "4"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+        let err = parse_cli(argv(&["check", "x.cj", "--solve-threads", "1"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
     }
 
     #[test]
