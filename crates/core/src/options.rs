@@ -209,6 +209,9 @@ pub struct InferStats {
     /// Of the reused SCCs, how many were served from an entry solved by a
     /// *different* client of a shared memo (always 0 for a private cache).
     pub sccs_shared_hits: usize,
+    /// Of the reused SCCs, how many were served from an entry preloaded
+    /// out of an on-disk cache (always 0 without `--cache-dir`).
+    pub sccs_disk_hits: usize,
 }
 
 #[cfg(test)]

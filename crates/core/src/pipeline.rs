@@ -468,6 +468,9 @@ fn record_outcome(outcome: SccOutcome, stats: &mut InferStats, iterations: &mut 
         if outcome.shared {
             stats.sccs_shared_hits += 1;
         }
+        if outcome.disk {
+            stats.sccs_disk_hits += 1;
+        }
     } else {
         stats.sccs_solved += 1;
     }

@@ -16,6 +16,23 @@
 //! memo is sharded and lock-striped, so concurrent clients contend only
 //! on the shard owning one canonical key, never on a global lock.
 //!
+//! # Production hardening
+//!
+//! - **Persistence** ([`DaemonConfig::cache_dir`]): the shared memo is
+//!   warm-loaded from an on-disk [`SccDiskCache`] at bind, flushed by a
+//!   background thread while the daemon runs, and compacted at shutdown —
+//!   so a restarted daemon serves `sccs_disk_hits` instead of re-solving
+//!   the world. A corrupt/version-bumped cache cold-starts; output is
+//!   bit-identical either way.
+//! - **Backpressure** ([`DaemonConfig::max_clients`]): connections beyond
+//!   the in-flight bound receive a structured
+//!   `{"ok":false,...,"code":"capacity"}` line and are closed, instead of
+//!   hanging in the accept queue.
+//! - **Idle eviction** ([`DaemonConfig::idle_timeout`]): a client that
+//!   completes no request within the bound is told
+//!   (`{"ok":false,...,"code":"idle"}`) and disconnected, so a stalled or
+//!   half-open peer cannot pin a pool worker.
+//!
 //! # Connection lifecycle
 //!
 //! 1. connect (TCP `host:port` or Unix socket path);
@@ -42,15 +59,16 @@
 use crate::server::{parse_json, Server};
 use crate::session::SessionOptions;
 use crate::workspace::Workspace;
+use cj_persist::SccDiskCache;
 use cj_regions::incremental::SolveMemo;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -64,6 +82,23 @@ pub struct DaemonConfig {
     /// Worker threads each compilation's per-SCC solve fans out over
     /// (1 = sequential; output is identical either way).
     pub solve_threads: usize,
+    /// On-disk SCC cache directory: loaded into the shared memo at bind,
+    /// flushed periodically and compacted at shutdown. `None` = no
+    /// persistence.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Backpressure bound: with more than this many connections in
+    /// flight (being served or queued for a worker), further ones are
+    /// rejected immediately with a structured JSON error instead of
+    /// hanging in the accept queue. 0 = unbounded.
+    pub max_clients: usize,
+    /// Per-connection idle bound: a client that completes no request for
+    /// this long is disconnected (with a structured JSON error), so a
+    /// stalled or half-open client releases its pool worker.
+    /// [`Duration::ZERO`] disables eviction.
+    pub idle_timeout: Duration,
+    /// How often the background thread flushes newly solved SCCs to the
+    /// cache (only with `cache_dir`; shutdown always flushes).
+    pub flush_interval: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -72,6 +107,10 @@ impl Default for DaemonConfig {
             opts: SessionOptions::default(),
             workers: 4,
             solve_threads: 1,
+            cache_dir: None,
+            max_clients: 0,
+            idle_timeout: Duration::from_secs(600),
+            flush_interval: Duration::from_secs(30),
         }
     }
 }
@@ -81,6 +120,13 @@ impl Default for DaemonConfig {
 pub struct DaemonSummary {
     /// Connections accepted over the daemon's lifetime.
     pub clients_served: u64,
+    /// Connections rejected by the `max_clients` backpressure bound.
+    pub clients_rejected: u64,
+    /// Solve-memo entries warm-loaded from the on-disk cache at bind.
+    pub cache_entries_loaded: usize,
+    /// Entries retained on disk by the shutdown compaction (0 without a
+    /// cache).
+    pub cache_entries_persisted: usize,
 }
 
 enum Listener {
@@ -166,6 +212,8 @@ pub struct Daemon {
     listener: Listener,
     config: DaemonConfig,
     memo: Arc<SolveMemo>,
+    cache: Option<Arc<SccDiskCache>>,
+    cache_entries_loaded: usize,
     stop: Arc<AtomicBool>,
     clients_served: Arc<AtomicU64>,
 }
@@ -179,7 +227,7 @@ impl Daemon {
     /// Socket bind failures.
     pub fn bind_tcp(addr: &str, config: DaemonConfig) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Daemon::over(Listener::Tcp(listener), config))
+        Daemon::over(Listener::Tcp(listener), config)
     }
 
     /// Binds a Unix-domain-socket daemon at `path` (removed first if a
@@ -208,17 +256,33 @@ impl Daemon {
             std::fs::remove_file(path)?;
         }
         let listener = UnixListener::bind(path)?;
-        Ok(Daemon::over(Listener::Unix(listener), config))
+        Daemon::over(Listener::Unix(listener), config)
     }
 
-    fn over(listener: Listener, config: DaemonConfig) -> Daemon {
-        Daemon {
+    fn over(listener: Listener, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let memo = Arc::new(SolveMemo::new());
+        // Load the cache at bind, so even the first connection compiles
+        // warm. A corrupt or version-mismatched cache loads 0 entries; an
+        // *unopenable* cache directory is a real error the operator must
+        // see (the flag would otherwise silently do nothing).
+        let mut cache_entries_loaded = 0;
+        let cache = match &config.cache_dir {
+            Some(dir) => {
+                let cache = SccDiskCache::open(dir)?;
+                cache_entries_loaded = cache.load_into(&memo);
+                Some(Arc::new(cache))
+            }
+            None => None,
+        };
+        Ok(Daemon {
             listener,
             config,
-            memo: Arc::new(SolveMemo::new()),
+            memo,
+            cache,
+            cache_entries_loaded,
             stop: Arc::new(AtomicBool::new(false)),
             clients_served: Arc::new(AtomicU64::new(0)),
-        }
+        })
     }
 
     /// The bound TCP address (`None` for a Unix-socket daemon).
@@ -253,6 +317,18 @@ impl Daemon {
         Arc::clone(&self.memo)
     }
 
+    /// The on-disk cache (when configured via
+    /// [`DaemonConfig::cache_dir`]).
+    pub fn disk_cache(&self) -> Option<Arc<SccDiskCache>> {
+        self.cache.clone()
+    }
+
+    /// How many solved-SCC entries the bind-time cache load installed
+    /// into the shared memo (0 without a cache, or for a cold one).
+    pub fn cache_entries_loaded(&self) -> usize {
+        self.cache_entries_loaded
+    }
+
     /// A handle that stops the accept loop when set (the in-band
     /// alternative is a `{"cmd":"shutdown","scope":"daemon"}` request).
     pub fn stop_handle(&self) -> Arc<AtomicBool> {
@@ -261,12 +337,14 @@ impl Daemon {
 
     /// Serves connections until a daemon-scope shutdown arrives (or the
     /// [`stop_handle`](Daemon::stop_handle) is set), then drains queued
-    /// connections, joins every worker and returns.
+    /// connections, joins every worker, compacts the on-disk cache (when
+    /// configured) and returns.
     ///
     /// # Errors
     ///
     /// Setting the listener non-blocking; individual connection I/O
-    /// errors only terminate that connection.
+    /// errors only terminate that connection, and cache flush errors are
+    /// reported once at shutdown.
     pub fn run(self) -> std::io::Result<DaemonSummary> {
         match &self.listener {
             Listener::Tcp(l) => l.set_nonblocking(true)?,
@@ -276,23 +354,57 @@ impl Daemon {
         let (tx, rx) = mpsc::channel::<Conn>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = self.config.workers.max(1);
+        // Connections in flight — queued or being served. The accept loop
+        // bounds this at `max_clients`; workers decrement it when a
+        // connection ends.
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
             let opts = self.config.opts.clone();
             let solve_threads = self.config.solve_threads;
+            let idle_timeout = self.config.idle_timeout;
             let memo = Arc::clone(&self.memo);
             let stop = Arc::clone(&self.stop);
+            let in_flight = Arc::clone(&in_flight);
             handles.push(std::thread::spawn(move || loop {
                 let conn = rx.lock().expect("daemon queue poisoned").recv();
                 match conn {
                     Ok(conn) => {
-                        serve_connection(conn, opts.clone(), solve_threads, &memo, &stop);
+                        serve_connection(
+                            conn,
+                            opts.clone(),
+                            solve_threads,
+                            idle_timeout,
+                            &memo,
+                            &stop,
+                        );
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                     Err(_) => break, // accept loop gone, queue drained
                 }
             }));
         }
+        // The periodic cache flush: newly solved SCCs reach disk while
+        // the daemon runs, so even a crash (no compaction) loses at most
+        // one interval of work.
+        let flusher = self.cache.as_ref().map(|cache| {
+            let cache = Arc::clone(cache);
+            let memo = Arc::clone(&self.memo);
+            let stop = Arc::clone(&self.stop);
+            let interval = self.config.flush_interval.max(Duration::from_millis(50));
+            std::thread::spawn(move || {
+                let mut last = Instant::now();
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if last.elapsed() >= interval {
+                        let _ = cache.flush(&memo);
+                        last = Instant::now();
+                    }
+                }
+            })
+        });
+        let mut clients_rejected = 0u64;
         let mut fatal = None;
         while !self.stop.load(Ordering::SeqCst) {
             let accepted = match &self.listener {
@@ -309,6 +421,16 @@ impl Daemon {
                     if conn.set_blocking().is_err() {
                         continue;
                     }
+                    let limit = self.config.max_clients;
+                    if limit > 0 && in_flight.load(Ordering::SeqCst) >= limit {
+                        // Over the backpressure bound: tell the client
+                        // *why* and hang up, instead of letting it queue
+                        // behind `limit` busy connections indefinitely.
+                        clients_rejected += 1;
+                        reject_connection(conn, limit);
+                        continue;
+                    }
+                    in_flight.fetch_add(1, Ordering::SeqCst);
                     self.clients_served.fetch_add(1, Ordering::Relaxed);
                     if tx.send(conn).is_err() {
                         break;
@@ -330,17 +452,51 @@ impl Daemon {
                 }
             }
         }
+        // Unblock the flusher's poll loop even on a fatal listener error.
+        self.stop.store(true, Ordering::SeqCst);
         drop(tx);
         for handle in handles {
             let _ = handle.join();
         }
-        match fatal {
+        if let Some(flusher) = flusher {
+            let _ = flusher.join();
+        }
+        // Final persistence pass: everything solved over the daemon's
+        // lifetime reaches the snapshot, bounded by the cache's GC budget.
+        let mut cache_entries_persisted = 0;
+        let mut cache_error = None;
+        if let Some(cache) = &self.cache {
+            // Compaction alone persists everything a flush would: the
+            // snapshot is rewritten as memo ∪ disk.
+            match cache.compact(&self.memo) {
+                Ok(kept) => cache_entries_persisted = kept,
+                Err(e) => cache_error = Some(e),
+            }
+        }
+        match fatal.or(cache_error) {
             Some(e) => Err(e),
             None => Ok(DaemonSummary {
                 clients_served: self.clients_served.load(Ordering::Relaxed),
+                clients_rejected,
+                cache_entries_loaded: self.cache_entries_loaded,
+                cache_entries_persisted,
             }),
         }
     }
+}
+
+/// Sends the backpressure reject line — the same `{"ok":false,...}` shape
+/// every protocol error uses, plus a machine-readable `"code"` so clients
+/// can distinguish "retry later" from a malformed request — and drops the
+/// connection.
+fn reject_connection(mut conn: Conn, limit: usize) {
+    let line = format!(
+        "{{\"ok\":false,\"error\":\"daemon at capacity ({limit} active \
+         client{}); retry later\",\"code\":\"capacity\"}}",
+        if limit == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(conn, "{line}");
+    let _ = conn.flush();
 }
 
 /// Whether a request line asks for a daemon-scope shutdown.
@@ -350,17 +506,101 @@ fn is_daemon_shutdown(line: &str) -> bool {
     })
 }
 
+/// How one attempt to read a request line ended.
+enum LineRead {
+    /// A complete `\n`-terminated line (or final unterminated line at
+    /// EOF) is in the buffer.
+    Line,
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// No request completed within the idle bound.
+    IdleTimeout,
+    /// The daemon is stopping, or the line outgrew its byte bound, or a
+    /// real I/O error occurred — drop the connection without ceremony.
+    Drop,
+}
+
+/// Largest accepted request line. Workspace files are capped at 1 MiB,
+/// so even a fully escaped `open` fits comfortably; anything bigger is a
+/// protocol violation (or an attack) and must not grow worker memory.
+const MAX_REQUEST_BYTES: usize = 16 << 20;
+
+/// Reads one `\n`-terminated line into `line`, re-checking the stop flag
+/// and the idle clock on **every** buffered chunk — not only on a fully
+/// idle socket. A client that drips bytes without ever completing a line
+/// therefore still hits the idle bound instead of pinning the worker,
+/// and the accumulated line is capped at [`MAX_REQUEST_BYTES`].
+fn read_request_line(
+    reader: &mut BufReader<Conn>,
+    line: &mut Vec<u8>,
+    idle_timeout: Duration,
+    last_request: Instant,
+    stop: &AtomicBool,
+) -> LineRead {
+    use std::io::BufRead as _;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return LineRead::Drop;
+        }
+        if !idle_timeout.is_zero() && last_request.elapsed() >= idle_timeout {
+            return LineRead::IdleTimeout;
+        }
+        let consumed = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: surface a final unterminated line if one is
+                // buffered, else a clean end of stream.
+                return if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                };
+            }
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..=pos]);
+                    pos + 1
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    buf.len()
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return LineRead::Drop,
+        };
+        reader.consume(consumed);
+        if line.ends_with(b"\n") {
+            return LineRead::Line;
+        }
+        if line.len() > MAX_REQUEST_BYTES {
+            return LineRead::Drop;
+        }
+    }
+}
+
 /// One connection: a private `Server`/`Workspace` over the shared memo,
-/// driven line by line until shutdown or EOF. I/O errors just end the
-/// connection — they never unwind into the worker pool.
+/// driven line by line until shutdown, EOF, or idle eviction. I/O errors
+/// just end the connection — they never unwind into the worker pool.
 ///
-/// Reads are bounded by a short timeout so the worker observes the stop
-/// flag between requests: an idle (or half-open) client can never pin a
-/// worker and block [`Daemon::run`]'s drain-and-join shutdown.
+/// Reads are bounded by a short timeout and go through
+/// [`read_request_line`], so the worker observes the stop flag and the
+/// idle clock between every received chunk: neither a silent half-open
+/// client nor one dripping bytes without a newline can pin a worker or
+/// block [`Daemon::run`]'s drain-and-join shutdown. A client that
+/// completes no request for `idle_timeout` is told so and disconnected,
+/// releasing its pool worker for queued connections.
 fn serve_connection(
     conn: Conn,
     opts: SessionOptions,
     solve_threads: usize,
+    idle_timeout: Duration,
     memo: &Arc<SolveMemo>,
     stop: &AtomicBool,
 ) {
@@ -378,27 +618,30 @@ fn serve_connection(
     let mut ws = Workspace::with_shared_memo(opts, Arc::clone(memo));
     ws.set_solve_threads(solve_threads);
     let mut server = Server::with_workspace(ws);
-    // Accumulates one request line across read timeouts (a timeout may
-    // fire mid-line; `read_line` keeps the partial bytes in the buffer).
-    let mut line = String::new();
+    let mut last_request = Instant::now();
+    let mut line = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
+        line.clear();
+        match read_request_line(&mut reader, &mut line, idle_timeout, last_request, stop) {
+            LineRead::Line => {}
+            LineRead::IdleTimeout => {
+                let _ = writeln!(
+                    writer,
+                    "{{\"ok\":false,\"error\":\"idle timeout: no request \
+                     completed in {}s\",\"code\":\"idle\"}}",
+                    idle_timeout.as_secs_f64()
+                );
+                let _ = writer.flush();
+                break;
             }
-            Err(_) => break,
+            LineRead::Eof | LineRead::Drop => break,
         }
-        let request = std::mem::take(&mut line);
+        // Move the buffer in the (overwhelmingly common) valid-UTF-8
+        // case; only a malformed client pays for a lossy copy.
+        let request = match String::from_utf8(std::mem::take(&mut line)) {
+            Ok(s) => s,
+            Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+        };
         if request.trim().is_empty() {
             continue;
         }
@@ -415,5 +658,9 @@ fn serve_connection(
         if daemon_stop || server.is_done() {
             break;
         }
+        // Restart the idle clock only *after* the response: time spent
+        // compiling must never count against the client, or one request
+        // longer than the bound would evict them mid-conversation.
+        last_request = Instant::now();
     }
 }

@@ -386,13 +386,14 @@ impl Server {
                 let mut extra = format!(
                     "\"files\":[{}],\"passes_total\":{},\
                      \"shared_memo\":{{\"entries\":{},\"hits\":{},\"misses\":{},\
-                     \"shared_hits\":{}}}",
+                     \"shared_hits\":{},\"disk_hits\":{}}}",
                     files.join(","),
                     passes_json(self.ws.pass_counts()),
                     memo.len(),
                     memo.hits(),
                     memo.misses(),
-                    memo.shared_hits()
+                    memo.shared_hits(),
+                    memo.disk_hits()
                 );
                 // A pure read of cached state: `stats` never compiles.
                 let opts = self.request_opts(req)?;
@@ -403,7 +404,8 @@ impl Server {
                         ",\"infer_stats\":{{\"regions_created\":{},\"localized_regions\":{},\
                          \"fixpoint_iterations\":{},\"override_repairs\":{},\
                          \"methods_inferred\":{},\"methods_reused\":{},\
-                         \"sccs_solved\":{},\"sccs_reused\":{},\"sccs_shared_hits\":{}}}",
+                         \"sccs_solved\":{},\"sccs_reused\":{},\"sccs_shared_hits\":{},\
+                         \"sccs_disk_hits\":{}}}",
                         s.regions_created,
                         s.localized_regions,
                         s.fixpoint_iterations,
@@ -412,7 +414,8 @@ impl Server {
                         s.methods_reused,
                         s.sccs_solved,
                         s.sccs_reused,
-                        s.sccs_shared_hits
+                        s.sccs_shared_hits,
+                        s.sccs_disk_hits
                     );
                 }
                 Ok(extra)
@@ -505,7 +508,7 @@ fn passes_json(p: PassCounts) -> String {
     format!(
         "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\
          \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
-         \"sccs_shared_hits\":{}}}",
+         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{}}}",
         p.parse,
         p.typecheck,
         p.infer,
@@ -515,7 +518,8 @@ fn passes_json(p: PassCounts) -> String {
         p.methods_reused,
         p.sccs_solved,
         p.sccs_reused,
-        p.sccs_shared_hits
+        p.sccs_shared_hits,
+        p.sccs_disk_hits
     )
 }
 
@@ -587,7 +591,7 @@ mod tests {
         assert!(
             resp.contains(
                 "\"shared_memo\":{\"entries\":0,\"hits\":0,\"misses\":0,\
-                           \"shared_hits\":0}"
+                           \"shared_hits\":0,\"disk_hits\":0}"
             ),
             "{resp}"
         );

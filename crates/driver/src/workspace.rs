@@ -52,6 +52,7 @@ use cj_diag::{codes, Diagnostic, Diagnostics, Emitter, IntoDiagnostics, SourceMa
 use cj_frontend::ast;
 use cj_frontend::KProgram;
 use cj_infer::{InferCache, InferOptions};
+use cj_persist::SccDiskCache;
 use cj_regions::abstraction::ConstraintAbs;
 use cj_regions::constraint::Atom;
 use cj_regions::incremental::SolveMemo;
@@ -100,6 +101,10 @@ pub struct PassCounts {
     /// earlier work — even from a different per-options cache — never
     /// counts).
     pub sccs_shared_hits: u32,
+    /// Of the reused SCCs, solves served from an entry preloaded out of
+    /// an on-disk cache (0 unless a cache was attached via
+    /// [`Workspace::attach_disk_cache`] or loaded into a shared memo).
+    pub sccs_disk_hits: u32,
 }
 
 impl PassCounts {
@@ -117,6 +122,7 @@ impl PassCounts {
             sccs_solved: self.sccs_solved - earlier.sccs_solved,
             sccs_reused: self.sccs_reused - earlier.sccs_reused,
             sccs_shared_hits: self.sccs_shared_hits - earlier.sccs_shared_hits,
+            sccs_disk_hits: self.sccs_disk_hits - earlier.sccs_disk_hits,
         }
     }
 }
@@ -167,6 +173,9 @@ pub struct Workspace {
     memo_client: u64,
     /// Worker threads per global solve (see [`InferCache::set_solve_threads`]).
     solve_threads: usize,
+    /// On-disk SCC cache this workspace feeds (see
+    /// [`attach_disk_cache`](Workspace::attach_disk_cache)).
+    persist: Option<Arc<SccDiskCache>>,
 }
 
 impl Workspace {
@@ -194,12 +203,62 @@ impl Workspace {
             memo,
             memo_client,
             solve_threads: 1,
+            persist: None,
         }
     }
 
     /// The solve memo this workspace feeds.
     pub fn shared_memo(&self) -> Arc<SolveMemo> {
         Arc::clone(&self.memo)
+    }
+
+    /// Attaches an on-disk SCC cache: its entries are loaded into the
+    /// workspace's solve memo immediately (hits on them are counted as
+    /// [`PassCounts::sccs_disk_hits`]), and
+    /// [`flush_disk_cache`](Workspace::flush_disk_cache) will persist
+    /// entries this workspace solves. Returns how many entries were
+    /// warm-loaded; a corrupt or version-mismatched cache simply loads 0
+    /// (cold start) — never an error.
+    pub fn attach_disk_cache(&mut self, cache: Arc<SccDiskCache>) -> usize {
+        let loaded = cache.load_into(&self.memo);
+        self.persist = Some(cache);
+        loaded
+    }
+
+    /// The attached on-disk cache, if any.
+    pub fn disk_cache(&self) -> Option<Arc<SccDiskCache>> {
+        self.persist.clone()
+    }
+
+    /// Appends every not-yet-persisted solve-memo entry to the attached
+    /// on-disk cache; a no-op returning 0 when none is attached. Returns
+    /// the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Cache-file write failures (the cache stays consistent; the same
+    /// entries are retried by the next flush).
+    pub fn flush_disk_cache(&self) -> std::io::Result<usize> {
+        match &self.persist {
+            Some(cache) => cache.flush(&self.memo),
+            None => Ok(0),
+        }
+    }
+
+    /// Folds the attached cache's journal into its snapshot, bounded by
+    /// its GC budget (the shutdown-time pass); a no-op returning 0 when
+    /// none is attached. Returns the number of entries retained on disk.
+    ///
+    /// # Errors
+    ///
+    /// Cache-file write failures.
+    pub fn compact_disk_cache(&self) -> std::io::Result<usize> {
+        match &self.persist {
+            // Compaction alone persists everything a flush would (it
+            // rewrites the snapshot as memo ∪ disk), so no flush first.
+            Some(cache) => cache.compact(&self.memo),
+            None => Ok(0),
+        }
     }
 
     /// Sets the worker-thread count for the per-SCC solve of every future
@@ -454,6 +513,7 @@ impl Workspace {
         self.counts.sccs_solved += stats.sccs_solved as u32;
         self.counts.sccs_reused += stats.sccs_reused as u32;
         self.counts.sccs_shared_hits += stats.sccs_shared_hits as u32;
+        self.counts.sccs_disk_hits += stats.sccs_disk_hits as u32;
         Ok(compilation)
     }
 

@@ -1,0 +1,402 @@
+//! The solved-SCC tier of the on-disk cache.
+//!
+//! One record = one [`SolveMemo`] entry: the α-invariant canonical key
+//! plus the canonical closed form of every SCC member, exactly as
+//! [`SolveMemo::export`] hands them out. Keys are content-addressed and
+//! name-independent, so entries are valid across processes, daemons and
+//! machines — loading them into a fresh memo ([`SccDiskCache::load_into`])
+//! reproduces the hit a long-lived memo would have had, counted as
+//! `disk_hits` / `sccs_disk_hits`.
+
+use crate::store::RecordStore;
+use cj_regions::constraint::{Atom, ConstraintSet};
+use cj_regions::incremental::SolveMemo;
+use cj_regions::var::RegVar;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Record-kind tag of the solved-SCC store.
+const SCC_KIND: [u8; 4] = *b"SCC1";
+
+/// File-pair name under the cache directory.
+const SCC_STORE: &str = "sccs";
+
+/// Journal size (bytes) above which [`SccDiskCache::flush`] folds the
+/// journal into the snapshot.
+const COMPACT_JOURNAL_BYTES: u64 = 1 << 20;
+
+/// One decoded entry: canonical key plus per-member closed forms.
+pub type SccEntry = (String, Vec<ConstraintSet>);
+
+// ---- entry codec -----------------------------------------------------------
+
+/// Encodes one entry into a record payload.
+fn encode_entry(key: &str, closed: &[ConstraintSet]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(key.len() + 16);
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    buf.extend_from_slice(&(closed.len() as u32).to_le_bytes());
+    for set in closed {
+        buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+        for atom in set.iter() {
+            let (tag, a, b) = match atom {
+                Atom::Outlives(a, b) => (0u8, a, b),
+                Atom::Eq(a, b) => (1u8, a, b),
+            };
+            buf.push(tag);
+            buf.extend_from_slice(&a.0.to_le_bytes());
+            buf.extend_from_slice(&b.0.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decodes one record payload; `None` on any malformation (the record is
+/// then simply not loaded).
+fn decode_entry(payload: &[u8]) -> Option<SccEntry> {
+    let mut pos = 0usize;
+    let key_len = read_u32(payload, &mut pos)? as usize;
+    let key_bytes = payload.get(pos..pos.checked_add(key_len)?)?;
+    let key = std::str::from_utf8(key_bytes).ok()?.to_string();
+    pos += key_len;
+    let nsets = read_u32(payload, &mut pos)? as usize;
+    // Defensive bound: one closed form per SCC member, and SCCs are small.
+    if nsets > 1 << 16 {
+        return None;
+    }
+    let mut closed = Vec::with_capacity(nsets);
+    for _ in 0..nsets {
+        let natoms = read_u32(payload, &mut pos)? as usize;
+        if natoms > 1 << 20 {
+            return None;
+        }
+        let mut set = ConstraintSet::new();
+        for _ in 0..natoms {
+            let tag = *payload.get(pos)?;
+            pos += 1;
+            let a = RegVar(read_u32(payload, &mut pos)?);
+            let b = RegVar(read_u32(payload, &mut pos)?);
+            set.add(match tag {
+                0 => Atom::outlives(a, b),
+                1 => Atom::eq(a, b),
+                _ => return None,
+            });
+        }
+        closed.push(set);
+    }
+    // Trailing junk means the record is not ours.
+    (pos == payload.len()).then_some((key, closed))
+}
+
+fn read_u32(payload: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = payload.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+// ---- the cache -------------------------------------------------------------
+
+/// The on-disk solved-SCC cache behind `--cache-dir`: a [`RecordStore`]
+/// of [`SccEntry`] records plus the bookkeeping to flush only entries not
+/// yet persisted.
+///
+/// Thread-safe: `flush`/`compact` may be called from a background thread
+/// while clients keep solving into the memo (entries solved during a
+/// flush are simply picked up by the next one).
+#[derive(Debug)]
+pub struct SccDiskCache {
+    store: RecordStore,
+    /// Writer-serialized flush bookkeeping (see [`FlushState`]).
+    state: Mutex<FlushState>,
+    /// Entry bound enforced at compaction (oldest-key-order truncation).
+    max_entries: usize,
+}
+
+/// What the cache remembers between flushes. One cache instance pairs
+/// with one memo: the install mark is meaningless across memos.
+#[derive(Debug, Default)]
+struct FlushState {
+    /// FNV hashes of keys already persisted (loaded or flushed), so each
+    /// append writes only new entries.
+    keys: HashSet<u64>,
+    /// The memo's [`SolveMemo::installs`] stamp at the last flush; when
+    /// unchanged, the next flush is a no-op without exporting the memo.
+    install_mark: Option<u64>,
+}
+
+impl SccDiskCache {
+    /// Opens (creating if needed) the cache under `dir`, bounded at
+    /// [`SolveMemo::MAX_ENTRIES`] entries per compaction.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<SccDiskCache> {
+        SccDiskCache::open_bounded(dir, SolveMemo::MAX_ENTRIES)
+    }
+
+    /// [`open`](SccDiskCache::open) with an explicit compaction bound.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        max_entries: usize,
+    ) -> std::io::Result<SccDiskCache> {
+        Ok(SccDiskCache {
+            store: RecordStore::open(dir, SCC_STORE, SCC_KIND)?,
+            state: Mutex::new(FlushState::default()),
+            max_entries: max_entries.max(1),
+        })
+    }
+
+    /// Decodes every intact on-disk entry (deduplicated by key, last
+    /// write wins). Never fails; corruption loads fewer entries.
+    pub fn load(&self) -> Vec<SccEntry> {
+        let mut seen = HashSet::new();
+        let mut entries: Vec<SccEntry> = Vec::new();
+        // Journal entries are newer than snapshot ones; walk records in
+        // reverse so the newest copy of a key wins the dedup.
+        for payload in self.store.load().iter().rev() {
+            if let Some((key, closed)) = decode_entry(payload) {
+                if seen.insert(crate::store::fnv1a(key.as_bytes())) {
+                    entries.push((key, closed));
+                }
+            }
+        }
+        entries.reverse();
+        entries
+    }
+
+    /// Loads the on-disk entries into `memo` ([`SolveMemo::preload`]) and
+    /// records their keys as persisted. Returns how many entries were
+    /// installed. Never fails.
+    pub fn load_into(&self, memo: &SolveMemo) -> usize {
+        let mut installed = 0;
+        let mut state = self.state.lock().expect("cache state poisoned");
+        for (key, closed) in self.load() {
+            state.keys.insert(crate::store::fnv1a(key.as_bytes()));
+            if memo.preload(key, closed) {
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    /// Appends every memo entry not yet on disk to the journal, folding
+    /// the journal into the snapshot once it outgrows its byte budget.
+    /// Returns how many entries were written. When nothing was installed
+    /// into the memo since the last flush (its [`SolveMemo::installs`]
+    /// stamp is unchanged), this returns immediately without exporting
+    /// the memo at all — the steady-state background flush costs a
+    /// counter read, not an O(memo) scan.
+    ///
+    /// # Errors
+    ///
+    /// Journal/snapshot write failures (the cache stays consistent; the
+    /// same entries are retried by the next flush).
+    pub fn flush(&self, memo: &SolveMemo) -> std::io::Result<usize> {
+        // Read the stamp *before* exporting: entries installed while we
+        // work are re-examined (and deduped) by the next flush.
+        let stamp = memo.installs();
+        // Held across the file writes: concurrent flushers (the daemon's
+        // background thread vs its shutdown path) serialize here, so the
+        // journal never sees interleaved batches.
+        let mut state = self.state.lock().expect("cache state poisoned");
+        if state.install_mark == Some(stamp) {
+            return Ok(0);
+        }
+        let exported = memo.export();
+        let mut records = Vec::new();
+        let mut hashes = Vec::new();
+        for (key, closed) in &exported {
+            let h = crate::store::fnv1a(key.as_bytes());
+            if !state.keys.contains(&h) {
+                records.push(encode_entry(key, closed));
+                hashes.push(h);
+            }
+        }
+        if records.is_empty() {
+            state.install_mark = Some(stamp);
+            return Ok(0);
+        }
+        self.store.append(&records)?;
+        state.keys.extend(hashes);
+        state.install_mark = Some(stamp);
+        let written = records.len();
+        if self.store.journal_bytes() > COMPACT_JOURNAL_BYTES {
+            // Reuse the export in hand instead of scanning the memo again.
+            self.compact_locked(&mut state, exported, stamp)?;
+        }
+        Ok(written)
+    }
+
+    /// Rewrites the snapshot as (on-disk ∪ memo) entries — capped at the
+    /// cache's entry bound — and resets the journal: the shutdown-time
+    /// GC/compaction pass. Returns the number of entries retained.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot write failures.
+    pub fn compact(&self, memo: &SolveMemo) -> std::io::Result<usize> {
+        let stamp = memo.installs();
+        // Held across the rewrite (see `flush`): one writer at a time.
+        let mut state = self.state.lock().expect("cache state poisoned");
+        self.compact_locked(&mut state, memo.export(), stamp)
+    }
+
+    /// [`compact`](SccDiskCache::compact) over an already-made export,
+    /// under the caller-held flush state.
+    fn compact_locked(
+        &self,
+        state: &mut FlushState,
+        exported: Vec<SccEntry>,
+        stamp: u64,
+    ) -> std::io::Result<usize> {
+        // Keys already on disk but flushed out of the bounded memo are
+        // still worth keeping: merge both views, memo (newest) first.
+        let exported_len = exported.len();
+        let mut seen = HashSet::new();
+        let mut entries = Vec::new();
+        for (key, closed) in exported.into_iter().chain(self.load()) {
+            if seen.insert(crate::store::fnv1a(key.as_bytes())) {
+                entries.push((key, closed));
+            }
+        }
+        entries.truncate(self.max_entries);
+        let records: Vec<Vec<u8>> = entries
+            .iter()
+            .map(|(key, closed)| encode_entry(key, closed))
+            .collect();
+        self.store.compact(&records)?;
+        state.keys.clear();
+        state.keys.extend(
+            entries
+                .iter()
+                .map(|(key, _)| crate::store::fnv1a(key.as_bytes())),
+        );
+        // The stamp only certifies "everything in the memo is on disk":
+        // when the GC bound truncated memo entries away, the next flush
+        // must scan again and re-append them.
+        state.install_mark = (exported_len <= self.max_entries).then_some(stamp);
+        Ok(entries.len())
+    }
+
+    /// The snapshot file path (for tests and diagnostics).
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.store.snapshot_path()
+    }
+
+    /// The journal file path (for tests and diagnostics).
+    pub fn journal_path(&self) -> PathBuf {
+        self.store.journal_path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegVar {
+        RegVar(i)
+    }
+
+    fn sample_entry(tag: u32) -> SccEntry {
+        let set: ConstraintSet = [Atom::outlives(r(tag), r(2)), Atom::eq(r(3), r(4))]
+            .into_iter()
+            .collect();
+        (format!("p2|{tag}>2;\n"), vec![set, ConstraintSet::new()])
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cj-persist-scc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entry_codec_roundtrips() {
+        let (key, closed) = sample_entry(7);
+        let payload = encode_entry(&key, &closed);
+        let (k, c) = decode_entry(&payload).expect("decodes");
+        assert_eq!(k, key);
+        assert_eq!(c, closed);
+        // Every truncation is rejected, not mis-decoded.
+        for cut in 1..payload.len() {
+            assert_eq!(decode_entry(&payload[..cut]), None, "cut {cut}");
+        }
+        // Trailing junk is rejected too.
+        let mut long = payload.clone();
+        long.push(0);
+        assert_eq!(decode_entry(&long), None);
+        // A bad atom tag is rejected.
+        let mut bad = payload;
+        let tag_at = 4 + key.len() + 4 + 4;
+        bad[tag_at] = 9;
+        assert_eq!(decode_entry(&bad), None);
+    }
+
+    #[test]
+    fn flush_load_roundtrips_and_appends_only_new_entries() {
+        let dir = tempdir("flush");
+        let cache = SccDiskCache::open(&dir).unwrap();
+        let memo = SolveMemo::new();
+        let (k1, c1) = sample_entry(10);
+        memo.preload(k1.clone(), c1.clone());
+        // preloaded entries export like any other
+        assert_eq!(cache.flush(&memo).unwrap(), 1);
+        assert_eq!(cache.flush(&memo).unwrap(), 0, "already persisted");
+        let (k2, c2) = sample_entry(20);
+        memo.preload(k2.clone(), c2.clone());
+        assert_eq!(cache.flush(&memo).unwrap(), 1, "only the new entry");
+
+        let reopened = SccDiskCache::open(&dir).unwrap();
+        let mut loaded = reopened.load();
+        loaded.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(loaded, vec![(k1, c1), (k2, c2)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_dedups_and_respects_the_entry_bound() {
+        let dir = tempdir("compact");
+        let cache = SccDiskCache::open_bounded(&dir, 3).unwrap();
+        let memo = SolveMemo::new();
+        for tag in 0..5 {
+            let (k, c) = sample_entry(tag);
+            memo.preload(k, c);
+        }
+        cache.flush(&memo).unwrap();
+        cache.flush(&memo).unwrap();
+        let kept = cache.compact(&memo).unwrap();
+        assert_eq!(kept, 3, "bound applied");
+        assert_eq!(cache.load().len(), 3);
+        // Entries surviving compaction still count as on-disk.
+        assert_eq!(cache.flush(&memo).unwrap(), 2, "only the evicted two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_into_counts_and_corruption_cold_starts() {
+        let dir = tempdir("load-into");
+        let cache = SccDiskCache::open(&dir).unwrap();
+        let memo = SolveMemo::new();
+        let (k, c) = sample_entry(1);
+        memo.preload(k.clone(), c.clone());
+        cache.flush(&memo).unwrap();
+
+        let warm = SolveMemo::new();
+        assert_eq!(SccDiskCache::open(&dir).unwrap().load_into(&warm), 1);
+        assert_eq!(warm.len(), 1);
+
+        // Truncate the journal into the header: cold start, no error.
+        let bytes = std::fs::read(cache.journal_path()).unwrap();
+        std::fs::write(cache.journal_path(), &bytes[..10]).unwrap();
+        let cold = SolveMemo::new();
+        assert_eq!(SccDiskCache::open(&dir).unwrap().load_into(&cold), 0);
+        assert!(cold.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,414 @@
+//! The crash-safe record store: one *snapshot* file plus one append-only
+//! *journal*, both holding checksummed, length-prefixed records behind a
+//! versioned header.
+//!
+//! # Durability model
+//!
+//! - The **snapshot** (`<name>.snapshot`) is only ever replaced wholesale:
+//!   [`RecordStore::compact`] writes a temp file in the same directory,
+//!   syncs it, and atomically renames it over the old snapshot. Readers
+//!   see either the old or the new file, never a torn one.
+//! - The **journal** (`<name>.journal`) is append-only; each
+//!   [`RecordStore::append`] writes its whole batch with one `write_all`.
+//!   A crash mid-append leaves a torn tail record, which the reader
+//!   detects (checksum/length mismatch) and skips — everything before it
+//!   still loads. Compaction folds the journal into the snapshot and
+//!   resets it.
+//!
+//! # Degradation model
+//!
+//! Loading **never fails**: an unreadable file, a foreign or
+//! version-bumped header, a torn tail, or plain garbage all degrade to
+//! loading fewer (possibly zero) records — a cold start, not an error.
+//! Records carry a sync marker, so a reader that hits a corrupt record
+//! rescans for the next marker instead of abandoning the rest of the
+//! file. Correctness must therefore never depend on a record being
+//! present; the caches built on this store only ever *reuse* work.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Shared 8-byte file magic (followed by the format version and the
+/// caller's record-kind tag).
+const MAGIC: [u8; 8] = *b"CJPERSI\0";
+
+/// Bumped on any incompatible change to the container format; readers
+/// ignore files with a different version (cold start).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Per-record sync marker: lets a reader resynchronize after a corrupt
+/// record instead of discarding the rest of the file.
+const RECORD_MARK: [u8; 4] = *b"\xc5rec";
+
+/// Upper bound on a single record payload (defensive: a corrupt length
+/// field must not trigger a huge allocation).
+const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// 64-bit FNV-1a — the store's payload checksum. Not cryptographic;
+/// guards against torn writes and bit rot, not adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A snapshot + journal pair of record files under one directory. See the
+/// module docs for the durability and degradation model.
+#[derive(Debug)]
+pub struct RecordStore {
+    dir: PathBuf,
+    name: String,
+    kind: [u8; 4],
+}
+
+impl RecordStore {
+    /// Opens (creating the directory if needed) the store `<name>` under
+    /// `dir`, whose records are tagged with the 4-byte `kind`. Files with
+    /// a different kind or format version are ignored on load.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        name: &str,
+        kind: [u8; 4],
+    ) -> std::io::Result<RecordStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RecordStore {
+            dir,
+            name: name.to_string(),
+            kind,
+        })
+    }
+
+    /// The snapshot file path.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.snapshot", self.name))
+    }
+
+    /// The journal file path.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.journal", self.name))
+    }
+
+    /// Bytes currently in the journal (0 when absent/unreadable) — the
+    /// signal callers use to decide when to [`compact`](RecordStore::compact).
+    pub fn journal_bytes(&self) -> u64 {
+        fs::metadata(self.journal_path())
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Loads every intact record: snapshot first, then journal. Never
+    /// fails — corruption, version mismatches and missing files just
+    /// yield fewer records.
+    pub fn load(&self) -> Vec<Vec<u8>> {
+        let mut records = self.load_file(&self.snapshot_path());
+        records.extend(self.load_file(&self.journal_path()));
+        records
+    }
+
+    fn load_file(&self, path: &Path) -> Vec<Vec<u8>> {
+        let Ok(mut file) = File::open(path) else {
+            return Vec::new();
+        };
+        let mut bytes = Vec::new();
+        if file.read_to_end(&mut bytes).is_err() {
+            return Vec::new();
+        }
+        decode_records(&bytes, self.kind)
+    }
+
+    /// Appends a batch of records to the journal (creating it, with a
+    /// header, if absent), as one contiguous write. A journal whose
+    /// header is unreadable, foreign or version-bumped is *replaced*
+    /// (temp file + rename) instead of appended to — records written
+    /// after a dead header would be invisible to every future load, so
+    /// the cache would silently stop persisting anything.
+    ///
+    /// # Errors
+    ///
+    /// Journal open/write failures.
+    pub fn append(&self, records: &[Vec<u8>]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let path = self.journal_path();
+        let existing = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if existing > 0 && !self.header_valid(&path) {
+            // Self-heal: rebuild the journal with a fresh header.
+            let mut buf = Vec::new();
+            encode_header(&mut buf, self.kind);
+            for record in records {
+                encode_record(&mut buf, record);
+            }
+            return self.replace_file(&path, "journal", &buf);
+        }
+        let mut buf = Vec::new();
+        if existing == 0 {
+            encode_header(&mut buf, self.kind);
+        }
+        for record in records {
+            encode_record(&mut buf, record);
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        file.write_all(&buf)?;
+        file.sync_data()
+    }
+
+    /// Whether the file at `path` starts with this store's current
+    /// header.
+    fn header_valid(&self, path: &Path) -> bool {
+        let header_len = MAGIC.len() + 8;
+        let Ok(mut file) = File::open(path) else {
+            return false;
+        };
+        let mut header = vec![0u8; header_len];
+        if std::io::Read::read_exact(&mut file, &mut header).is_err() {
+            return false;
+        }
+        header[..MAGIC.len()] == MAGIC
+            && header[MAGIC.len()..MAGIC.len() + 4] == FORMAT_VERSION.to_le_bytes()
+            && header[MAGIC.len() + 4..] == self.kind
+    }
+
+    /// Writes `bytes` to a sibling `<name>.<what>.tmp` and atomically
+    /// renames it over `path`.
+    fn replace_file(&self, path: &Path, what: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!("{}.{what}.tmp", self.name));
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    }
+
+    /// Replaces the snapshot with exactly `records` (temp file + fsync +
+    /// atomic rename) and resets the journal. A crash between the two
+    /// steps leaves journal records that duplicate snapshot ones — the
+    /// caches above dedup by key, so that is only a few wasted bytes.
+    ///
+    /// # Errors
+    ///
+    /// Temp-file write, sync or rename failures.
+    pub fn compact(&self, records: &[Vec<u8>]) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        encode_header(&mut buf, self.kind);
+        for record in records {
+            encode_record(&mut buf, record);
+        }
+        self.replace_file(&self.snapshot_path(), "snapshot", &buf)?;
+        // Reset the journal the same way (never truncate in place: a
+        // reader racing the truncation must still see a valid file).
+        let mut jbuf = Vec::new();
+        encode_header(&mut jbuf, self.kind);
+        self.replace_file(&self.journal_path(), "journal", &jbuf)
+    }
+}
+
+fn encode_header(buf: &mut Vec<u8>, kind: [u8; 4]) {
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&kind);
+}
+
+fn encode_record(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&RECORD_MARK);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Decodes every intact record of one file image; resynchronizes on the
+/// record mark after corruption. Returns nothing when the header is
+/// missing, foreign, or from another format version.
+fn decode_records(bytes: &[u8], kind: [u8; 4]) -> Vec<Vec<u8>> {
+    let header_len = MAGIC.len() + 4 + 4;
+    if bytes.len() < header_len
+        || bytes[..MAGIC.len()] != MAGIC
+        || bytes[MAGIC.len()..MAGIC.len() + 4] != FORMAT_VERSION.to_le_bytes()
+        || bytes[MAGIC.len() + 4..header_len] != kind
+    {
+        return Vec::new();
+    }
+    let mut records = Vec::new();
+    let mut pos = header_len;
+    while pos < bytes.len() {
+        // Hunt for the next record mark (tolerates junk between records).
+        let Some(at) = find_mark(bytes, pos) else {
+            break;
+        };
+        pos = at + RECORD_MARK.len();
+        let Some(rest) = bytes.get(pos..pos + 12) else {
+            break; // torn length/checksum prefix
+        };
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        if len > MAX_RECORD_BYTES {
+            continue; // corrupt length: rescan from after this mark
+        }
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
+            continue; // torn payload: rescan (there is nothing after it)
+        };
+        if fnv1a(payload) != sum {
+            continue; // corrupt payload: rescan for the next mark
+        }
+        records.push(payload.to_vec());
+        pos += 12 + len;
+    }
+    records
+}
+
+fn find_mark(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes[from..]
+        .windows(RECORD_MARK.len())
+        .position(|w| w == RECORD_MARK)
+        .map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cj-persist-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store(dir: &Path) -> RecordStore {
+        RecordStore::open(dir, "scc", *b"SCC1").expect("open store")
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = tempdir("empty");
+        assert!(store(&dir).load().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let s = store(&dir);
+        let records: Vec<Vec<u8>> = vec![b"one".to_vec(), vec![0u8; 300], Vec::new()];
+        s.append(&records[..2]).unwrap();
+        s.append(&records[2..]).unwrap();
+        assert_eq!(s.load(), records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_folds_and_resets_the_journal() {
+        let dir = tempdir("compact");
+        let s = store(&dir);
+        s.append(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        let journal_before = s.journal_bytes();
+        s.compact(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .unwrap();
+        assert!(s.journal_bytes() < journal_before);
+        assert_eq!(s.load(), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        s.append(&[b"d".to_vec()]).unwrap();
+        assert_eq!(s.load().len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_keeps_earlier_records() {
+        let dir = tempdir("torn");
+        let s = store(&dir);
+        s.append(&[
+            b"intact-1".to_vec(),
+            b"intact-2".to_vec(),
+            b"victim".to_vec(),
+        ])
+        .unwrap();
+        // Chop bytes off the tail: the last record becomes unreadable at
+        // some point, the first two must survive every cut.
+        let full = fs::read(s.journal_path()).unwrap();
+        for cut in 1..=(b"victim".len() + 15) {
+            fs::write(s.journal_path(), &full[..full.len() - cut]).unwrap();
+            let loaded = s.load();
+            assert!(loaded.len() >= 2, "cut {cut} lost intact records");
+            assert_eq!(&loaded[..2], &[b"intact-1".to_vec(), b"intact-2".to_vec()]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_record_resyncs_to_later_ones() {
+        let dir = tempdir("resync");
+        let s = store(&dir);
+        s.append(&[b"first".to_vec(), b"second".to_vec(), b"third".to_vec()])
+            .unwrap();
+        let mut bytes = fs::read(s.journal_path()).unwrap();
+        // Flip a byte inside the second record's payload.
+        let needle = b"second";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        bytes[at] ^= 0xff;
+        fs::write(s.journal_path(), &bytes).unwrap();
+        assert_eq!(s.load(), vec![b"first".to_vec(), b"third".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_version_kind_or_garbage_degrades_to_empty() {
+        let dir = tempdir("foreign");
+        let s = store(&dir);
+        s.append(&[b"data".to_vec()]).unwrap();
+        // Version bump.
+        let mut bytes = fs::read(s.journal_path()).unwrap();
+        bytes[MAGIC.len()] ^= 1;
+        fs::write(s.journal_path(), &bytes).unwrap();
+        assert!(s.load().is_empty(), "bumped version must cold-start");
+        // Wrong kind tag.
+        let mut bytes = fs::read(s.journal_path()).unwrap();
+        bytes[MAGIC.len()] ^= 1; // restore version
+        bytes[MAGIC.len() + 4] ^= 1; // break kind
+        fs::write(s.journal_path(), &bytes).unwrap();
+        assert!(s.load().is_empty(), "foreign kind must cold-start");
+        // Plain garbage.
+        fs::write(s.journal_path(), b"not a cache file at all").unwrap();
+        assert!(s.load().is_empty());
+        // And a directory in the file's place is just "unreadable".
+        fs::remove_file(s.journal_path()).unwrap();
+        fs::create_dir(s.journal_path()).unwrap();
+        assert!(s.load().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_self_heals_a_dead_journal_header() {
+        let dir = tempdir("self-heal");
+        let s = store(&dir);
+        // A journal whose header is garbage would make every future
+        // append invisible; appending must rebuild it instead.
+        fs::write(s.journal_path(), b"junk that is no header").unwrap();
+        s.append(&[b"revived".to_vec()]).unwrap();
+        assert_eq!(s.load(), vec![b"revived".to_vec()]);
+        // Same for a version-bumped header.
+        let mut bytes = fs::read(s.journal_path()).unwrap();
+        bytes[MAGIC.len()] ^= 1;
+        fs::write(s.journal_path(), &bytes).unwrap();
+        s.append(&[b"again".to_vec()]).unwrap();
+        assert_eq!(s.load(), vec![b"again".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a reference values: the on-disk format depends on them.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

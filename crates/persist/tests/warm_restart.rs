@@ -1,0 +1,260 @@
+//! The cj-persist acceptance properties, mirroring the PR 3 parallel-solve
+//! equivalence suite: over random recursive abstraction systems, a fresh
+//! process ("process 2") whose memo is warm-loaded from a cache directory
+//! that "process 1" populated must produce a closed environment
+//! **bit-identical** to a from-scratch solve — while reporting disk hits
+//! and running zero fixpoint iterations. And a cache mutilated in any way
+//! (truncated, bit-flipped, version-bumped, replaced with garbage) must
+//! degrade to a cold start that *still* produces the identical result.
+
+use cj_infer::options::InferStats;
+use cj_infer::pipeline::{solve_all, solve_all_memo};
+use cj_persist::SccDiskCache;
+use cj_regions::abstraction::{AbsBody, AbsCall, AbsEnv, ConstraintAbs};
+use cj_regions::constraint::{Atom, ConstraintSet};
+use cj_regions::incremental::SolveMemo;
+use cj_regions::var::RegVar;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One abstraction spec: parameter count, atom seeds, call seeds (the
+/// same encoding as `crates/core/tests/parallel_solve.rs`).
+type AbsSpec = (u8, Vec<(u8, u8, bool)>, Vec<(u8, u8)>);
+
+fn arb_system() -> impl Strategy<Value = Vec<AbsSpec>> {
+    proptest::collection::vec(
+        (
+            1u8..5,
+            proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..6),
+            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4),
+        ),
+        1..9,
+    )
+}
+
+/// Decodes a spec into a well-formed abstraction environment `q0..qN`
+/// with arbitrary (mutual) recursion.
+fn build_env(spec: &[AbsSpec]) -> AbsEnv {
+    let pcounts: Vec<usize> = spec.iter().map(|(p, _, _)| *p as usize).collect();
+    let mut env = AbsEnv::new();
+    for (i, (p, atoms, calls)) in spec.iter().enumerate() {
+        let base = (i as u32) * 10 + 1;
+        let params: Vec<RegVar> = (0..*p as u32).map(|k| RegVar(base + k)).collect();
+        let vars: Vec<RegVar> = params.iter().copied().chain([RegVar::HEAP]).collect();
+        let atom_set: ConstraintSet = atoms
+            .iter()
+            .map(|&(a, b, eq)| {
+                let x = vars[a as usize % vars.len()];
+                let y = vars[b as usize % vars.len()];
+                if eq {
+                    Atom::eq(x, y)
+                } else {
+                    Atom::outlives(x, y)
+                }
+            })
+            .collect();
+        let abs_calls = calls
+            .iter()
+            .map(|&(c, s)| {
+                let callee = c as usize % spec.len();
+                let args: Vec<RegVar> = (0..pcounts[callee])
+                    .map(|k| vars[(s as usize + k) % vars.len()])
+                    .collect();
+                AbsCall {
+                    name: format!("q{callee}"),
+                    args,
+                }
+            })
+            .collect();
+        env.insert(ConstraintAbs {
+            name: format!("q{i}"),
+            params,
+            body: AbsBody {
+                atoms: atom_set,
+                calls: abs_calls,
+            },
+        });
+    }
+    env
+}
+
+fn env_string(env: &AbsEnv) -> String {
+    env.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A fresh cache directory per call (tests may run concurrently).
+fn tempdir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cj-persist-warm-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #[test]
+    fn warm_start_from_disk_is_bit_identical_and_reports_disk_hits(
+        spec in arb_system()
+    ) {
+        let env = build_env(&spec);
+        let (want, _) = solve_all(&env);
+
+        // "Process 1": cold solve, persist, drop everything in memory.
+        let dir = tempdir();
+        {
+            let memo = SolveMemo::new();
+            let mut stats = InferStats::default();
+            let (got, _) = solve_all_memo(&env, &memo, &mut stats);
+            prop_assert_eq!(env_string(&got), env_string(&want));
+            prop_assert_eq!(stats.sccs_disk_hits, 0, "nothing on disk yet");
+            let cache = SccDiskCache::open(&dir).unwrap();
+            cache.flush(&memo).unwrap();
+            cache.compact(&memo).unwrap();
+        }
+
+        // "Process 2": a fresh memo warm-loaded from the same directory.
+        let cache = SccDiskCache::open(&dir).unwrap();
+        let memo = SolveMemo::new();
+        let loaded = cache.load_into(&memo);
+        prop_assert!(loaded > 0, "process 1 persisted at least one SCC");
+        let mut stats = InferStats::default();
+        let (warm, iters) = solve_all_memo(&env, &memo, &mut stats);
+        prop_assert_eq!(
+            env_string(&warm),
+            env_string(&want),
+            "warm start must be bit-identical to from-scratch"
+        );
+        prop_assert_eq!(iters, 0, "every fixpoint served from disk");
+        prop_assert_eq!(stats.sccs_solved, 0);
+        prop_assert!(stats.sccs_disk_hits >= 1);
+        prop_assert_eq!(stats.sccs_disk_hits, stats.sccs_reused);
+        prop_assert_eq!(stats.sccs_disk_hits as u64, memo.disk_hits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mutilated_caches_cold_start_with_identical_results(
+        spec in arb_system(),
+        cut in 1u8..40,
+        flip in any::<u16>(),
+    ) {
+        let env = build_env(&spec);
+        let (want, _) = solve_all(&env);
+        let dir = tempdir();
+        {
+            let memo = SolveMemo::new();
+            let mut stats = InferStats::default();
+            solve_all_memo(&env, &memo, &mut stats);
+            let cache = SccDiskCache::open(&dir).unwrap();
+            cache.flush(&memo).unwrap();
+        }
+
+        // Mutilate the journal: truncate by `cut` bytes and flip one byte.
+        let cache = SccDiskCache::open(&dir).unwrap();
+        let mut bytes = std::fs::read(cache.journal_path()).unwrap();
+        let keep = bytes.len().saturating_sub(cut as usize);
+        bytes.truncate(keep);
+        if !bytes.is_empty() {
+            let at = flip as usize % bytes.len();
+            bytes[at] ^= 0x5a;
+        }
+        std::fs::write(cache.journal_path(), &bytes).unwrap();
+
+        // Loading must not fail, and whatever survives must still solve
+        // to the identical environment (a surviving record is a genuine
+        // entry; a lost one is just a re-solve).
+        let memo = SolveMemo::new();
+        SccDiskCache::open(&dir).unwrap().load_into(&memo);
+        let mut stats = InferStats::default();
+        let (got, _) = solve_all_memo(&env, &memo, &mut stats);
+        prop_assert_eq!(env_string(&got), env_string(&want));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A version-bumped cache file is ignored wholesale — cold start, not an
+/// error, and re-flushing replaces it with a loadable current-version one.
+#[test]
+fn version_bump_cold_starts_then_recovers() {
+    let env = build_env(&[(3, vec![(0, 1, false), (1, 2, true)], vec![(0, 1)])]);
+    let (want, _) = solve_all(&env);
+    let dir = tempdir();
+    let memo = SolveMemo::new();
+    let mut stats = InferStats::default();
+    solve_all_memo(&env, &memo, &mut stats);
+    let cache = SccDiskCache::open(&dir).unwrap();
+    cache.flush(&memo).unwrap();
+    cache.compact(&memo).unwrap();
+
+    // Bump the version field (byte 8..12 after the magic) of both files.
+    for path in [cache.snapshot_path(), cache.journal_path()] {
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let cold = SolveMemo::new();
+    assert_eq!(SccDiskCache::open(&dir).unwrap().load_into(&cold), 0);
+    let mut stats = InferStats::default();
+    let (got, _) = solve_all_memo(&env, &cold, &mut stats);
+    assert_eq!(env_string(&got), env_string(&want));
+    assert_eq!(stats.sccs_disk_hits, 0);
+    assert!(stats.sccs_solved > 0, "genuinely cold");
+
+    // The cold process can rebuild the cache in the current format.
+    let rebuilt = SccDiskCache::open(&dir).unwrap();
+    rebuilt.flush(&cold).unwrap();
+    rebuilt.compact(&cold).unwrap();
+    let warm = SolveMemo::new();
+    assert!(SccDiskCache::open(&dir).unwrap().load_into(&warm) > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent flushers over one cache (the daemon's background thread vs
+/// its shutdown path) must never corrupt it: afterwards the cache loads
+/// and a warm solve is still bit-identical.
+#[test]
+fn concurrent_flush_and_compact_keep_the_cache_loadable() {
+    let dir = tempdir();
+    let specs: Vec<Vec<AbsSpec>> = (0..6u8)
+        .map(|i| {
+            vec![(
+                1 + i % 4,
+                vec![(i, i.wrapping_add(1), i % 2 == 0)],
+                vec![(0, i)],
+            )]
+        })
+        .collect();
+    let memo = std::sync::Arc::new(SolveMemo::new());
+    let cache = std::sync::Arc::new(SccDiskCache::open(&dir).unwrap());
+    std::thread::scope(|scope| {
+        for chunk in specs.chunks(2) {
+            let memo = std::sync::Arc::clone(&memo);
+            let cache = std::sync::Arc::clone(&cache);
+            scope.spawn(move || {
+                for spec in chunk {
+                    let mut stats = InferStats::default();
+                    solve_all_memo(&build_env(spec), &memo, &mut stats);
+                    cache.flush(&memo).unwrap();
+                }
+                cache.compact(&memo).unwrap();
+            });
+        }
+    });
+    let warm = SolveMemo::new();
+    assert!(SccDiskCache::open(&dir).unwrap().load_into(&warm) > 0);
+    for spec in &specs {
+        let env = build_env(spec);
+        let (want, _) = solve_all(&env);
+        let mut stats = InferStats::default();
+        let (got, _) = solve_all_memo(&env, &warm, &mut stats);
+        assert_eq!(env_string(&got), env_string(&want));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

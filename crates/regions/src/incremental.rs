@@ -32,7 +32,12 @@
 //!   thread-safe (sharded locks, atomic counters), so a compile daemon can
 //!   hand one `Arc<SolveMemo>` to every connection — α-equivalent SCCs
 //!   solved by *any* client are hits for all of them, counted separately
-//!   as [`SolveMemo::shared_hits`].
+//!   as [`SolveMemo::shared_hits`];
+//! - **across processes**: entries are α-invariant summaries with no
+//!   process-local state, so they can be [`export`](SolveMemo::export)ed
+//!   verbatim and [`preload`](SolveMemo::preload)ed into a fresh memo —
+//!   the `cj-persist` crate persists them to disk so a restarted daemon
+//!   starts warm, with such hits counted as [`SolveMemo::disk_hits`].
 
 use crate::abstraction::{solve_fixpoint, AbsEnv, ConstraintAbs};
 use crate::constraint::{Atom, ConstraintSet};
@@ -152,6 +157,9 @@ pub struct SccOutcome {
     /// Whether the hit entry was solved by a *different* client (see
     /// [`SolveMemo::register_client`]); always `false` on a miss.
     pub shared: bool,
+    /// Whether the hit entry was preloaded from an on-disk cache (see
+    /// [`SolveMemo::preload`]); always `false` on a miss.
+    pub disk: bool,
     /// Kleene iterations actually performed (0 on reuse).
     pub iterations: usize,
 }
@@ -183,25 +191,67 @@ struct MemoEntry {
 /// [`register_client`](SolveMemo::register_client)); a hit on another
 /// client's entry counts as a **shared hit**, making cross-client reuse
 /// observable.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SolveMemo {
     shards: [Mutex<HashMap<String, MemoEntry>>; SolveMemo::SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     shared_hits: AtomicU64,
+    disk_hits: AtomicU64,
     next_client: AtomicU64,
+    /// Monotone count of entry installations (solves + preloads); see
+    /// [`installs`](SolveMemo::installs).
+    installs: AtomicU64,
+    /// Total entry budget (split evenly across shards).
+    capacity: usize,
+}
+
+impl Default for SolveMemo {
+    fn default() -> SolveMemo {
+        SolveMemo::with_capacity(SolveMemo::MAX_ENTRIES)
+    }
 }
 
 impl SolveMemo {
-    /// Entry count at which the memo flushes itself (see the type docs).
+    /// Default entry count at which the memo flushes itself (see the type
+    /// docs); override with [`with_capacity`](SolveMemo::with_capacity).
     pub const MAX_ENTRIES: usize = 1 << 14;
 
     /// Number of independently locked shards.
     pub const SHARDS: usize = 16;
 
-    /// An empty memo.
+    /// The owner id tagging entries preloaded from an on-disk cache (see
+    /// [`preload`](SolveMemo::preload)): hits on them are counted as
+    /// [`disk_hits`](SolveMemo::disk_hits), never as shared hits, no
+    /// matter which client looks them up. [`register_client`] can never
+    /// return this id.
+    ///
+    /// [`register_client`]: SolveMemo::register_client
+    pub const DISK_CLIENT: u64 = u64::MAX;
+
+    /// An empty memo with the default entry budget.
     pub fn new() -> SolveMemo {
         SolveMemo::default()
+    }
+
+    /// An empty memo that flushes a shard when the total entry count would
+    /// exceed `capacity` (clamped to at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> SolveMemo {
+        SolveMemo {
+            shards: Default::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            next_client: AtomicU64::new(0),
+            installs: AtomicU64::new(0),
+            capacity: capacity.max(SolveMemo::SHARDS),
+        }
+    }
+
+    /// The per-shard slice of the entry budget.
+    fn shard_budget(&self) -> usize {
+        (self.capacity / SolveMemo::SHARDS).max(1)
     }
 
     /// Allocates a fresh client id for owner-tagging entries. A *client*
@@ -230,6 +280,24 @@ impl SolveMemo {
         self.shared_hits.load(Ordering::Relaxed)
     }
 
+    /// Number of hits served from an entry [`preload`](SolveMemo::preload)ed
+    /// out of an on-disk cache — the cross-*process* reuse a persistent
+    /// cache exists for. Disjoint from [`shared_hits`](SolveMemo::shared_hits).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Monotone count of entry installations — every [`store`d] solve and
+    /// every successful [`preload`](SolveMemo::preload). A persistence
+    /// layer can remember this stamp and skip its next flush entirely
+    /// when it is unchanged, instead of exporting the whole memo to
+    /// discover there is nothing new.
+    ///
+    /// [`store`d]: SolveMemo::misses
+    pub fn installs(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct solved-SCC entries retained.
     pub fn len(&self) -> usize {
         self.shards
@@ -250,26 +318,36 @@ impl SolveMemo {
     }
 
     /// Looks up a solved SCC; on a hit updates the hit counters and
-    /// reports whether the entry was solved by a different client.
-    fn lookup(&self, key: &str, client: u64) -> Option<(Vec<ConstraintSet>, bool)> {
+    /// reports whether the entry was solved by a different client
+    /// (`shared`) or preloaded from disk (`disk`) — mutually exclusive.
+    fn lookup(&self, key: &str, client: u64) -> Option<(Vec<ConstraintSet>, bool, bool)> {
         let shard = self.shard(key).lock().expect("memo shard poisoned");
         let entry = shard.get(key)?;
         self.hits.fetch_add(1, Ordering::Relaxed);
-        let shared = entry.owner != client;
-        if shared {
+        let disk = entry.owner == SolveMemo::DISK_CLIENT;
+        let shared = !disk && entry.owner != client;
+        if disk {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        } else if shared {
             self.shared_hits.fetch_add(1, Ordering::Relaxed);
         }
-        Some((entry.closed.clone(), shared))
+        Some((entry.closed.clone(), shared, disk))
     }
 
-    /// Records a freshly solved SCC, flushing the target shard when its
-    /// slice of the entry budget is exhausted. A concurrent solver may
-    /// have stored the same key already; the values are identical by
-    /// determinism of the fixpoint, so last-write-wins is safe.
+    /// Records a freshly solved SCC, reclaiming space when the target
+    /// shard's slice of the entry budget is exhausted: disk-preloaded
+    /// entries go first (they are only a restart convenience and remain
+    /// on disk anyway); if the shard is full of *live* entries it is
+    /// flushed wholesale. A concurrent solver may have stored the same
+    /// key already; the values are identical by determinism of the
+    /// fixpoint, so last-write-wins is safe.
     fn store(&self, key: String, client: u64, closed: Vec<ConstraintSet>) {
         let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
-        if shard.len() >= SolveMemo::MAX_ENTRIES / SolveMemo::SHARDS {
-            shard.clear();
+        if shard.len() >= self.shard_budget() {
+            shard.retain(|_, e| e.owner != SolveMemo::DISK_CLIENT);
+            if shard.len() >= self.shard_budget() {
+                shard.clear();
+            }
         }
         shard.insert(
             key,
@@ -279,6 +357,55 @@ impl SolveMemo {
             },
         );
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.installs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- persistence hooks --------------------------------------------
+
+    /// Seeds one solved-SCC entry recovered from an on-disk cache. The
+    /// entry is tagged with [`DISK_CLIENT`](SolveMemo::DISK_CLIENT), so
+    /// hits on it are counted as [`disk_hits`](SolveMemo::disk_hits); no
+    /// miss is recorded. An entry already present (e.g. solved live while
+    /// the cache loaded) is left untouched — its owner tag is more
+    /// precise — and preloads fill each shard only to *half* its budget,
+    /// so a warm start always leaves headroom for live solves (a shard
+    /// filled to the brim by preloads would otherwise flush on the very
+    /// first store). Returns whether the entry was installed.
+    ///
+    /// Correctness never depends on what is preloaded *existing*, but it
+    /// does depend on the value being the genuine closed form for the
+    /// key; callers must only feed back entries a [`SolveMemo`] exported.
+    pub fn preload(&self, key: String, closed: Vec<ConstraintSet>) -> bool {
+        let mut shard = self.shard(&key).lock().expect("memo shard poisoned");
+        if shard.contains_key(&key) || shard.len() >= (self.shard_budget() / 2).max(1) {
+            return false;
+        }
+        shard.insert(
+            key,
+            MemoEntry {
+                owner: SolveMemo::DISK_CLIENT,
+                closed,
+            },
+        );
+        self.installs.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// A snapshot of every entry — canonical key plus the closed forms in
+    /// member order — for an on-disk cache to persist. Keys are
+    /// α-invariant and content-addressed ([`canon`]), so exported entries
+    /// are process-independent: feeding them to [`preload`](SolveMemo::preload) in another
+    /// process reproduces the hit.
+    pub fn export(&self) -> Vec<(String, Vec<ConstraintSet>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("memo shard poisoned");
+            out.extend(shard.iter().map(|(k, e)| (k.clone(), e.closed.clone())));
+        }
+        // Shard iteration order is hash-dependent; sort so exports (and
+        // the cache files built from them) are deterministic.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -349,7 +476,7 @@ pub fn solve_scc_memo_as(
     let mut members: Vec<String> = names.to_vec();
     members.sort();
     let key = scc_key(env, &members);
-    if let Some((closed, shared)) = memo.lookup(&key, client) {
+    if let Some((closed, shared, disk)) = memo.lookup(&key, client) {
         for (name, canonical) in members.iter().zip(closed) {
             let abs = env.get(name).expect("member present").clone();
             let atoms = uncanon_closed(&canonical, &abs.params);
@@ -362,6 +489,7 @@ pub fn solve_scc_memo_as(
         return SccOutcome {
             reused: true,
             shared,
+            disk,
             iterations: 0,
         };
     }
@@ -374,6 +502,7 @@ pub fn solve_scc_memo_as(
     SccOutcome {
         reused: false,
         shared: false,
+        disk: false,
         iterations,
     }
 }
@@ -574,6 +703,125 @@ mod tests {
         assert!(memo.len() < total);
         assert!(!memo.is_empty());
         assert_eq!(memo.misses() as usize, total);
+    }
+
+    #[test]
+    fn exported_entries_preload_as_disk_hits_in_a_fresh_memo() {
+        // Process 1: solve cold, export.
+        let memo1 = SolveMemo::new();
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 1));
+        solve_scc_memo(&mut env, &["pre.join".to_string()], &memo1);
+        let exported = memo1.export();
+        assert_eq!(exported.len(), 1);
+
+        // Process 2: preload, then solve an α-equivalent system. The hit
+        // must come from the disk tier — counted as a disk hit, not a
+        // shared hit — and produce the identical closed form.
+        let memo2 = SolveMemo::new();
+        let client = memo2.register_client();
+        for (key, closed) in exported {
+            assert!(memo2.preload(key, closed));
+        }
+        assert_eq!(memo2.len(), 1);
+        let mut env2 = AbsEnv::new();
+        env2.insert(join_abs("pre.join", 41));
+        let out = solve_scc_memo_as(&mut env2, &["pre.join".to_string()], &memo2, client);
+        assert!(out.reused && out.disk && !out.shared);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(
+            env2.get("pre.join").unwrap().body.atoms.to_string(),
+            "r42>=r48 & r45>=r48"
+        );
+        assert_eq!(memo2.disk_hits(), 1);
+        assert_eq!(memo2.shared_hits(), 0);
+        assert_eq!(memo2.misses(), 0);
+    }
+
+    #[test]
+    fn preload_never_overwrites_live_entries_or_busts_the_budget() {
+        let memo = SolveMemo::with_capacity(SolveMemo::SHARDS);
+        // A live (solved) entry wins over a later preload of the same key.
+        let mut env = AbsEnv::new();
+        env.insert(join_abs("pre.join", 1));
+        solve_scc_memo(&mut env, &["pre.join".to_string()], &memo);
+        let (key, closed) = memo.export().pop().unwrap();
+        assert!(!memo.preload(key, closed.clone()));
+        let mut env2 = AbsEnv::new();
+        env2.insert(join_abs("pre.join", 1));
+        let hit = solve_scc_memo(&mut env2, &["pre.join".to_string()], &memo);
+        assert!(hit.reused && !hit.disk, "live owner tag must be preserved");
+
+        // With each shard budgeted one entry, surplus preloads are
+        // dropped instead of evicting anything.
+        let mut installed = 0;
+        for i in 0..64 {
+            if memo.preload(format!("key-{i}"), closed.clone()) {
+                installed += 1;
+            }
+        }
+        assert!(installed < 64);
+        assert!(memo.len() <= SolveMemo::SHARDS);
+    }
+
+    #[test]
+    fn store_prefers_evicting_disk_entries_over_live_ones() {
+        let memo = SolveMemo::with_capacity(SolveMemo::SHARDS * 2); // 2 per shard
+                                                                    // Find two more keys living in the anchor's shard.
+        let anchor = "k0".to_string();
+        let mut same = Vec::new();
+        for i in 1..10_000 {
+            let k = format!("k{i}");
+            if std::ptr::eq(memo.shard(&anchor), memo.shard(&k)) {
+                same.push(k);
+                if same.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let (live1, live2) = (same[0].clone(), same[1].clone());
+        assert!(memo.preload(anchor.clone(), Vec::new()));
+        memo.store(live1.clone(), 1, Vec::new()); // shard: 1 disk + 1 live
+        memo.store(live2.clone(), 1, Vec::new()); // at budget: disk goes first
+        assert!(
+            memo.lookup(&live1, 1).is_some(),
+            "live entry must survive the reclaim"
+        );
+        assert!(memo.lookup(&live2, 1).is_some());
+        assert!(
+            memo.lookup(&anchor, 1).is_none(),
+            "the disk entry is reclaimed before any live one"
+        );
+    }
+
+    #[test]
+    fn preload_fills_shards_to_half_budget_leaving_live_headroom() {
+        let memo = SolveMemo::with_capacity(SolveMemo::SHARDS * 4); // 4 per shard
+        for i in 0..SolveMemo::SHARDS * 16 {
+            memo.preload(format!("warm-{i}"), Vec::new());
+        }
+        assert!(
+            memo.len() <= SolveMemo::SHARDS * 2,
+            "warm entries must leave half of every shard free: {}",
+            memo.len()
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic_and_roundtrips() {
+        let memo = SolveMemo::new();
+        for base in [1u32, 100, 1] {
+            let mut env = AbsEnv::new();
+            env.insert(join_abs("pre.join", base));
+            solve_scc_memo(&mut env, &["pre.join".to_string()], &memo);
+        }
+        let a = memo.export();
+        let b = memo.export();
+        assert_eq!(a.len(), 1, "α-equivalent systems share one entry");
+        assert_eq!(
+            a.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            b.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

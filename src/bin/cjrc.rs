@@ -1,18 +1,24 @@
 //! `cjrc` — the Core-Java region compiler driver.
 //!
 //! ```text
-//! cjrc infer  <file> [--mode M] [--downcast D] [--stats] [--json]   annotate and print
-//! cjrc check  <file> [--mode M] [--downcast D] [--json]             infer + region-check
-//! cjrc run    <file> [--mode M] [--downcast D] [--json] [args…]     compile and run main
+//! cjrc infer  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--stats] [--json]
+//! cjrc check  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--json]
+//! cjrc run    <file> [--mode M] [--downcast D] [--cache-dir DIR] [--json] [args…]
 //! cjrc flows  <file> [--json]                                       downcast-set report
-//! cjrc serve         [--mode M] [--downcast D]                      JSON-lines compile server
+//! cjrc serve         [--mode M] [--downcast D] [--cache-dir DIR]    JSON-lines compile server
 //! cjrc daemon        [--addr H:P | --socket PATH] [--workers N]
-//!                    [--solve-threads N] [--mode M] [--downcast D]  multi-client compile daemon
+//!                    [--solve-threads N] [--cache-dir DIR]
+//!                    [--max-clients N] [--idle-timeout SECS]
+//!                    [--mode M] [--downcast D]                      multi-client compile daemon
 //! ```
 //!
 //! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
 //! aliases none/object/field are accepted); `D` ∈ {reject, equate-first,
-//! padding} (default equate-first; alias equate).
+//! padding} (default equate-first; alias equate). `--cache-dir`
+//! persists solved constraint-abstraction SCCs (via `cj-persist`) so a
+//! later invocation — or a restarted server/daemon — starts warm,
+//! reporting `sccs_disk_hits` while producing output bit-identical to a
+//! cold build.
 //!
 //! Errors are rendered as caret-style source snippets on stderr, or — with
 //! `--json` — as a JSON array of structured diagnostics (severity, code,
@@ -79,6 +85,12 @@ struct Cli {
     workers: Option<usize>,
     /// `daemon`: per-compilation solver threads (default 1).
     solve_threads: Option<usize>,
+    /// On-disk compilation cache directory (every command but `flows`).
+    cache_dir: Option<String>,
+    /// `daemon`: backpressure bound on in-flight connections (0 = off).
+    max_clients: Option<usize>,
+    /// `daemon`: per-connection idle eviction in seconds (0 = off).
+    idle_timeout: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,10 +129,11 @@ impl IntoDiagnostic for CliError {
 fn usage() -> String {
     format!(
         "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
-         [--downcast {d}] [--stats] [--json] [run args…]\n       \
-         cjrc serve [--mode {m}] [--downcast {d}]\n       \
+         [--downcast {d}] [--cache-dir DIR] [--stats] [--json] [run args…]\n       \
+         cjrc serve [--mode {m}] [--downcast {d}] [--cache-dir DIR]\n       \
          cjrc daemon [--addr host:port | --socket path] [--workers N] \
-         [--solve-threads N] [--mode {m}] [--downcast {d}]",
+         [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
+         [--idle-timeout SECS] [--mode {m}] [--downcast {d}]",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
     )
@@ -147,6 +160,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut socket = None;
     let mut workers = None;
     let mut solve_threads = None;
+    let mut cache_dir = None;
+    let mut max_clients = None;
+    let mut idle_timeout = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
@@ -197,6 +213,33 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     },
                 )?);
             }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--cache-dir needs a directory value"))?,
+                );
+            }
+            "--max-clients" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--max-clients needs a value"))?;
+                max_clients = Some(value.parse::<usize>().map_err(|_| {
+                    CliError::new(format!(
+                        "--max-clients needs a whole number (0 = unbounded), found `{value}`"
+                    ))
+                })?);
+            }
+            "--idle-timeout" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--idle-timeout needs a value in seconds"))?;
+                idle_timeout = Some(value.parse::<u64>().map_err(|_| {
+                    CliError::new(format!(
+                        "--idle-timeout needs a whole number of seconds (0 disables), \
+                         found `{value}`"
+                    ))
+                })?);
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             flag if flag.starts_with("--") => {
@@ -212,10 +255,21 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         }
     }
     if !matches!(command, Command::Daemon)
-        && (addr.is_some() || socket.is_some() || workers.is_some() || solve_threads.is_some())
+        && (addr.is_some()
+            || socket.is_some()
+            || workers.is_some()
+            || solve_threads.is_some()
+            || max_clients.is_some()
+            || idle_timeout.is_some())
     {
         return Err(CliError::new(
-            "--addr/--socket/--workers/--solve-threads apply to `daemon` only",
+            "--addr/--socket/--workers/--solve-threads/--max-clients/--idle-timeout \
+             apply to `daemon` only",
+        ));
+    }
+    if matches!(command, Command::Flows) && cache_dir.is_some() {
+        return Err(CliError::new(
+            "--cache-dir does not apply to `flows` (no region inference to cache)",
         ));
     }
     let file = match command {
@@ -254,6 +308,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         socket,
         workers,
         solve_threads,
+        cache_dir,
+        max_clients,
+        idle_timeout,
     })
 }
 
@@ -266,11 +323,35 @@ struct Failure {
     diags: Diagnostics,
 }
 
+/// Opens the `--cache-dir` cache, if requested. Failing to *open* it is a
+/// hard error (the flag would otherwise silently do nothing); a corrupt
+/// cache under an openable directory is merely a cold start.
+fn open_cache(cli: &Cli) -> Result<Option<std::sync::Arc<cj_persist::SccDiskCache>>, Diagnostics> {
+    match &cli.cache_dir {
+        None => Ok(None),
+        Some(dir) => cj_persist::SccDiskCache::open(dir)
+            .map(|c| Some(std::sync::Arc::new(c)))
+            .map_err(|e| {
+                Diagnostics::from_one(
+                    Diagnostic::error(
+                        format!("cannot open cache directory `{dir}`: {e}"),
+                        Span::DUMMY,
+                    )
+                    .with_code(codes::IO),
+                )
+            }),
+    }
+}
+
 fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
     let opts = SessionOptions::with_infer(cli.opts);
     if cli.command == Command::Serve {
-        serve(opts);
-        return Ok(());
+        return serve(opts, cli).map_err(|diags| {
+            Box::new(Failure {
+                session: Session::new("", SessionOptions::default()).with_name("serve".to_string()),
+                diags,
+            })
+        });
     }
     if cli.command == Command::Daemon {
         return daemon(opts, cli).map_err(|e| {
@@ -292,7 +373,23 @@ fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
             }))
         }
     };
+    let cache = match open_cache(cli) {
+        Ok(cache) => cache,
+        Err(diags) => return Err(Box::new(Failure { session, diags })),
+    };
+    if let Some(cache) = cache {
+        session.attach_disk_cache(cache);
+    }
     let outcome = dispatch(cli, &mut session);
+    // Persist what this invocation solved, whatever the outcome — an
+    // O(new entries) journal append (the journal auto-compacts past its
+    // byte budget, so hit-only runs cost nothing). A write failure must
+    // not eclipse the compile result, so it is a warning.
+    if cli.cache_dir.is_some() {
+        if let Err(e) = session.flush_disk_cache() {
+            eprintln!("cjrc: warning: could not write compilation cache: {e}");
+        }
+    }
     match outcome {
         Ok(()) => Ok(()),
         Err(diags) => Err(Box::new(Failure { session, diags })),
@@ -442,10 +539,18 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
 /// address on stdout (so scripts can connect), and serve until a
 /// daemon-scope shutdown.
 fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
+    let defaults = DaemonConfig::default();
     let config = DaemonConfig {
         opts,
         workers: cli.workers.unwrap_or(4),
         solve_threads: cli.solve_threads.unwrap_or(1),
+        cache_dir: cli.cache_dir.as_ref().map(std::path::PathBuf::from),
+        max_clients: cli.max_clients.unwrap_or(0),
+        idle_timeout: cli
+            .idle_timeout
+            .map(std::time::Duration::from_secs)
+            .unwrap_or(defaults.idle_timeout),
+        ..defaults
     };
     let daemon = match &cli.socket {
         #[cfg(unix)]
@@ -462,17 +567,37 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
             Daemon::bind_tcp(addr, config)?
         }
     };
+    if let Some(dir) = &cli.cache_dir {
+        eprintln!(
+            "cjrcd: warm-loaded {} cached SCC(s) from {dir}",
+            daemon.cache_entries_loaded()
+        );
+    }
     println!("cjrcd listening on {}", daemon.describe_addr());
     std::io::stdout().flush()?;
     let summary = daemon.run()?;
-    eprintln!("cjrcd: served {} client(s), bye", summary.clients_served);
+    if cli.cache_dir.is_some() {
+        eprintln!(
+            "cjrcd: persisted {} SCC(s) to the cache",
+            summary.cache_entries_persisted
+        );
+    }
+    eprintln!(
+        "cjrcd: served {} client(s) ({} rejected at capacity), bye",
+        summary.clients_served, summary.clients_rejected
+    );
     Ok(())
 }
 
 /// The `cjrc serve` loop: one JSON request per stdin line, one JSON
-/// response per stdout line, until EOF or a `shutdown` request.
-fn serve(opts: SessionOptions) {
+/// response per stdout line, until EOF or a `shutdown` request. With
+/// `--cache-dir`, solved SCCs are warm-loaded before the first request
+/// and persisted when the loop ends.
+fn serve(opts: SessionOptions, cli: &Cli) -> Result<(), Diagnostics> {
     let mut server = Server::new(opts);
+    if let Some(cache) = open_cache(cli)? {
+        server.workspace().attach_disk_cache(cache);
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -487,6 +612,12 @@ fn serve(opts: SessionOptions) {
             break;
         }
     }
+    if cli.cache_dir.is_some() {
+        if let Err(e) = server.workspace().flush_disk_cache() {
+            eprintln!("cjrc: warning: could not write compilation cache: {e}");
+        }
+    }
+    Ok(())
 }
 
 fn stats_json(stats: &cj_infer::InferStats) -> String {
@@ -494,7 +625,7 @@ fn stats_json(stats: &cj_infer::InferStats) -> String {
         "{{\"global_iterations\":{},\"fixpoint_iterations\":{},\"regions_created\":{},\
          \"localized_regions\":{},\"override_repairs\":{},\"downcast_sites\":{},\
          \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
-         \"sccs_shared_hits\":{}}}",
+         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{}}}",
         stats.global_iterations,
         stats.fixpoint_iterations,
         stats.regions_created,
@@ -505,7 +636,8 @@ fn stats_json(stats: &cj_infer::InferStats) -> String {
         stats.methods_reused,
         stats.sccs_solved,
         stats.sccs_reused,
-        stats.sccs_shared_hits
+        stats.sccs_shared_hits,
+        stats.sccs_disk_hits
     )
 }
 
@@ -630,6 +762,50 @@ mod tests {
         let err = parse_cli(argv(&["check", "x.cj", "--workers", "4"])).unwrap_err();
         assert!(err.message.contains("apply to `daemon` only"));
         let err = parse_cli(argv(&["check", "x.cj", "--solve-threads", "1"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+    }
+
+    #[test]
+    fn cache_dir_parses_everywhere_but_flows() {
+        for cmd in [
+            argv(&["infer", "x.cj", "--cache-dir", "/tmp/cj-cache"]),
+            argv(&["check", "x.cj", "--cache-dir", "/tmp/cj-cache"]),
+            argv(&["run", "x.cj", "--cache-dir", "/tmp/cj-cache", "3"]),
+            argv(&["serve", "--cache-dir", "/tmp/cj-cache"]),
+            argv(&["daemon", "--cache-dir", "/tmp/cj-cache"]),
+        ] {
+            let cli = parse_cli(cmd).unwrap();
+            assert_eq!(cli.cache_dir.as_deref(), Some("/tmp/cj-cache"));
+        }
+        let err = parse_cli(argv(&["flows", "x.cj", "--cache-dir", "/tmp/c"])).unwrap_err();
+        assert!(err.message.contains("does not apply to `flows`"));
+        let err = parse_cli(argv(&["infer", "x.cj", "--cache-dir"])).unwrap_err();
+        assert!(err.message.contains("--cache-dir needs a directory"));
+    }
+
+    #[test]
+    fn backpressure_and_idle_flags_are_daemon_only() {
+        let cli = parse_cli(argv(&[
+            "daemon",
+            "--max-clients",
+            "64",
+            "--idle-timeout",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(cli.max_clients, Some(64));
+        assert_eq!(cli.idle_timeout, Some(0), "0 disables eviction");
+        // 0 explicitly requests the default unbounded behavior, mirroring
+        // --idle-timeout 0.
+        let cli = parse_cli(argv(&["daemon", "--max-clients", "0"])).unwrap();
+        assert_eq!(cli.max_clients, Some(0));
+        let err = parse_cli(argv(&["daemon", "--max-clients", "many"])).unwrap_err();
+        assert!(err.message.contains("whole number"));
+        let err = parse_cli(argv(&["daemon", "--idle-timeout", "soon"])).unwrap_err();
+        assert!(err.message.contains("whole number of seconds"));
+        let err = parse_cli(argv(&["check", "x.cj", "--max-clients", "4"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+        let err = parse_cli(argv(&["serve", "--idle-timeout", "600"])).unwrap_err();
         assert!(err.message.contains("apply to `daemon` only"));
     }
 
