@@ -1,0 +1,207 @@
+//! `vm_bench` — the engine benchmark harness behind `BENCH_vm.json`.
+//!
+//! Runs every benchmark program (the Fig 8 RegJava suite and the Fig 9
+//! Olden suite) on **both** execution engines — the `cj-vm` bytecode VM
+//! and the tree-walking interpreter — asserting their outcomes are
+//! identical (value, prints, space statistics), and records wall time,
+//! steps/instructions retired, peak live bytes and the space ratio per
+//! engine, plus per-suite geometric-mean speedups.
+//!
+//! ```text
+//! cargo run -p cj-bench --release --bin vm_bench -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` uses the small test inputs (smoke runs); the default — used
+//! by CI too — runs the paper
+//! inputs. Output goes to `BENCH_vm.json` (or `--out PATH`) and a table
+//! is printed to stdout. The harness exits non-zero when any program's
+//! outcome diverges between engines, or when the VM fails to beat the
+//! interpreter on Olden wall time — the perf acceptance gate.
+
+use cj_benchmarks::{all_benchmarks, Benchmark, Suite};
+use cj_infer::{InferOptions, SubtypeMode};
+use cj_runtime::{run_main_big_stack, Outcome, RunConfig, Value};
+use std::time::Instant;
+
+struct EngineRow {
+    wall_ms: f64,
+    steps: u64,
+    peak_live: usize,
+    total_allocated: usize,
+    space_ratio: f64,
+}
+
+struct BenchRow {
+    name: &'static str,
+    suite: Suite,
+    input: &'static str,
+    instructions: usize,
+    interp: EngineRow,
+    vm: EngineRow,
+}
+
+fn engine_row(out: &Outcome, wall_ms: f64) -> EngineRow {
+    EngineRow {
+        wall_ms,
+        steps: out.steps,
+        peak_live: out.space.peak_live,
+        total_allocated: out.space.total_allocated,
+        space_ratio: out.space.space_ratio(),
+    }
+}
+
+fn observable(out: &Outcome) -> (String, Vec<String>, cj_runtime::SpaceStats) {
+    (out.value.to_string(), out.prints.clone(), out.space)
+}
+
+fn measure(b: &Benchmark, quick: bool) -> BenchRow {
+    let opts = InferOptions::with_mode(SubtypeMode::Field);
+    let mut session = cj_bench::session_for(b);
+    let compilation = session
+        .check_with(opts)
+        .unwrap_or_else(|e| panic!("{}: {}", b.name, session.emitter().render_all(&e)));
+    let compiled = session
+        .compiled_with(opts)
+        .unwrap_or_else(|e| panic!("{}: {}", b.name, session.emitter().render_all(&e)));
+    let input = if quick { b.test_input } else { b.paper_input };
+    let args: Vec<Value> = input.iter().map(|&v| Value::Int(v)).collect();
+    let cfg = RunConfig::default();
+
+    let t0 = Instant::now();
+    let vm =
+        cj_vm::run_main(&compiled, &args, cfg).unwrap_or_else(|e| panic!("{} [vm]: {e}", b.name));
+    let vm_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let interp = run_main_big_stack(&compilation.program, &args, cfg)
+        .unwrap_or_else(|e| panic!("{} [interp]: {e}", b.name));
+    let interp_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        observable(&vm),
+        observable(&interp),
+        "{}: engines diverged",
+        b.name
+    );
+
+    BenchRow {
+        name: b.name,
+        suite: b.suite,
+        input: if quick { "test" } else { b.input_display },
+        instructions: compiled.instruction_count(),
+        interp: engine_row(&interp, interp_ms),
+        vm: engine_row(&vm, vm_ms),
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0u32);
+    for x in xs {
+        sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn engine_json(e: &EngineRow) -> String {
+    format!(
+        "{{\"wall_ms\":{:.4},\"steps\":{},\"peak_live\":{},\"total_allocated\":{},\
+         \"space_ratio\":{:.6}}}",
+        e.wall_ms, e.steps, e.peak_live, e.total_allocated, e.space_ratio
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_vm.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("vm_bench: unknown argument `{other}`");
+                eprintln!("usage: vm_bench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows: Vec<BenchRow> = all_benchmarks()
+        .iter()
+        .map(|b| {
+            let row = measure(b, quick);
+            println!(
+                "{:28} {:8} interp {:9.3}ms  vm {:9.3}ms  speedup {:5.2}x  ratio {:.4}",
+                row.name,
+                match row.suite {
+                    Suite::RegJava => "regjava",
+                    Suite::Olden => "olden",
+                },
+                row.interp.wall_ms,
+                row.vm.wall_ms,
+                row.interp.wall_ms / row.vm.wall_ms,
+                row.vm.space_ratio
+            );
+            row
+        })
+        .collect();
+
+    let speedups = |suite: Suite| {
+        geomean(
+            rows.iter()
+                .filter(|r| r.suite == suite)
+                .map(|r| r.interp.wall_ms / r.vm.wall_ms),
+        )
+    };
+    let olden = speedups(Suite::Olden);
+    let regjava = speedups(Suite::RegJava);
+    let overall = geomean(rows.iter().map(|r| r.interp.wall_ms / r.vm.wall_ms));
+    println!("geomean speedup: olden {olden:.2}x  regjava {regjava:.2}x  overall {overall:.2}x");
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"suite\":\"{}\",\"input\":\"{}\",\
+                 \"compiled_instructions\":{},\"interp\":{},\"vm\":{},\"speedup\":{:.4}}}",
+                r.name,
+                match r.suite {
+                    Suite::RegJava => "regjava",
+                    Suite::Olden => "olden",
+                },
+                r.input,
+                r.instructions,
+                engine_json(&r.interp),
+                engine_json(&r.vm),
+                r.interp.wall_ms / r.vm.wall_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\":\"bench-vm/v1\",\n  \"input_scale\":\"{}\",\n  \
+         \"benchmarks\":[\n{}\n  ],\n  \"summary\":{{\"olden_geomean_speedup\":{:.4},\
+         \"regjava_geomean_speedup\":{:.4},\"overall_geomean_speedup\":{:.4},\
+         \"vm_faster_on_olden\":{}}}\n}}\n",
+        if quick { "test" } else { "paper" },
+        body.join(",\n"),
+        olden,
+        regjava,
+        overall,
+        olden > 1.0
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+
+    if olden <= 1.0 {
+        eprintln!(
+            "vm_bench: FAIL — VM is not faster than the interpreter on olden \
+             (geomean {olden:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

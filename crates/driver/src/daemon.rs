@@ -329,6 +329,14 @@ impl Daemon {
         self.cache_entries_loaded
     }
 
+    /// Whether the configured cache directory's writer lease is held by
+    /// another live process (this daemon then runs the cache read-only:
+    /// warm loads work, nothing new is persisted). Always `false`
+    /// without a cache.
+    pub fn cache_read_only(&self) -> bool {
+        self.cache.as_ref().is_some_and(|c| c.is_read_only())
+    }
+
     /// A handle that stops the accept loop when set (the in-band
     /// alternative is a `{"cmd":"shutdown","scope":"daemon"}` request).
     pub fn stop_handle(&self) -> Arc<AtomicBool> {

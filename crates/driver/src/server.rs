@@ -35,7 +35,7 @@ use crate::session::SessionOptions;
 use crate::workspace::{PassCounts, Workspace};
 use cj_diag::json_string;
 use cj_infer::InferOptions;
-use cj_runtime::Value;
+use cj_runtime::{Engine, Value};
 use std::fmt::Write as _;
 
 // ---- a minimal JSON value model -------------------------------------------
@@ -368,13 +368,19 @@ impl Server {
                     _ => return Err("`args` must be an array".to_string()),
                 };
                 let opts = self.request_opts(req)?;
+                let engine: Engine = match req.get_str("engine") {
+                    Some(name) => name.parse().map_err(|e: String| e)?,
+                    None => self.ws.options().run.engine,
+                };
                 let out = self
                     .ws
-                    .run_values_with(opts, &args)
+                    .run_values_engine(opts, engine, &args)
                     .map_err(|d| d.to_string().trim_end().to_string())?;
                 Ok(format!(
-                    "\"result\":{},\"space_ratio\":{:.4}",
+                    "\"result\":{},\"engine\":\"{engine}\",\"steps\":{},\
+                     \"space_ratio\":{:.4}",
                     json_string(&out.value.to_string()),
+                    out.steps,
                     out.space.space_ratio()
                 ))
             }
@@ -506,16 +512,20 @@ impl Server {
 
 fn passes_json(p: PassCounts) -> String {
     format!(
-        "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\
-         \"methods_inferred\":{},\"methods_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
+        "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\"lower\":{},\
+         \"methods_inferred\":{},\"methods_reused\":{},\"methods_lowered\":{},\
+         \"methods_lower_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
          \"sccs_shared_hits\":{},\"sccs_disk_hits\":{}}}",
         p.parse,
         p.typecheck,
         p.infer,
         p.check,
         p.run,
+        p.lower,
         p.methods_inferred,
         p.methods_reused,
+        p.methods_lowered,
+        p.methods_lower_reused,
         p.sccs_solved,
         p.sccs_reused,
         p.sccs_shared_hits,
@@ -693,5 +703,25 @@ mod tests {
         );
         let resp = s.handle_line(r#"{"cmd":"run","args":[21]}"#);
         assert!(resp.contains("\"result\":\"42\""), "{resp}");
+        assert!(resp.contains("\"engine\":\"vm\""), "{resp}");
+        assert!(resp.contains("\"steps\":"), "{resp}");
+    }
+
+    #[test]
+    fn run_honors_per_request_engine() {
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"m.cj","text":"class M { static int main(int n) { n * 2 } }"}"#,
+        );
+        let vm = s.handle_line(r#"{"cmd":"run","args":[21],"engine":"vm"}"#);
+        let interp = s.handle_line(r#"{"cmd":"run","args":[21],"engine":"interp"}"#);
+        assert!(vm.contains("\"engine\":\"vm\""), "{vm}");
+        assert!(interp.contains("\"engine\":\"interp\""), "{interp}");
+        for resp in [&vm, &interp] {
+            assert!(resp.contains("\"result\":\"42\""), "{resp}");
+        }
+        let bad = s.handle_line(r#"{"cmd":"run","engine":"jit"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        assert!(bad.contains("unknown engine"), "{bad}");
     }
 }

@@ -263,8 +263,32 @@ impl Session {
         self.ws.check_with(opts)
     }
 
+    /// Lowers the program to VM bytecode under the session's options
+    /// (cached; see [`Workspace::compiled_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn compiled(&mut self) -> CompileResult<Arc<cj_vm::CompiledProgram>> {
+        self.compiled_with(self.ws.options().infer)
+    }
+
+    /// [`compiled`](Session::compiled) under explicit inference options.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn compiled_with(
+        &mut self,
+        opts: InferOptions,
+    ) -> CompileResult<Arc<cj_vm::CompiledProgram>> {
+        self.ingest_ok()?;
+        self.ws.compiled_with(opts)
+    }
+
     /// Stage 5: compiles (through [`check`](Session::check)) and executes
-    /// `main` with integer arguments on a big-stack worker thread.
+    /// `main` with integer arguments on the configured engine (the
+    /// bytecode VM by default).
     ///
     /// # Errors
     ///
@@ -283,6 +307,21 @@ impl Session {
     pub fn run_values(&mut self, args: &[Value]) -> CompileResult<Outcome> {
         self.ingest_ok()?;
         self.ws.run_values(args)
+    }
+
+    /// Stage 5 under explicit inference options (engine and limits come
+    /// from the session's [`RunConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault.
+    pub fn run_values_with(
+        &mut self,
+        opts: InferOptions,
+        args: &[Value],
+    ) -> CompileResult<Outcome> {
+        self.ingest_ok()?;
+        self.ws.run_values_with(opts, args)
     }
 
     // ---- derived reports -------------------------------------------------

@@ -58,7 +58,7 @@ use cj_regions::constraint::Atom;
 use cj_regions::incremental::SolveMemo;
 use cj_regions::solve::Solver;
 use cj_regions::var::RegVar;
-use cj_runtime::{Outcome, Value};
+use cj_runtime::{Engine, Outcome, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -85,8 +85,15 @@ pub struct PassCounts {
     pub infer: u32,
     /// Region-checker executions.
     pub check: u32,
-    /// Interpreter executions.
+    /// Program executions (either engine).
     pub run: u32,
+    /// Bytecode-lowering passes (one per distinct [`InferOptions`] per
+    /// revision that executed on the VM engine).
+    pub lower: u32,
+    /// Method bodies actually lowered to bytecode.
+    pub methods_lowered: u32,
+    /// Method bodies reused from the per-method lowering cache.
+    pub methods_lower_reused: u32,
     /// Method bodies symbolically inferred.
     pub methods_inferred: u32,
     /// Method bodies replayed from the per-method cache.
@@ -117,6 +124,9 @@ impl PassCounts {
             infer: self.infer - earlier.infer,
             check: self.check - earlier.check,
             run: self.run - earlier.run,
+            lower: self.lower - earlier.lower,
+            methods_lowered: self.methods_lowered - earlier.methods_lowered,
+            methods_lower_reused: self.methods_lower_reused - earlier.methods_lower_reused,
             methods_inferred: self.methods_inferred - earlier.methods_inferred,
             methods_reused: self.methods_reused - earlier.methods_reused,
             sccs_solved: self.sccs_solved - earlier.sccs_solved,
@@ -143,13 +153,17 @@ impl SourceFile {
     }
 }
 
-/// Per-[`InferOptions`] derived state: the long-lived incremental cache
+/// Per-[`InferOptions`] derived state: the long-lived incremental caches
 /// plus the current revision's artifacts.
 #[derive(Debug)]
 struct InferState {
     cache: InferCache,
     compilation: Option<Arc<Compilation>>,
     checked: bool,
+    /// Long-lived per-method bytecode-lowering memo (survives revisions).
+    lower_cache: cj_vm::LowerCache,
+    /// The current revision's lowered program, if the VM engine ran.
+    compiled: Option<Arc<cj_vm::CompiledProgram>>,
 }
 
 /// A demand-driven, incrementally recompiled set of named sources. See the
@@ -380,6 +394,10 @@ impl Workspace {
         for state in self.states.values_mut() {
             state.compilation = None;
             state.checked = false;
+            // The lowered program is revision-bound, but the per-method
+            // lowering memo survives: the next lower pass re-lowers only
+            // the methods the edit actually changed.
+            state.compiled = None;
         }
     }
 
@@ -396,6 +414,8 @@ impl Workspace {
                 cache,
                 compilation: None,
                 checked: false,
+                lower_cache: cj_vm::LowerCache::new(),
+                compiled: None,
             }
         })
     }
@@ -548,8 +568,36 @@ impl Workspace {
         Ok(compilation)
     }
 
+    /// Lowers the inferred program to VM bytecode (cached per revision;
+    /// the per-method lowering memo survives revisions, so incremental
+    /// edits re-lower only changed methods — observable as
+    /// [`PassCounts::methods_lowered`] vs
+    /// [`PassCounts::methods_lower_reused`]).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn compiled_with(
+        &mut self,
+        opts: InferOptions,
+    ) -> CompileResult<Arc<cj_vm::CompiledProgram>> {
+        if let Some(c) = self.states.get(&opts).and_then(|s| s.compiled.clone()) {
+            return Ok(c);
+        }
+        let compilation = self.infer_with(opts)?;
+        let state = self.state_mut(opts);
+        let (compiled, stats) = state.lower_cache.lower(&compilation.program);
+        let compiled = Arc::new(compiled);
+        state.compiled = Some(Arc::clone(&compiled));
+        self.counts.lower += 1;
+        self.counts.methods_lowered += stats.methods_lowered as u32;
+        self.counts.methods_lower_reused += stats.methods_reused as u32;
+        Ok(compiled)
+    }
+
     /// Compiles (through [`check`](Workspace::check)) and executes `main`
-    /// on a big-stack worker thread.
+    /// on the configured engine (the bytecode VM by default; the
+    /// interpreter runs on a big-stack worker thread).
     ///
     /// # Errors
     ///
@@ -569,11 +617,36 @@ impl Workspace {
         opts: InferOptions,
         args: &[Value],
     ) -> CompileResult<Outcome> {
+        self.run_values_engine(opts, self.opts.run.engine, args)
+    }
+
+    /// [`run_values_with`](Workspace::run_values_with) on an explicit
+    /// engine (how `serve`/`daemon` honor a per-request `engine` field).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics, or a runtime fault.
+    pub fn run_values_engine(
+        &mut self,
+        opts: InferOptions,
+        engine: Engine,
+        args: &[Value],
+    ) -> CompileResult<Outcome> {
         let run_config = self.opts.run;
         let compilation = self.check_with(opts)?;
-        self.counts.run += 1;
-        cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
-            .map_err(IntoDiagnostics::into_diagnostics)
+        match engine {
+            Engine::Vm => {
+                let compiled = self.compiled_with(opts)?;
+                self.counts.run += 1;
+                cj_vm::run_main(&compiled, args, run_config)
+                    .map_err(IntoDiagnostics::into_diagnostics)
+            }
+            Engine::Interp => {
+                self.counts.run += 1;
+                cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
+                    .map_err(IntoDiagnostics::into_diagnostics)
+            }
+        }
     }
 
     /// Renders the inferred program in the paper's annotation syntax.

@@ -108,6 +108,43 @@ fn corrupt_or_missing_cache_files_cold_start_without_errors() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Two live processes (modelled as two open caches) pointed at one cache
+/// directory: the second opener degrades to read-only — it still
+/// warm-loads and reports disk hits, but persists nothing, so the two
+/// writers can never interleave journal batches (the ROADMAP
+/// "single-writer lease" item).
+#[test]
+fn second_cache_opener_is_read_only_but_still_warm() {
+    let dir = tempdir("lock");
+    let (mut first, _) = workspace_with(&dir);
+    first.set_source("cell.cj", CELL).unwrap();
+    first.check().unwrap();
+    assert!(first.compact_disk_cache().unwrap() > 0);
+    assert!(!first.disk_cache().unwrap().is_read_only());
+
+    // `first` stays alive: its store holds the writer lease.
+    let cache2 = Arc::new(SccDiskCache::open(&dir).expect("open degrades, not fails"));
+    assert!(cache2.is_read_only());
+    let mut second = Workspace::new(SessionOptions::default());
+    let loaded = second.attach_disk_cache(Arc::clone(&cache2));
+    assert!(loaded > 0, "read-only caches still warm-load");
+    second.set_source("cell.cj", CELL).unwrap();
+    second.check().unwrap();
+    assert!(second.pass_counts().sccs_disk_hits >= 1);
+    assert_eq!(
+        second.flush_disk_cache().unwrap(),
+        0,
+        "read-only flush persists nothing"
+    );
+    assert_eq!(second.compact_disk_cache().unwrap(), 0);
+
+    // Lease released: the next opener writes again.
+    drop(first);
+    let cache3 = SccDiskCache::open(&dir).unwrap();
+    assert!(!cache3.is_read_only());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---- daemon ----------------------------------------------------------------
 
 fn drive_tcp(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {

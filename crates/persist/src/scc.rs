@@ -198,6 +198,11 @@ impl SccDiskCache {
     /// Journal/snapshot write failures (the cache stays consistent; the
     /// same entries are retried by the next flush).
     pub fn flush(&self, memo: &SolveMemo) -> std::io::Result<usize> {
+        if self.store.is_read_only() {
+            // Writer lease held by another live process: persist nothing
+            // and record nothing as persisted.
+            return Ok(0);
+        }
         // Read the stamp *before* exporting: entries installed while we
         // work are re-examined (and deduped) by the next flush.
         let stamp = memo.installs();
@@ -241,6 +246,9 @@ impl SccDiskCache {
     ///
     /// Snapshot write failures.
     pub fn compact(&self, memo: &SolveMemo) -> std::io::Result<usize> {
+        if self.store.is_read_only() {
+            return Ok(0); // see `flush`
+        }
         let stamp = memo.installs();
         // Held across the rewrite (see `flush`): one writer at a time.
         let mut state = self.state.lock().expect("cache state poisoned");
@@ -282,6 +290,14 @@ impl SccDiskCache {
         // must scan again and re-append them.
         state.install_mark = (exported_len <= self.max_entries).then_some(stamp);
         Ok(entries.len())
+    }
+
+    /// Whether another live process holds the cache directory's writer
+    /// lease: loading still works, but flush/compact are no-ops (see the
+    /// [`store`](crate::store) single-writer model). Callers should warn
+    /// the operator — solved SCCs will not be persisted by this process.
+    pub fn is_read_only(&self) -> bool {
+        self.store.is_read_only()
     }
 
     /// The snapshot file path (for tests and diagnostics).

@@ -24,6 +24,18 @@
 //! rescans for the next marker instead of abandoning the rest of the
 //! file. Correctness must therefore never depend on a record being
 //! present; the caches built on this store only ever *reuse* work.
+//!
+//! # Single-writer lease
+//!
+//! Opening a store takes a best-effort **writer lease**: a `<name>.lock`
+//! file holding the owner's pid, created atomically. When another live
+//! process already holds it, the store degrades to **read-only** —
+//! loading still works (warm starts are never refused), but
+//! [`append`](RecordStore::append) and [`compact`](RecordStore::compact)
+//! become no-ops, so two daemons pointed at one cache directory can
+//! never interleave journal batches. A lock left behind by a dead
+//! process (crash, `kill -9`) is detected by pid liveness and reclaimed.
+//! The lease is released on drop.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Write as _};
@@ -56,19 +68,56 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The held half of the single-writer lease: removes the lock file when
+/// dropped.
+#[derive(Debug)]
+struct LockLease {
+    path: PathBuf,
+}
+
+impl Drop for LockLease {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the process that wrote a lock file is still alive. On Linux
+/// this probes `/proc`; elsewhere a foreign pid is conservatively assumed
+/// alive (the lease stays best-effort).
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        true
+    }
+}
+
 /// A snapshot + journal pair of record files under one directory. See the
-/// module docs for the durability and degradation model.
+/// module docs for the durability, degradation and single-writer models.
 #[derive(Debug)]
 pub struct RecordStore {
     dir: PathBuf,
     name: String,
     kind: [u8; 4],
+    /// `Some` when this store holds the writer lease; `None` degrades
+    /// every write to a no-op (read-only).
+    lease: Option<LockLease>,
 }
 
 impl RecordStore {
     /// Opens (creating the directory if needed) the store `<name>` under
     /// `dir`, whose records are tagged with the 4-byte `kind`. Files with
     /// a different kind or format version are ignored on load.
+    ///
+    /// Takes the single-writer lease when free (or stale — held by a
+    /// dead process); otherwise the store opens **read-only**
+    /// ([`is_read_only`](RecordStore::is_read_only)).
     ///
     /// # Errors
     ///
@@ -80,11 +129,24 @@ impl RecordStore {
     ) -> std::io::Result<RecordStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let lease = acquire_lease(&dir, name);
         Ok(RecordStore {
             dir,
             name: name.to_string(),
             kind,
+            lease,
         })
+    }
+
+    /// Whether another live process holds the writer lease, making every
+    /// write on this store a no-op.
+    pub fn is_read_only(&self) -> bool {
+        self.lease.is_none()
+    }
+
+    /// The lock-file path carrying the writer lease.
+    pub fn lock_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.lock", self.name))
     }
 
     /// The snapshot file path.
@@ -136,7 +198,10 @@ impl RecordStore {
     ///
     /// Journal open/write failures.
     pub fn append(&self, records: &[Vec<u8>]) -> std::io::Result<()> {
-        if records.is_empty() {
+        if records.is_empty() || self.lease.is_none() {
+            // Read-only (lease held elsewhere): dropping the write keeps
+            // the two writers from interleaving; the cache above only
+            // ever reuses work, so a skipped persist costs a re-solve.
             return Ok(());
         }
         let path = self.journal_path();
@@ -198,6 +263,9 @@ impl RecordStore {
     ///
     /// Temp-file write, sync or rename failures.
     pub fn compact(&self, records: &[Vec<u8>]) -> std::io::Result<()> {
+        if self.lease.is_none() {
+            return Ok(()); // read-only: see `append`
+        }
         let mut buf = Vec::new();
         encode_header(&mut buf, self.kind);
         for record in records {
@@ -210,6 +278,37 @@ impl RecordStore {
         encode_header(&mut jbuf, self.kind);
         self.replace_file(&self.journal_path(), "journal", &jbuf)
     }
+}
+
+/// Tries to take the `<name>.lock` writer lease under `dir`: atomic
+/// create-new with our pid inside. A lock held by a dead process is
+/// reclaimed (one retry); a live holder — or any unexpected filesystem
+/// error — yields `None` (read-only). Best-effort by design: the
+/// checksummed record format remains the correctness backstop.
+fn acquire_lease(dir: &Path, name: &str) -> Option<LockLease> {
+    let path = dir.join(format!("{name}.lock"));
+    for attempt in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                let _ = file.write_all(std::process::id().to_string().as_bytes());
+                return Some(LockLease { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid_alive(pid) => return None,
+                    // Stale (dead holder) or garbage: reclaim and retry.
+                    _ => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    None
 }
 
 fn encode_header(buf: &mut Vec<u8>, kind: [u8; 4]) {
@@ -402,6 +501,47 @@ mod tests {
         fs::write(s.journal_path(), &bytes).unwrap();
         s.append(&[b"again".to_vec()]).unwrap();
         assert_eq!(s.load(), vec![b"again".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_opener_degrades_to_read_only() {
+        let dir = tempdir("lease");
+        let first = store(&dir);
+        assert!(!first.is_read_only(), "first opener holds the lease");
+        first.append(&[b"one".to_vec()]).unwrap();
+
+        // Same directory, lease held by this (live) process: read-only.
+        let second = store(&dir);
+        assert!(second.is_read_only());
+        second.append(&[b"dropped".to_vec()]).unwrap();
+        second.compact(&[b"dropped".to_vec()]).unwrap();
+        assert_eq!(second.load(), vec![b"one".to_vec()], "writes are no-ops");
+
+        // Releasing the lease hands the next opener the pen back.
+        drop(first);
+        drop(second);
+        let third = store(&dir);
+        assert!(!third.is_read_only());
+        third.append(&[b"two".to_vec()]).unwrap();
+        assert_eq!(third.load().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_and_garbage_locks_are_reclaimed() {
+        let dir = tempdir("stale-lock");
+        fs::create_dir_all(&dir).unwrap();
+        // A pid that cannot be alive (beyond any kernel pid_max).
+        fs::write(dir.join("scc.lock"), u32::MAX.to_string()).unwrap();
+        let s = store(&dir);
+        assert!(!s.is_read_only(), "dead holder must be reclaimed");
+        drop(s);
+        fs::write(dir.join("scc.lock"), "not a pid at all").unwrap();
+        let s = store(&dir);
+        assert!(!s.is_read_only(), "garbage lock must be reclaimed");
+        drop(s);
+        assert!(!dir.join("scc.lock").exists(), "lease released on drop");
         let _ = fs::remove_dir_all(&dir);
     }
 

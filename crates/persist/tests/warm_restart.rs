@@ -199,6 +199,8 @@ fn version_bump_cold_starts_then_recovers() {
         bytes[8] = bytes[8].wrapping_add(1);
         std::fs::write(&path, &bytes).unwrap();
     }
+    // Release the writer lease so the "cold process" below can rebuild.
+    drop(cache);
     let cold = SolveMemo::new();
     assert_eq!(SccDiskCache::open(&dir).unwrap().load_into(&cold), 0);
     let mut stats = InferStats::default();

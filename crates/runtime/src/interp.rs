@@ -37,6 +37,8 @@ pub enum RuntimeError {
     Region(RegionError),
     /// The configured step budget was exhausted.
     StepLimit,
+    /// The configured call-depth budget was exhausted.
+    DepthLimit,
     /// No static `main` method exists.
     NoMain,
     /// `main` received the wrong number/kinds of arguments.
@@ -55,6 +57,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DanglingAccess(_) => f.write_str("dangling region access"),
             RuntimeError::Region(e) => write!(f, "region error: {e}"),
             RuntimeError::StepLimit => f.write_str("step limit exceeded"),
+            RuntimeError::DepthLimit => f.write_str("call depth limit exceeded"),
             RuntimeError::NoMain => f.write_str("no static `main` method"),
             RuntimeError::BadMainArgs => f.write_str("bad arguments for `main`"),
             RuntimeError::NegativeLength(_) => f.write_str("negative array length"),
@@ -76,6 +79,7 @@ impl RuntimeError {
             | RuntimeError::NegativeLength(s) => Some(*s),
             RuntimeError::Region(_)
             | RuntimeError::StepLimit
+            | RuntimeError::DepthLimit
             | RuntimeError::NoMain
             | RuntimeError::BadMainArgs => None,
         }
@@ -103,22 +107,74 @@ impl From<RegionError> for RuntimeError {
     }
 }
 
-/// Execution configuration.
+/// Which execution engine runs the annotated program. Both engines share
+/// [`RunConfig`], the [`RuntimeError`] vocabulary, and the [`SpaceStats`]
+/// size model, and must produce identical observable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The `cj-vm` bytecode VM with real bump-arena region allocation.
+    #[default]
+    Vm,
+    /// The tree-walking reference interpreter in this crate.
+    Interp,
+}
+
+impl Engine {
+    /// Canonical names accepted by [`FromStr`](std::str::FromStr).
+    pub const NAMES: [&'static str; 2] = ["vm", "interp"];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Vm => "vm",
+            Engine::Interp => "interp",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "vm" => Ok(Engine::Vm),
+            "interp" | "interpreter" => Ok(Engine::Interp),
+            other => Err(format!(
+                "unknown engine `{other}` (expected one of: {})",
+                Engine::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+/// Execution configuration, shared by the interpreter and the `cj-vm`
+/// bytecode VM so limits and defaults never diverge between engines.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
-    /// Maximum interpreter steps before aborting.
+    /// Maximum execution steps (interpreter evaluation steps, VM
+    /// instructions) before aborting with [`RuntimeError::StepLimit`].
     pub step_limit: u64,
+    /// Maximum method-call depth before aborting with
+    /// [`RuntimeError::DepthLimit`]. Identical in both engines.
+    pub max_depth: u32,
     /// Region-erasure mode: ignore `letreg` and allocate everything in the
     /// heap. The paper proves annotated and erased programs bisimilar; the
     /// integration suite compares the two executions' observable behaviour.
     pub erase_regions: bool,
+    /// Which engine a driver-level `run` should use. The engines themselves
+    /// ignore this field — it is carried here so every layer (CLI, serve,
+    /// daemon, `Workspace`) selects engines through one configuration type.
+    pub engine: Engine,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             step_limit: 2_000_000_000,
+            max_depth: 200_000,
             erase_regions: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -172,6 +228,8 @@ pub fn run_static(
         store: Store::new(),
         steps: 0,
         limit: cfg.step_limit,
+        depth: 0,
+        max_depth: cfg.max_depth,
         erase: cfg.erase_regions,
         prints: Vec::new(),
     };
@@ -240,6 +298,8 @@ struct Interp<'a> {
     store: Store,
     steps: u64,
     limit: u64,
+    depth: u32,
+    max_depth: u32,
     erase: bool,
     prints: Vec<String>,
 }
@@ -497,6 +557,10 @@ impl<'a> Interp<'a> {
         args: &[cj_frontend::VarId],
         _span: Span,
     ) -> Result<Value, RuntimeError> {
+        if self.depth >= self.max_depth {
+            return Err(RuntimeError::DepthLimit);
+        }
+        self.depth += 1;
         let km = self.p.kernel.method(target);
         let rm = self.p.rmethod(target);
         let mut frame = Frame::new(target, km.vars.len());
@@ -542,7 +606,9 @@ impl<'a> Interp<'a> {
                 }
             }
         }
-        self.eval(&mut frame, &rm.body)
+        let result = self.eval(&mut frame, &rm.body);
+        self.depth -= 1;
+        result
     }
 
     fn binary(

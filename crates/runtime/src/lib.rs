@@ -39,7 +39,9 @@ pub mod interp;
 pub mod region;
 pub mod store;
 
-pub use interp::{run_main, run_main_big_stack, run_static, Outcome, RunConfig, RuntimeError};
+pub use interp::{
+    run_main, run_main_big_stack, run_static, Engine, Outcome, RunConfig, RuntimeError,
+};
 pub use region::{RegionId, RegionManager, SpaceStats};
 pub use store::{ObjId, Value};
 
@@ -204,6 +206,33 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RuntimeError::StepLimit));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let src = "class M { static int f(int n) { f(n + 1) } static int main() { f(0) } }";
+        let (p, _) = infer_source(src, InferOptions::default()).unwrap();
+        let err = run_main(
+            &p,
+            &[],
+            RunConfig {
+                max_depth: 100,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::DepthLimit));
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for name in Engine::NAMES {
+            let engine: Engine = name.parse().unwrap();
+            assert_eq!(engine.to_string(), name);
+        }
+        assert_eq!("interpreter".parse::<Engine>(), Ok(Engine::Interp));
+        assert!("jit".parse::<Engine>().is_err());
+        assert_eq!(Engine::default(), Engine::Vm);
     }
 
     #[test]

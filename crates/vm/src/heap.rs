@@ -1,0 +1,371 @@
+//! The VM's region heap: one bump arena of 64-bit words per live region.
+//!
+//! Unlike the interpreter's [`RegionManager`](cj_runtime::RegionManager),
+//! which only *counts* bytes while objects live in a global store, this
+//! heap holds the actual object payloads inside per-region arenas:
+//! allocation bumps the owning region's word vector, and `RegPop` frees
+//! every object in the region **wholesale** by dropping the arena — the
+//! paper's dynamic semantics of `letreg`, executed for real.
+//!
+//! Space accounting reproduces the interpreter's documented size model
+//! exactly (16-byte header + 8 bytes per field or element,
+//! [`object_bytes`]), so [`SpaceStats`] — and with it every Fig 8 space
+//! ratio — is identical across the two engines by construction.
+//!
+//! # Object layout (word offsets from the object's base)
+//!
+//! | word | object | array |
+//! |---|---|---|
+//! | 0 | allocation serial | allocation serial |
+//! | 1 | meta: class, #regions, #fields | meta: array bit, element tag, length |
+//! | 2… | region arguments | elements (raw words) |
+//! | 2+#regions… | fields (raw words) | — |
+
+use cj_frontend::types::Prim;
+use cj_runtime::region::{RegionError, RegionId, SpaceStats};
+use cj_runtime::store::object_bytes;
+
+/// The packed-reference null sentinel in `Ref` payload slots.
+pub(crate) const NULL_WORD: u64 = u64::MAX;
+
+/// Meta-word bit marking an array.
+const ARRAY_BIT: u64 = 1 << 63;
+
+/// A runtime object reference: owning region, base word offset inside the
+/// region's arena, and the allocation serial (the interpreter's `ObjId`,
+/// so observable output is identical across engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjRef {
+    /// Owning region.
+    pub region: u32,
+    /// Base word offset within the region arena.
+    pub word: u32,
+    /// Allocation serial (0-based, program-wide).
+    pub serial: u32,
+}
+
+#[derive(Debug, Default)]
+struct Arena {
+    live: bool,
+    /// Stats-model bytes currently accounted to this region.
+    bytes: usize,
+    words: Vec<u64>,
+}
+
+/// The stack-of-arenas allocator. Region 0 is the heap and is never
+/// freed.
+#[derive(Debug)]
+pub struct RegionHeap {
+    arenas: Vec<Arena>,
+    stack: Vec<u32>,
+    live_bytes: usize,
+    stats: SpaceStats,
+    next_serial: u32,
+}
+
+impl RegionHeap {
+    /// A fresh heap with only the global heap region.
+    pub fn new() -> RegionHeap {
+        RegionHeap {
+            arenas: vec![Arena {
+                live: true,
+                bytes: 0,
+                words: Vec::new(),
+            }],
+            stack: vec![0],
+            live_bytes: 0,
+            stats: SpaceStats::default(),
+            next_serial: 0,
+        }
+    }
+
+    /// Creates a region on top of the stack (`RegPush`).
+    pub fn push(&mut self) -> u32 {
+        let id = self.arenas.len() as u32;
+        self.arenas.push(Arena {
+            live: true,
+            bytes: 0,
+            words: Vec::new(),
+        });
+        self.stack.push(id);
+        self.stats.regions_created += 1;
+        id
+    }
+
+    /// Deletes the top region (`RegPop`), freeing its arena wholesale.
+    ///
+    /// # Errors
+    ///
+    /// The deleted region must be the top of the stack.
+    pub fn pop(&mut self, id: u32) -> Result<(), RegionError> {
+        if self.stack.last() != Some(&id) {
+            return Err(RegionError::NotTopOfStack(RegionId(id)));
+        }
+        self.stack.pop();
+        let arena = &mut self.arenas[id as usize];
+        arena.live = false;
+        self.live_bytes -= arena.bytes;
+        // The wholesale free: every object in the region dies at once.
+        arena.words = Vec::new();
+        Ok(())
+    }
+
+    /// Whether `region` is still live.
+    pub fn is_live(&self, region: u32) -> bool {
+        self.arenas[region as usize].live
+    }
+
+    /// Current accounting (the interpreter-identical size model).
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    fn account(&mut self, region: u32, bytes: usize) -> Result<(), RegionError> {
+        let arena = &mut self.arenas[region as usize];
+        if !arena.live {
+            return Err(RegionError::DeadRegion(RegionId(region)));
+        }
+        arena.bytes += bytes;
+        self.live_bytes += bytes;
+        self.stats.total_allocated += bytes;
+        self.stats.objects_allocated += 1;
+        if self.live_bytes > self.stats.peak_live {
+            self.stats.peak_live = self.live_bytes;
+        }
+        Ok(())
+    }
+
+    /// Allocates an object of `class` with the given recorded region
+    /// arguments and already-encoded field words into `regions[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation into a deleted region.
+    pub fn alloc_object(
+        &mut self,
+        region: u32,
+        class: u32,
+        regions: &[u32],
+        fields: &[u64],
+    ) -> Result<ObjRef, RegionError> {
+        self.account(region, object_bytes(fields.len()))?;
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let arena = &mut self.arenas[region as usize];
+        let word = arena.words.len() as u32;
+        arena.words.reserve(2 + regions.len() + fields.len());
+        arena.words.push(serial as u64);
+        arena
+            .words
+            .push(class as u64 | ((regions.len() as u64) << 32) | ((fields.len() as u64) << 44));
+        arena.words.extend(regions.iter().map(|&r| r as u64));
+        arena.words.extend_from_slice(fields);
+        Ok(ObjRef {
+            region,
+            word,
+            serial,
+        })
+    }
+
+    /// Allocates a zero-initialized primitive array of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation into a deleted region.
+    pub fn alloc_array(
+        &mut self,
+        region: u32,
+        elem: Prim,
+        len: usize,
+    ) -> Result<ObjRef, RegionError> {
+        self.account(region, object_bytes(len))?;
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let tag = match elem {
+            Prim::Int => 0u64,
+            Prim::Bool => 1,
+            Prim::Float => 2,
+        };
+        let arena = &mut self.arenas[region as usize];
+        let word = arena.words.len() as u32;
+        arena.words.reserve(2 + len);
+        arena.words.push(serial as u64);
+        arena.words.push(ARRAY_BIT | (tag << 32) | len as u64);
+        // All-zero words are the typed defaults: 0, false, 0.0.
+        arena.words.resize(arena.words.len() + len, 0);
+        Ok(ObjRef {
+            region,
+            word,
+            serial,
+        })
+    }
+
+    #[inline]
+    fn meta(&self, r: ObjRef) -> u64 {
+        self.arenas[r.region as usize].words[r.word as usize + 1]
+    }
+
+    /// The runtime class of the object at `r` (objects only).
+    #[inline]
+    pub fn class_of(&self, r: ObjRef) -> u32 {
+        self.meta(r) as u32
+    }
+
+    /// The `i`-th recorded region argument of the object at `r`, or the
+    /// heap when the object records fewer.
+    #[inline]
+    pub fn region_arg(&self, r: ObjRef, i: usize) -> u32 {
+        let meta = self.meta(r);
+        let nregions = ((meta >> 32) & 0xfff) as usize;
+        if i < nregions {
+            self.arenas[r.region as usize].words[r.word as usize + 2 + i] as u32
+        } else {
+            0
+        }
+    }
+
+    /// Reads field `idx` of the object at `r`.
+    #[inline]
+    pub fn field(&self, r: ObjRef, idx: usize) -> u64 {
+        let nregions = ((self.meta(r) >> 32) & 0xfff) as usize;
+        self.arenas[r.region as usize].words[r.word as usize + 2 + nregions + idx]
+    }
+
+    /// Writes field `idx` of the object at `r`.
+    #[inline]
+    pub fn set_field(&mut self, r: ObjRef, idx: usize, word: u64) {
+        let nregions = ((self.meta(r) >> 32) & 0xfff) as usize;
+        self.arenas[r.region as usize].words[r.word as usize + 2 + nregions + idx] = word;
+    }
+
+    /// Length of the array at `r`.
+    #[inline]
+    pub fn array_len(&self, r: ObjRef) -> usize {
+        self.meta(r) as u32 as usize
+    }
+
+    /// Reads element `idx` of the array at `r`; `None` out of bounds.
+    #[inline]
+    pub fn element(&self, r: ObjRef, idx: usize) -> Option<u64> {
+        if idx >= self.array_len(r) {
+            return None;
+        }
+        Some(self.arenas[r.region as usize].words[r.word as usize + 2 + idx])
+    }
+
+    /// Writes element `idx` of the array at `r`; `false` out of bounds.
+    #[inline]
+    pub fn set_element(&mut self, r: ObjRef, idx: usize, word: u64) -> bool {
+        if idx >= self.array_len(r) {
+            return false;
+        }
+        self.arenas[r.region as usize].words[r.word as usize + 2 + idx] = word;
+        true
+    }
+
+    /// Reconstructs an [`ObjRef`] from a packed field word. The serial is
+    /// read back from the object header; a reference into a deleted
+    /// region gets a sentinel serial — its arena (and with it the real
+    /// serial) is gone. For *checked* programs such a reference is never
+    /// reachable (Theorem 1); on unchecked programs printing or
+    /// returning it shows the sentinel where the interpreter's immortal
+    /// store would show the original serial (see the engine-divergence
+    /// note in [`crate::exec`]).
+    #[inline]
+    pub fn unpack_ref(&self, word: u64) -> Option<ObjRef> {
+        if word == NULL_WORD {
+            return None;
+        }
+        let region = (word >> 32) as u32;
+        let at = word as u32;
+        let arena = &self.arenas[region as usize];
+        let serial = if arena.live {
+            arena.words[at as usize] as u32
+        } else {
+            u32::MAX
+        };
+        Some(ObjRef {
+            region,
+            word: at,
+            serial,
+        })
+    }
+}
+
+/// Packs a reference for storage in a `Ref` payload slot.
+#[inline]
+pub(crate) fn pack_ref(r: ObjRef) -> u64 {
+    ((r.region as u64) << 32) | r.word as u64
+}
+
+impl Default for RegionHeap {
+    fn default() -> Self {
+        RegionHeap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_the_interpreter_size_model() {
+        let mut h = RegionHeap::new();
+        let r = h.push();
+        let obj = h.alloc_object(r, 3, &[r, 0], &[7, NULL_WORD]).unwrap();
+        assert_eq!(h.stats().total_allocated, object_bytes(2));
+        assert_eq!(h.class_of(obj), 3);
+        assert_eq!(h.region_arg(obj, 0), r);
+        assert_eq!(h.region_arg(obj, 1), 0);
+        assert_eq!(h.region_arg(obj, 9), 0, "missing regions default to heap");
+        assert_eq!(h.field(obj, 0), 7);
+        h.set_field(obj, 1, 9);
+        assert_eq!(h.field(obj, 1), 9);
+        h.pop(r).unwrap();
+        assert!(!h.is_live(r));
+        assert_eq!(h.stats().peak_live, object_bytes(2));
+        // Popping frees wholesale: a fresh region reuses no accounting.
+        let r2 = h.push();
+        assert_eq!(h.pop(r2), Ok(()));
+        assert_eq!(h.stats().regions_created, 2);
+    }
+
+    #[test]
+    fn arrays_round_trip_and_bound_check() {
+        let mut h = RegionHeap::new();
+        let a = h.alloc_array(0, Prim::Int, 3).unwrap();
+        assert_eq!(h.array_len(a), 3);
+        assert_eq!(h.element(a, 2), Some(0));
+        assert!(h.set_element(a, 2, 42));
+        assert_eq!(h.element(a, 2), Some(42));
+        assert_eq!(h.element(a, 3), None);
+        assert!(!h.set_element(a, 3, 1));
+    }
+
+    #[test]
+    fn stack_discipline_and_dead_region_errors() {
+        let mut h = RegionHeap::new();
+        let a = h.push();
+        let b = h.push();
+        assert_eq!(h.pop(a), Err(RegionError::NotTopOfStack(RegionId(a))));
+        h.pop(b).unwrap();
+        h.pop(a).unwrap();
+        assert_eq!(
+            h.alloc_object(a, 0, &[a], &[]),
+            Err(RegionError::DeadRegion(RegionId(a)))
+        );
+    }
+
+    #[test]
+    fn packed_refs_round_trip() {
+        let mut h = RegionHeap::new();
+        let r = h.push();
+        let obj = h.alloc_object(r, 1, &[r], &[]).unwrap();
+        let word = pack_ref(obj);
+        assert_eq!(h.unpack_ref(word), Some(obj));
+        assert_eq!(h.unpack_ref(NULL_WORD), None);
+        h.pop(r).unwrap();
+        let dangling = h.unpack_ref(word).unwrap();
+        assert_eq!(dangling.serial, u32::MAX, "dead region hides the serial");
+    }
+}

@@ -1,0 +1,794 @@
+//! Lowering: region-annotated kernel ([`RProgram`]) → [`CompiledProgram`].
+//!
+//! Everything name-shaped is resolved here, once: virtual dispatch becomes
+//! a vtable-slot index, casts a subclass-matrix read, field access a
+//! constructor-order offset with a baked-in representation, and every
+//! region mention a frame-local region slot (abstraction parameters first,
+//! then one slot per `letreg` binding — shadowing gets fresh slots, so
+//! `RegPush`/`RegPop` always address the binding they delimit).
+//!
+//! # Incremental re-lowering
+//!
+//! [`LowerCache`] memoizes compiled methods by a structural fingerprint:
+//! as long as the program's *shape* (class hierarchy, signatures, region
+//! arities — everything that positions vtable slots and function indices)
+//! is unchanged, an unchanged method body is reused as-is and only edited
+//! methods are re-lowered. This mirrors the per-method reuse of
+//! [`cj_infer::InferCache`] one layer down: an incremental revision that
+//! re-infers one body also re-lowers exactly one body.
+
+use crate::bytecode::{
+    ArraySite, CallSite, CallTarget, CastSite, CompiledMethod, CompiledProgram, Instr, Lit,
+    NewSite, RegRef, SlotTy,
+};
+use cj_frontend::ast::BinOp;
+use cj_frontend::kernel::KMethod;
+use cj_frontend::span::Span;
+use cj_frontend::types::{ClassId, MethodId, NType, Prim, VarId};
+use cj_frontend::Symbol;
+use cj_infer::rast::{RExpr, RExprKind, RMethod, RProgram};
+use cj_regions::var::RegVar;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Work counters of one [`LowerCache::lower`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Methods actually lowered this call.
+    pub methods_lowered: usize,
+    /// Methods reused from the cache (unchanged fingerprint).
+    pub methods_reused: usize,
+}
+
+/// A per-method lowering memo; see the module docs.
+#[derive(Debug, Default)]
+pub struct LowerCache {
+    shape: Option<u64>,
+    methods: HashMap<MethodId, (u64, Arc<CompiledMethod>)>,
+}
+
+impl LowerCache {
+    /// An empty cache.
+    pub fn new() -> LowerCache {
+        LowerCache::default()
+    }
+
+    /// Lowers `p`, reusing every cached method whose structural
+    /// fingerprint is unchanged since the last call. A shape change
+    /// (anything affecting vtable slots, function indices, field layout
+    /// or region arities) drops the whole cache first.
+    pub fn lower(&mut self, p: &RProgram) -> (CompiledProgram, LowerStats) {
+        let shape = shape_fingerprint(p);
+        if self.shape != Some(shape) {
+            self.methods.clear();
+            self.shape = Some(shape);
+        }
+        let tables = GlobalTables::build(p);
+        let mut stats = LowerStats::default();
+        let mut methods = Vec::new();
+        for (id, rm) in p.all_rmethods() {
+            let km = p.kernel.method(id);
+            let fp = method_fingerprint(km, rm);
+            match self.methods.get(&id) {
+                Some((cached, method)) if *cached == fp => {
+                    methods.push(Arc::clone(method));
+                    stats.methods_reused += 1;
+                }
+                _ => {
+                    let method = Arc::new(lower_method(p, id, km, rm, &tables));
+                    self.methods.insert(id, (fp, Arc::clone(&method)));
+                    methods.push(method);
+                    stats.methods_lowered += 1;
+                }
+            }
+        }
+        let program = CompiledProgram {
+            methods,
+            main: tables.main.and_then(|id| tables.func_of.get(&id).copied()),
+            func_of: tables.func_of,
+            vtables: tables.vtables,
+            subclass: tables.subclass,
+        };
+        (program, stats)
+    }
+}
+
+/// One-shot lowering without a cache.
+pub fn lower_program(p: &RProgram) -> CompiledProgram {
+    LowerCache::new().lower(p).0
+}
+
+// ---- global tables ---------------------------------------------------------
+
+struct GlobalTables {
+    func_of: HashMap<MethodId, u32>,
+    /// Per class: method name → vtable slot.
+    vslots: Vec<HashMap<Symbol, u32>>,
+    vtables: Vec<Vec<u32>>,
+    subclass: Vec<Vec<bool>>,
+    main: Option<MethodId>,
+}
+
+impl GlobalTables {
+    fn build(p: &RProgram) -> GlobalTables {
+        let table = &p.kernel.table;
+        let func_of: HashMap<MethodId, u32> = p
+            .all_rmethods()
+            .enumerate()
+            .map(|(i, (id, _))| (id, i as u32))
+            .collect();
+
+        // Vtables: process superclasses before subclasses (sort by depth;
+        // ties by id for determinism). A subclass inherits its parent's
+        // slot map and table, overrides in place, and appends new names.
+        let n = table.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (table.class(ClassId(i as u32)).depth, i));
+        let mut vslots: Vec<HashMap<Symbol, u32>> = vec![HashMap::new(); n];
+        let mut vtables: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &i in &order {
+            let info = table.class(ClassId(i as u32));
+            let (mut slots, mut vtable) = match info.superclass {
+                Some(parent) => (
+                    vslots[parent.index()].clone(),
+                    vtables[parent.index()].clone(),
+                ),
+                None => (HashMap::new(), Vec::new()),
+            };
+            for (m, sig) in info.own_methods.iter().enumerate() {
+                let func = func_of[&MethodId::Instance(info.id, m as u32)];
+                match slots.get(&sig.name) {
+                    Some(&slot) => vtable[slot as usize] = func,
+                    None => {
+                        slots.insert(sig.name, vtable.len() as u32);
+                        vtable.push(func);
+                    }
+                }
+            }
+            vslots[i] = slots;
+            vtables[i] = vtable;
+        }
+
+        let subclass = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| table.is_subclass(ClassId(a as u32), ClassId(b as u32)))
+                    .collect()
+            })
+            .collect();
+        let main = table
+            .lookup_static(Symbol::intern("main"))
+            .map(|(i, _)| MethodId::Static(i));
+        GlobalTables {
+            func_of,
+            vslots,
+            vtables,
+            subclass,
+            main,
+        }
+    }
+}
+
+// ---- fingerprints ----------------------------------------------------------
+
+/// Fingerprint of everything that positions global lowering artifacts:
+/// the class hierarchy and method/field signatures (vtable slots, function
+/// indices, field offsets and representations) plus per-class region
+/// arities (call-site tails). When this changes, no per-method code can
+/// be reused.
+pub fn shape_fingerprint(p: &RProgram) -> u64 {
+    let table = &p.kernel.table;
+    let mut h = DefaultHasher::new();
+    for info in table.classes() {
+        info.name.as_str().hash(&mut h);
+        info.superclass.hash(&mut h);
+        for f in table.all_fields(info.id) {
+            f.ty.hash(&mut h);
+        }
+        0xabu8.hash(&mut h);
+        for m in &info.own_methods {
+            m.name.as_str().hash(&mut h);
+        }
+        0xcdu8.hash(&mut h);
+    }
+    for s in table.statics() {
+        s.name.as_str().hash(&mut h);
+    }
+    for rc in &p.classes {
+        rc.params.len().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Structural fingerprint of one annotated method: everything its
+/// lowering consumes — variable types, parameters, region-parameter
+/// *positions*, and the full body including spans (error spans are baked
+/// into the code).
+///
+/// Region variables are hashed **α-invariantly**, as the frame slot the
+/// lowerer would assign them (abstraction-parameter position, or
+/// `letreg`-binding order) — raw region ids drift across incremental
+/// revisions even for untouched methods, but the generated bytecode only
+/// ever mentions slots, so slot-equal methods compile identically.
+pub fn method_fingerprint(km: &KMethod, rm: &RMethod) -> u64 {
+    let mut h = DefaultHasher::new();
+    km.is_static.hash(&mut h);
+    for v in &km.vars {
+        v.ty.hash(&mut h);
+    }
+    km.params.hash(&mut h);
+    rm.abs_params.len().hash(&mut h);
+    rm.mparams.len().hash(&mut h);
+    let mut env = RegCanon {
+        slots: rm
+            .abs_params
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u16))
+            .collect(),
+        next: rm.abs_params.len() as u16,
+    };
+    hash_rexpr(&rm.body, &mut env, &mut h);
+    h.finish()
+}
+
+/// The fingerprint's mirror of the lowerer's region-slot assignment.
+struct RegCanon {
+    slots: HashMap<RegVar, u16>,
+    next: u16,
+}
+
+fn hash_span(s: Span, h: &mut DefaultHasher) {
+    s.lo.hash(h);
+    s.hi.hash(h);
+}
+
+fn hash_reg(r: RegVar, env: &RegCanon, h: &mut DefaultHasher) {
+    if r.is_heap() {
+        0xffffu16.hash(h);
+    } else {
+        match env.slots.get(&r) {
+            Some(&s) => s.hash(h),
+            None => 0xfffeu16.hash(h), // lowers to Heap
+        }
+    }
+}
+
+fn hash_regs(rs: &[RegVar], env: &RegCanon, h: &mut DefaultHasher) {
+    for &r in rs {
+        hash_reg(r, env, h);
+    }
+    0xeeu8.hash(h);
+}
+
+fn hash_rexpr(e: &RExpr, env: &mut RegCanon, h: &mut DefaultHasher) {
+    std::mem::discriminant(&e.kind).hash(h);
+    hash_span(e.span, h);
+    match &e.kind {
+        RExprKind::Unit | RExprKind::Null => {}
+        RExprKind::Int(v) => v.hash(h),
+        RExprKind::Bool(v) => v.hash(h),
+        RExprKind::Float(v) => v.to_bits().hash(h),
+        RExprKind::Var(v) => v.hash(h),
+        RExprKind::Field(v, fr) => {
+            v.hash(h);
+            fr.index.hash(h);
+        }
+        RExprKind::AssignVar(v, rhs) => {
+            v.hash(h);
+            hash_rexpr(rhs, env, h);
+        }
+        RExprKind::AssignField(v, fr, rhs) => {
+            v.hash(h);
+            fr.index.hash(h);
+            hash_rexpr(rhs, env, h);
+        }
+        RExprKind::New {
+            class,
+            regions,
+            args,
+        } => {
+            class.hash(h);
+            hash_regs(regions, env, h);
+            args.hash(h);
+        }
+        RExprKind::NewArray { elem, region, len } => {
+            elem.hash(h);
+            hash_reg(*region, env, h);
+            hash_rexpr(len, env, h);
+        }
+        RExprKind::Index(v, idx) => {
+            v.hash(h);
+            hash_rexpr(idx, env, h);
+        }
+        RExprKind::AssignIndex(v, idx, val) => {
+            v.hash(h);
+            hash_rexpr(idx, env, h);
+            hash_rexpr(val, env, h);
+        }
+        RExprKind::ArrayLen(v) => v.hash(h),
+        RExprKind::CallVirtual {
+            recv,
+            method,
+            inst,
+            args,
+        } => {
+            recv.hash(h);
+            method.hash(h);
+            hash_regs(inst, env, h);
+            args.hash(h);
+        }
+        RExprKind::CallStatic { method, inst, args } => {
+            method.hash(h);
+            hash_regs(inst, env, h);
+            args.hash(h);
+        }
+        RExprKind::Seq(a, b) => {
+            hash_rexpr(a, env, h);
+            hash_rexpr(b, env, h);
+        }
+        RExprKind::Let { var, init, body } => {
+            var.hash(h);
+            init.is_some().hash(h);
+            if let Some(i) = init {
+                hash_rexpr(i, env, h);
+            }
+            hash_rexpr(body, env, h);
+        }
+        RExprKind::Letreg(r, inner) => {
+            // Mirror the lowerer: the binder takes the next fresh slot,
+            // shadowing any outer binding of the same variable.
+            let slot = env.next;
+            env.next += 1;
+            slot.hash(h);
+            let shadowed = env.slots.insert(*r, slot);
+            hash_rexpr(inner, env, h);
+            match shadowed {
+                Some(old) => {
+                    env.slots.insert(*r, old);
+                }
+                None => {
+                    env.slots.remove(r);
+                }
+            }
+        }
+        RExprKind::If {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            hash_rexpr(cond, env, h);
+            hash_rexpr(then_e, env, h);
+            hash_rexpr(else_e, env, h);
+        }
+        RExprKind::While { cond, body } => {
+            hash_rexpr(cond, env, h);
+            hash_rexpr(body, env, h);
+        }
+        RExprKind::Cast { class, var, .. } => {
+            class.hash(h);
+            var.hash(h);
+        }
+        RExprKind::Unary(op, a) => {
+            std::mem::discriminant(op).hash(h);
+            hash_rexpr(a, env, h);
+        }
+        RExprKind::Binary(op, a, b) => {
+            std::mem::discriminant(op).hash(h);
+            hash_rexpr(a, env, h);
+            hash_rexpr(b, env, h);
+        }
+        RExprKind::Print(a) => hash_rexpr(a, env, h),
+    }
+}
+
+// ---- per-method lowering ---------------------------------------------------
+
+fn slot_ty(ty: NType) -> SlotTy {
+    match ty {
+        NType::Prim(Prim::Int) => SlotTy::Int,
+        NType::Prim(Prim::Bool) => SlotTy::Bool,
+        NType::Prim(Prim::Float) => SlotTy::Float,
+        NType::Class(_) | NType::Array(_) | NType::Null => SlotTy::Ref,
+        NType::Void => unreachable!("void payload slot"),
+    }
+}
+
+fn lit_default(ty: NType) -> Lit {
+    match ty {
+        NType::Prim(Prim::Int) => Lit::Int(0),
+        NType::Prim(Prim::Bool) => Lit::Bool(false),
+        NType::Prim(Prim::Float) => Lit::Float(0.0),
+        NType::Void => Lit::Unit,
+        _ => Lit::Null,
+    }
+}
+
+fn lit_eq(a: Lit, b: Lit) -> bool {
+    match (a, b) {
+        (Lit::Float(x), Lit::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+struct FnLowerer<'a> {
+    p: &'a RProgram,
+    km: &'a KMethod,
+    tables: &'a GlobalTables,
+    code: Vec<Instr>,
+    spans: Vec<Span>,
+    consts: Vec<Lit>,
+    news: Vec<NewSite>,
+    arrays: Vec<ArraySite>,
+    calls: Vec<CallSite>,
+    casts: Vec<CastSite>,
+    reg_slots: HashMap<RegVar, u16>,
+    next_reg_slot: u16,
+}
+
+fn lower_method(
+    p: &RProgram,
+    id: MethodId,
+    km: &KMethod,
+    rm: &RMethod,
+    tables: &GlobalTables,
+) -> CompiledMethod {
+    let mut lo = FnLowerer {
+        p,
+        km,
+        tables,
+        code: Vec::new(),
+        spans: Vec::new(),
+        consts: Vec::new(),
+        news: Vec::new(),
+        arrays: Vec::new(),
+        calls: Vec::new(),
+        casts: Vec::new(),
+        reg_slots: rm
+            .abs_params
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u16))
+            .collect(),
+        next_reg_slot: rm.abs_params.len() as u16,
+    };
+    lo.lower(&rm.body);
+    lo.emit(Instr::Ret, rm.body.span);
+    CompiledMethod {
+        name: p.kernel.method_name(id),
+        code: lo.code,
+        spans: lo.spans,
+        consts: lo.consts,
+        defaults: km.vars.iter().map(|v| lit_default(v.ty)).collect(),
+        params: km.params.iter().map(|v| v.index() as u16).collect(),
+        has_this: !km.is_static,
+        class_params: (rm.abs_params.len() - rm.mparams.len()) as u16,
+        abs_params: rm.abs_params.len() as u16,
+        region_slots: lo.next_reg_slot,
+        news: lo.news,
+        arrays: lo.arrays,
+        calls: lo.calls,
+        casts: lo.casts,
+    }
+}
+
+impl FnLowerer<'_> {
+    fn emit(&mut self, i: Instr, span: Span) {
+        self.code.push(i);
+        self.spans.push(span);
+    }
+
+    fn konst(&mut self, lit: Lit) -> u32 {
+        match self.consts.iter().position(|&l| lit_eq(l, lit)) {
+            Some(i) => i as u32,
+            None => {
+                self.consts.push(lit);
+                (self.consts.len() - 1) as u32
+            }
+        }
+    }
+
+    fn emit_unit(&mut self, span: Span) {
+        let u = self.konst(Lit::Unit);
+        self.emit(Instr::Const(u), span);
+    }
+
+    /// Patches the jump at instruction `at` to target the current end of
+    /// the code.
+    fn patch_here(&mut self, at: usize) {
+        let to = self.code.len() as u32;
+        match &mut self.code[at] {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => *t = to,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn reg_ref(&self, r: RegVar) -> RegRef {
+        if r.is_heap() {
+            return RegRef::Heap;
+        }
+        match self.reg_slots.get(&r) {
+            Some(&s) => RegRef::Slot(s),
+            // Unbound region variables resolve to the heap, exactly like
+            // the interpreter's environment fallback.
+            None => RegRef::Heap,
+        }
+    }
+
+    fn var_slot(v: VarId) -> u16 {
+        v.index() as u16
+    }
+
+    /// Field representation of constructor-order field `idx` of the class
+    /// statically typing variable `v`.
+    fn field_ty(&self, v: VarId, idx: u32) -> SlotTy {
+        let class = self
+            .km
+            .var_ty(v)
+            .as_class()
+            .expect("field receiver has a class type");
+        slot_ty(self.p.kernel.table.all_fields(class)[idx as usize].ty)
+    }
+
+    /// Element representation of the array statically typing variable
+    /// `v`.
+    fn elem_ty(&self, v: VarId) -> SlotTy {
+        match self.km.var_ty(v) {
+            NType::Array(p) => slot_ty(NType::Prim(p)),
+            other => unreachable!("indexing a non-array {other}"),
+        }
+    }
+
+    /// Lowers one expression; the emitted code leaves exactly one value
+    /// on the operand stack.
+    fn lower(&mut self, e: &RExpr) {
+        match &e.kind {
+            RExprKind::Unit => self.emit_unit(e.span),
+            RExprKind::Int(v) => {
+                let c = self.konst(Lit::Int(*v));
+                self.emit(Instr::Const(c), e.span);
+            }
+            RExprKind::Bool(v) => {
+                let c = self.konst(Lit::Bool(*v));
+                self.emit(Instr::Const(c), e.span);
+            }
+            RExprKind::Float(v) => {
+                let c = self.konst(Lit::Float(*v));
+                self.emit(Instr::Const(c), e.span);
+            }
+            RExprKind::Null => {
+                let c = self.konst(Lit::Null);
+                self.emit(Instr::Const(c), e.span);
+            }
+            RExprKind::Var(v) => self.emit(Instr::LoadVar(Self::var_slot(*v)), e.span),
+            RExprKind::Field(v, fr) => {
+                let ty = self.field_ty(*v, fr.index);
+                self.emit(
+                    Instr::GetField {
+                        var: Self::var_slot(*v),
+                        idx: fr.index as u16,
+                        ty,
+                    },
+                    e.span,
+                );
+            }
+            RExprKind::AssignVar(v, rhs) => {
+                self.lower(rhs);
+                self.emit(Instr::StoreVar(Self::var_slot(*v)), e.span);
+                self.emit_unit(e.span);
+            }
+            RExprKind::AssignField(v, fr, rhs) => {
+                self.lower(rhs);
+                let ty = self.field_ty(*v, fr.index);
+                self.emit(
+                    Instr::SetField {
+                        var: Self::var_slot(*v),
+                        idx: fr.index as u16,
+                        ty,
+                    },
+                    e.span,
+                );
+                self.emit_unit(e.span);
+            }
+            RExprKind::New {
+                class,
+                regions,
+                args,
+            } => {
+                let fields = self.p.kernel.table.all_fields(*class);
+                let site = NewSite {
+                    class: class.0,
+                    regions: regions.iter().map(|&r| self.reg_ref(r)).collect(),
+                    args: args
+                        .iter()
+                        .zip(&fields)
+                        .map(|(&a, f)| (Self::var_slot(a), slot_ty(f.ty)))
+                        .collect(),
+                };
+                self.news.push(site);
+                self.emit(Instr::NewObj((self.news.len() - 1) as u32), e.span);
+            }
+            RExprKind::NewArray { elem, region, len } => {
+                self.lower(len);
+                self.arrays.push(ArraySite {
+                    elem: *elem,
+                    region: self.reg_ref(*region),
+                });
+                self.emit(Instr::NewArr((self.arrays.len() - 1) as u32), e.span);
+            }
+            RExprKind::Index(v, idx) => {
+                self.lower(idx);
+                let ty = self.elem_ty(*v);
+                self.emit(
+                    Instr::Index {
+                        var: Self::var_slot(*v),
+                        ty,
+                    },
+                    e.span,
+                );
+            }
+            RExprKind::AssignIndex(v, idx, val) => {
+                self.lower(idx);
+                self.lower(val);
+                let ty = self.elem_ty(*v);
+                self.emit(
+                    Instr::SetIndex {
+                        var: Self::var_slot(*v),
+                        ty,
+                    },
+                    e.span,
+                );
+                self.emit_unit(e.span);
+            }
+            RExprKind::ArrayLen(v) => self.emit(Instr::ArrayLen(Self::var_slot(*v)), e.span),
+            RExprKind::CallVirtual {
+                recv,
+                method,
+                inst,
+                args,
+            } => {
+                let site = match method {
+                    MethodId::Instance(c, i) => {
+                        let name = self.p.kernel.table.class(*c).own_methods[*i as usize].name;
+                        CallSite {
+                            target: CallTarget::Virtual {
+                                vslot: self.tables.vslots[c.index()][&name],
+                                recv: Self::var_slot(*recv),
+                            },
+                            args: args.iter().map(|&a| Self::var_slot(a)).collect(),
+                            inst: inst.iter().map(|&r| self.reg_ref(r)).collect(),
+                            tail_start: self.p.rclass(*c).params.len() as u16,
+                        }
+                    }
+                    MethodId::Static(_) => CallSite {
+                        target: CallTarget::Static(self.tables.func_of[method]),
+                        args: args.iter().map(|&a| Self::var_slot(a)).collect(),
+                        inst: inst.iter().map(|&r| self.reg_ref(r)).collect(),
+                        tail_start: 0,
+                    },
+                };
+                self.calls.push(site);
+                self.emit(Instr::Call((self.calls.len() - 1) as u32), e.span);
+            }
+            RExprKind::CallStatic { method, inst, args } => {
+                self.calls.push(CallSite {
+                    target: CallTarget::Static(self.tables.func_of[method]),
+                    args: args.iter().map(|&a| Self::var_slot(a)).collect(),
+                    inst: inst.iter().map(|&r| self.reg_ref(r)).collect(),
+                    tail_start: 0,
+                });
+                self.emit(Instr::Call((self.calls.len() - 1) as u32), e.span);
+            }
+            RExprKind::Seq(a, b) => {
+                self.lower(a);
+                self.emit(Instr::Pop, a.span);
+                self.lower(b);
+            }
+            RExprKind::Let { var, init, body } => {
+                match init {
+                    Some(init) => {
+                        self.lower(init);
+                        self.emit(Instr::StoreVar(Self::var_slot(*var)), e.span);
+                    }
+                    // Fresh declaration without initializer: reset the
+                    // slot (loops re-enter Lets).
+                    None => self.emit(Instr::ResetVar(Self::var_slot(*var)), e.span),
+                }
+                self.lower(body);
+            }
+            RExprKind::Letreg(r, inner) => {
+                let slot = self.next_reg_slot;
+                self.next_reg_slot += 1;
+                let shadowed = self.reg_slots.insert(*r, slot);
+                self.emit(Instr::RegPush(slot), e.span);
+                self.lower(inner);
+                self.emit(Instr::RegPop(slot), e.span);
+                match shadowed {
+                    Some(old) => {
+                        self.reg_slots.insert(*r, old);
+                    }
+                    None => {
+                        self.reg_slots.remove(r);
+                    }
+                }
+            }
+            RExprKind::If {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                self.lower(cond);
+                let to_else = self.code.len();
+                self.emit(Instr::JumpIfFalse(0), cond.span);
+                self.lower(then_e);
+                let to_end = self.code.len();
+                self.emit(Instr::Jump(0), e.span);
+                self.patch_here(to_else);
+                self.lower(else_e);
+                self.patch_here(to_end);
+            }
+            RExprKind::While { cond, body } => {
+                let top = self.code.len() as u32;
+                self.lower(cond);
+                let to_end = self.code.len();
+                self.emit(Instr::JumpIfFalse(0), cond.span);
+                self.lower(body);
+                self.emit(Instr::Pop, body.span);
+                self.emit(Instr::Jump(top), e.span);
+                self.patch_here(to_end);
+                self.emit_unit(e.span);
+            }
+            RExprKind::Cast { class, var, .. } => {
+                self.casts.push(CastSite {
+                    var: Self::var_slot(*var),
+                    class: class.0,
+                });
+                self.emit(Instr::Cast((self.casts.len() - 1) as u32), e.span);
+            }
+            RExprKind::Unary(op, a) => {
+                self.lower(a);
+                self.emit(Instr::Unary(*op), e.span);
+            }
+            RExprKind::Binary(op, a, b) => match op {
+                // Short-circuit logic lowers to jumps, mirroring the
+                // interpreter's evaluation order exactly.
+                BinOp::And => {
+                    self.lower(a);
+                    let to_rhs = self.code.len();
+                    self.emit(Instr::JumpIfTrue(0), a.span);
+                    let f = self.konst(Lit::Bool(false));
+                    self.emit(Instr::Const(f), e.span);
+                    let to_end = self.code.len();
+                    self.emit(Instr::Jump(0), e.span);
+                    self.patch_here(to_rhs);
+                    self.lower(b);
+                    self.patch_here(to_end);
+                }
+                BinOp::Or => {
+                    self.lower(a);
+                    let to_rhs = self.code.len();
+                    self.emit(Instr::JumpIfFalse(0), a.span);
+                    let t = self.konst(Lit::Bool(true));
+                    self.emit(Instr::Const(t), e.span);
+                    let to_end = self.code.len();
+                    self.emit(Instr::Jump(0), e.span);
+                    self.patch_here(to_rhs);
+                    self.lower(b);
+                    self.patch_here(to_end);
+                }
+                _ => {
+                    self.lower(a);
+                    self.lower(b);
+                    self.emit(Instr::Binary(*op), e.span);
+                }
+            },
+            RExprKind::Print(a) => {
+                self.lower(a);
+                self.emit(Instr::Print, e.span);
+                self.emit_unit(e.span);
+            }
+        }
+    }
+}

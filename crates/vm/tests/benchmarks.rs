@@ -1,0 +1,33 @@
+//! Engine parity over the full benchmark suite: every Fig 8 (RegJava)
+//! and Fig 9 (Olden) program, under every subtyping mode, produces a
+//! byte-identical observable outcome — value, prints, and the complete
+//! `SpaceStats` — on the VM and the interpreter (test inputs; the
+//! `vm_bench` harness re-asserts this at paper scale).
+
+use cj_benchmarks::all_benchmarks;
+use cj_infer::{infer_source, InferOptions, SubtypeMode};
+use cj_runtime::{run_main_big_stack, RunConfig, Value};
+
+#[test]
+fn all_benchmarks_are_engine_identical_under_every_mode() {
+    for b in all_benchmarks() {
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        for mode in SubtypeMode::ALL {
+            let (p, _) = infer_source(b.source, InferOptions::with_mode(mode))
+                .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", b.name));
+            let compiled = cj_vm::lower_program(&p);
+            let vm = cj_vm::run_main(&compiled, &args, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} [{mode}] vm: {e}", b.name));
+            let interp = run_main_big_stack(&p, &args, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} [{mode}] interp: {e}", b.name));
+            assert_eq!(
+                vm.value.to_string(),
+                interp.value.to_string(),
+                "{} [{mode}]: value diverged",
+                b.name
+            );
+            assert_eq!(vm.prints, interp.prints, "{} [{mode}]: prints", b.name);
+            assert_eq!(vm.space, interp.space, "{} [{mode}]: space stats", b.name);
+        }
+    }
+}

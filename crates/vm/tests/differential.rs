@@ -1,0 +1,196 @@
+//! Differential execution: the bytecode VM must be observationally
+//! identical to the tree-walking interpreter.
+//!
+//! Random well-typed-by-construction recursive programs (the same shape
+//! family as the repo-level Theorem 1 fuzzing) are inferred under every
+//! subtyping mode, region-checked, and executed on **both** engines; the
+//! returned value, the captured prints, and the full [`SpaceStats`]
+//! (total allocated, peak live, regions, objects — hence every space
+//! ratio) must be byte-identical. Deterministic fault programs then pin
+//! that runtime *errors* — variant and span — also match (the `cj-vm`
+//! unit suite covers the remaining fault classes).
+//!
+//! [`SpaceStats`]: cj_runtime::SpaceStats
+
+use cj_infer::{infer_source, InferOptions, SubtypeMode};
+use cj_runtime::{run_main_big_stack, RunConfig, Value};
+use proptest::prelude::*;
+
+// ---- generator (mirrors tests/props.rs's program shapes, plus prints) ------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `vX = mk0(3)`.
+    Alloc(usize),
+    /// `vA = vB`.
+    Copy(usize, usize),
+    /// `vA.self = vB` (guarded against null).
+    Store(usize, usize),
+    /// `print(vX.tag)` (guarded against null).
+    Print(usize),
+    /// Wrap the inner op in `if (flag) { … } else { }`.
+    Branch(Box<Op>),
+    /// Wrap the inner op in a 3-iteration loop.
+    Loop(Box<Op>),
+}
+
+fn arb_op(nvars: usize) -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Op::Alloc),
+        (0..nvars, 0..nvars).prop_map(|(a, b)| Op::Copy(a, b)),
+        (0..nvars, 0..nvars).prop_map(|(a, b)| Op::Store(a, b)),
+        (0..nvars).prop_map(Op::Print),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|op| Op::Branch(Box::new(op))),
+            inner.prop_map(|op| Op::Loop(Box::new(op))),
+        ]
+    })
+}
+
+fn render(nclasses: usize, nvars: usize, ops: &[Op]) -> String {
+    let mut s = String::new();
+    for c in 0..nclasses {
+        let target = (c + 1) % nclasses;
+        s.push_str(&format!(
+            "class C{c} {{ int tag; C{target} link; C{c} self; }}\n"
+        ));
+    }
+    s.push_str("class Gen {\n");
+    for c in 0..nclasses {
+        let target = (c + 1) % nclasses;
+        s.push_str(&format!(
+            "  static C{c} mk{c}(int depth) {{\n\
+             \x20   if (depth <= 0) {{ (C{c}) null }}\n\
+             \x20   else {{ new C{c}(depth, mk{target}(depth - 1), mk{c}(depth - 2)) }}\n\
+             \x20 }}\n"
+        ));
+    }
+    s.push_str("  static int main(bool flag) {\n");
+    for v in 0..nvars {
+        s.push_str(&format!("    C0 v{v} = mk0(2);\n"));
+    }
+    let mut loop_id = 0u32;
+    for op in ops {
+        render_op(op, &mut s, 4, &mut loop_id);
+    }
+    s.push_str("    int alive = 0;\n");
+    for v in 0..nvars {
+        s.push_str(&format!(
+            "    if (v{v} != null) {{ alive = alive + v{v}.tag; }}\n"
+        ));
+    }
+    s.push_str("    print(alive);\n    alive\n  }\n}\n");
+    s
+}
+
+fn render_op(op: &Op, s: &mut String, indent: usize, loop_id: &mut u32) {
+    let pad = " ".repeat(indent);
+    match op {
+        Op::Alloc(v) => s.push_str(&format!("{pad}v{v} = mk0(3);\n")),
+        Op::Copy(a, b) => s.push_str(&format!("{pad}v{a} = v{b};\n")),
+        Op::Store(a, b) => s.push_str(&format!("{pad}if (v{a} != null) {{ v{a}.self = v{b}; }}\n")),
+        Op::Print(v) => s.push_str(&format!("{pad}if (v{v} != null) {{ print(v{v}.tag); }}\n")),
+        Op::Branch(inner) => {
+            s.push_str(&format!("{pad}if (flag) {{\n"));
+            render_op(inner, s, indent + 2, loop_id);
+            s.push_str(&format!("{pad}}}\n"));
+        }
+        Op::Loop(inner) => {
+            let id = *loop_id;
+            *loop_id += 1;
+            s.push_str(&format!("{pad}int gl{id} = 0;\n"));
+            s.push_str(&format!("{pad}while (gl{id} < 3) {{\n"));
+            render_op(inner, s, indent + 2, loop_id);
+            s.push_str(&format!("{pad}  gl{id} = gl{id} + 1;\n{pad}}}\n"));
+        }
+    }
+}
+
+fn clamp_op(op: &Op, nvars: usize) -> Op {
+    match op {
+        Op::Alloc(v) => Op::Alloc(v % nvars),
+        Op::Copy(a, b) => Op::Copy(a % nvars, b % nvars),
+        Op::Store(a, b) => Op::Store(a % nvars, b % nvars),
+        Op::Print(v) => Op::Print(v % nvars),
+        Op::Branch(inner) => Op::Branch(Box::new(clamp_op(inner, nvars))),
+        Op::Loop(inner) => Op::Loop(Box::new(clamp_op(inner, nvars))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_recursive_programs_are_engine_identical(
+        nclasses in 1usize..4,
+        nvars in 1usize..4,
+        ops in proptest::collection::vec(arb_op(3), 0..6),
+        flag in any::<bool>(),
+    ) {
+        let ops: Vec<Op> = ops.iter().map(|op| clamp_op(op, nvars)).collect();
+        let src = render(nclasses, nvars, &ops);
+        for mode in SubtypeMode::ALL {
+            let (p, _) = infer_source(&src, InferOptions::with_mode(mode))
+                .unwrap_or_else(|e| panic!("[{mode}] inference failed: {e}\n{src}"));
+            cj_check::check(&p).unwrap_or_else(|e| panic!("[{mode}] checker: {e}\n{src}"));
+            let compiled = cj_vm::lower_program(&p);
+            let args = [Value::Bool(flag)];
+            let vm = cj_vm::run_main(&compiled, &args, RunConfig::default())
+                .unwrap_or_else(|e| panic!("[{mode}] vm: {e}\n{src}"));
+            let interp = run_main_big_stack(&p, &args, RunConfig::default())
+                .unwrap_or_else(|e| panic!("[{mode}] interp: {e}\n{src}"));
+            prop_assert_eq!(
+                vm.value.to_string(),
+                interp.value.to_string(),
+                "[{}] value diverged\n{}", mode, src
+            );
+            prop_assert_eq!(&vm.prints, &interp.prints, "[{}] prints diverged\n{}", mode, src);
+            prop_assert_eq!(vm.space, interp.space, "[{}] space diverged\n{}", mode, src);
+        }
+    }
+}
+
+/// Runtime faults carry the same variant *and the same source span* on
+/// both engines — the structured diagnostics rendered from a `run`
+/// failure are identical no matter the engine.
+#[test]
+fn fault_spans_are_engine_identical() {
+    let cases: &[(&str, &[Value])] = &[
+        (
+            "class Node { int v; Node next; }
+             class M {
+               static int walk(Node n, int k) {
+                 if (k == 0) { n.v } else { walk(n.next, k - 1) }
+               }
+               static int main(int k) { walk(new Node(7, (Node) null), k) }
+             }",
+            &[Value::Int(3)], // null deref inside recursion
+        ),
+        (
+            "class M { static int main(int a, int b) { (a + b) / (a - b) } }",
+            &[Value::Int(4), Value::Int(4)],
+        ),
+        (
+            "class A { int x; } class B extends A { int y; }
+             class M {
+               static A pick(bool f) { if (f) { new B(1, 2) } else { new A(3) } }
+               static int main(bool f) { B b = (B) pick(f); b.y }
+             }",
+            &[Value::Bool(false)],
+        ),
+    ];
+    for (src, args) in cases {
+        let (p, _) = infer_source(src, InferOptions::default()).unwrap();
+        cj_check::check(&p).unwrap();
+        let compiled = cj_vm::lower_program(&p);
+        let vm = cj_vm::run_main(&compiled, args, RunConfig::default()).unwrap_err();
+        let interp = run_main_big_stack(&p, args, RunConfig::default()).unwrap_err();
+        assert_eq!(vm, interp, "error variant diverged on:\n{src}");
+        assert_eq!(vm.span(), interp.span(), "error span diverged on:\n{src}");
+    }
+}

@@ -28,8 +28,7 @@ fn main() -> Result<(), Diagnostics> {
     for mode in SubtypeMode::ALL {
         let compilation = session.check_with(InferOptions::with_mode(mode))?;
         let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
-        let out = run_main_big_stack(&compilation.program, &args, RunConfig::default())
-            .map_err(IntoDiagnostics::into_diagnostics)?;
+        let out = session.run_values_with(InferOptions::with_mode(mode), &args)?;
         println!(
             "{:<12} {:>12} {:>16} {:>14.4} {:>10}",
             mode.to_string(),

@@ -3,7 +3,8 @@
 //! ```text
 //! cjrc infer  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--stats] [--json]
 //! cjrc check  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--json]
-//! cjrc run    <file> [--mode M] [--downcast D] [--cache-dir DIR] [--json] [args…]
+//! cjrc run    <file> [--engine vm|interp] [--fuel N] [--max-depth N]
+//!                    [--mode M] [--downcast D] [--cache-dir DIR] [--json] [args…]
 //! cjrc flows  <file> [--json]                                       downcast-set report
 //! cjrc serve         [--mode M] [--downcast D] [--cache-dir DIR]    JSON-lines compile server
 //! cjrc daemon        [--addr H:P | --socket PATH] [--workers N]
@@ -19,6 +20,12 @@
 //! later invocation — or a restarted server/daemon — starts warm,
 //! reporting `sccs_disk_hits` while producing output bit-identical to a
 //! cold build.
+//!
+//! `run` executes on the `cj-vm` bytecode VM by default; `--engine
+//! interp` selects the tree-walking interpreter. Program output, space
+//! statistics and runtime errors are identical across engines (enforced
+//! by the differential test suite). `--fuel` and `--max-depth` bound
+//! execution steps and call depth uniformly on both engines.
 //!
 //! Errors are rendered as caret-style source snippets on stderr, or — with
 //! `--json` — as a JSON array of structured diagnostics (severity, code,
@@ -39,6 +46,7 @@
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
 use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions};
 use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
+use cj_runtime::Engine;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
@@ -91,6 +99,12 @@ struct Cli {
     max_clients: Option<usize>,
     /// `daemon`: per-connection idle eviction in seconds (0 = off).
     idle_timeout: Option<u64>,
+    /// `run`: execution engine (default vm).
+    engine: Option<Engine>,
+    /// `run`: execution step budget.
+    fuel: Option<u64>,
+    /// `run`: call-depth budget.
+    max_depth: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,12 +144,14 @@ fn usage() -> String {
     format!(
         "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
          [--downcast {d}] [--cache-dir DIR] [--stats] [--json] [run args…]\n       \
+         cjrc run <file.cj> [--engine {e}] [--fuel N] [--max-depth N] [args…]\n       \
          cjrc serve [--mode {m}] [--downcast {d}] [--cache-dir DIR]\n       \
          cjrc daemon [--addr host:port | --socket path] [--workers N] \
          [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
          [--idle-timeout SECS] [--mode {m}] [--downcast {d}]",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
+        e = Engine::NAMES.join("|"),
     )
 }
 
@@ -163,6 +179,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut cache_dir = None;
     let mut max_clients = None;
     let mut idle_timeout = None;
+    let mut engine = None;
+    let mut fuel = None;
+    let mut max_depth = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
@@ -240,6 +259,40 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     ))
                 })?);
             }
+            "--engine" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--engine needs a value"))?;
+                engine = Some(value.parse::<Engine>().map_err(CliError::new)?);
+            }
+            "--fuel" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--fuel needs a value"))?;
+                fuel = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            CliError::new(format!(
+                                "--fuel needs a positive integer, found `{value}`"
+                            ))
+                        })?,
+                );
+            }
+            "--max-depth" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--max-depth needs a value"))?;
+                max_depth = Some(value.parse::<u32>().ok().filter(|&n| n >= 1).ok_or_else(
+                    || {
+                        CliError::new(format!(
+                            "--max-depth needs a positive integer, found `{value}`"
+                        ))
+                    },
+                )?);
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             flag if flag.starts_with("--") => {
@@ -270,6 +323,13 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     if matches!(command, Command::Flows) && cache_dir.is_some() {
         return Err(CliError::new(
             "--cache-dir does not apply to `flows` (no region inference to cache)",
+        ));
+    }
+    if !matches!(command, Command::Run)
+        && (engine.is_some() || fuel.is_some() || max_depth.is_some())
+    {
+        return Err(CliError::new(
+            "--engine/--fuel/--max-depth apply to `run` only",
         ));
     }
     let file = match command {
@@ -311,6 +371,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         cache_dir,
         max_clients,
         idle_timeout,
+        engine,
+        fuel,
+        max_depth,
     })
 }
 
@@ -330,7 +393,15 @@ fn open_cache(cli: &Cli) -> Result<Option<std::sync::Arc<cj_persist::SccDiskCach
     match &cli.cache_dir {
         None => Ok(None),
         Some(dir) => cj_persist::SccDiskCache::open(dir)
-            .map(|c| Some(std::sync::Arc::new(c)))
+            .map(|c| {
+                if c.is_read_only() {
+                    eprintln!(
+                        "cjrc: warning: cache directory `{dir}` is locked by another \
+                         process; continuing read-only (nothing new will be persisted)"
+                    );
+                }
+                Some(std::sync::Arc::new(c))
+            })
             .map_err(|e| {
                 Diagnostics::from_one(
                     Diagnostic::error(
@@ -344,7 +415,16 @@ fn open_cache(cli: &Cli) -> Result<Option<std::sync::Arc<cj_persist::SccDiskCach
 }
 
 fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
-    let opts = SessionOptions::with_infer(cli.opts);
+    let mut opts = SessionOptions::with_infer(cli.opts);
+    if let Some(engine) = cli.engine {
+        opts.run.engine = engine;
+    }
+    if let Some(fuel) = cli.fuel {
+        opts.run.step_limit = fuel;
+    }
+    if let Some(depth) = cli.max_depth {
+        opts.run.max_depth = depth;
+    }
     if cli.command == Command::Serve {
         return serve(opts, cli).map_err(|diags| {
             Box::new(Failure {
@@ -446,15 +526,18 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             unreachable!("serve/daemon are dispatched before file loading")
         }
         Command::Run => {
+            let engine = session.options().run.engine;
             let out = session.run(&cli.run_args)?;
             if cli.json {
                 let prints: Vec<String> =
                     out.prints.iter().map(|p| cj_diag::json_string(p)).collect();
                 println!(
-                    "{{\"result\":{},\"prints\":[{}],\"space\":{{\"peak_live\":{},\
+                    "{{\"result\":{},\"prints\":[{}],\"engine\":\"{engine}\",\"steps\":{},\
+                     \"space\":{{\"peak_live\":{},\
                      \"total_allocated\":{},\"ratio\":{:.4},\"regions\":{}}}}}",
                     cj_diag::json_string(&out.value.to_string()),
                     prints.join(","),
+                    out.steps,
                     out.space.peak_live,
                     out.space.total_allocated,
                     out.space.space_ratio(),
@@ -572,6 +655,12 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
             "cjrcd: warm-loaded {} cached SCC(s) from {dir}",
             daemon.cache_entries_loaded()
         );
+        if daemon.cache_read_only() {
+            eprintln!(
+                "cjrcd: warning: cache directory `{dir}` is locked by another \
+                 process; running read-only (nothing new will be persisted)"
+            );
+        }
     }
     println!("cjrcd listening on {}", daemon.describe_addr());
     std::io::stdout().flush()?;
@@ -807,6 +896,44 @@ mod tests {
         assert!(err.message.contains("apply to `daemon` only"));
         let err = parse_cli(argv(&["serve", "--idle-timeout", "600"])).unwrap_err();
         assert!(err.message.contains("apply to `daemon` only"));
+    }
+
+    #[test]
+    fn engine_and_limit_flags_are_run_only() {
+        let cli = parse_cli(argv(&[
+            "run",
+            "x.cj",
+            "--engine",
+            "interp",
+            "--fuel",
+            "5000",
+            "--max-depth",
+            "64",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.engine, Some(Engine::Interp));
+        assert_eq!(cli.fuel, Some(5000));
+        assert_eq!(cli.max_depth, Some(64));
+        assert_eq!(cli.run_args, vec![3]);
+        let cli = parse_cli(argv(&["run", "x.cj", "--engine", "vm"])).unwrap();
+        assert_eq!(cli.engine, Some(Engine::Vm));
+        assert_eq!(cli.fuel, None, "defaults come from RunConfig");
+
+        let err = parse_cli(argv(&["run", "x.cj", "--engine", "jit"])).unwrap_err();
+        assert!(err.message.contains("unknown engine"));
+        let err = parse_cli(argv(&["run", "x.cj", "--fuel", "0"])).unwrap_err();
+        assert!(err.message.contains("positive integer"));
+        let err = parse_cli(argv(&["run", "x.cj", "--max-depth", "never"])).unwrap_err();
+        assert!(err.message.contains("positive integer"));
+        for bad in [
+            argv(&["check", "x.cj", "--engine", "vm"]),
+            argv(&["infer", "x.cj", "--fuel", "10"]),
+            argv(&["serve", "--max-depth", "10"]),
+        ] {
+            let err = parse_cli(bad).unwrap_err();
+            assert!(err.message.contains("apply to `run` only"), "{err:?}");
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! - [`downcast`]: the Sec 5 backward flow analysis;
 //! - [`runtime`]: a lexically scoped region allocator and interpreter with
 //!   space accounting;
+//! - [`vm`]: the `cj-vm` bytecode VM — lowering to register-resolved
+//!   bytecode and execution over real bump-arena regions, observationally
+//!   identical to the interpreter but an integer factor faster;
 //! - [`benchmarks`]: the Fig 8 and Fig 9 program suites;
 //! - [`driver`]: the demand-driven, incrementally recompiling
 //!   [`driver::Workspace`] (multi-file inputs, per-SCC re-solving, the `Q`
@@ -68,6 +71,7 @@ pub use cj_frontend as frontend;
 pub use cj_infer as infer;
 pub use cj_regions as regions;
 pub use cj_runtime as runtime;
+pub use cj_vm as vm;
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -81,7 +85,8 @@ pub mod prelude {
     pub use cj_infer::{
         infer_source, DowncastPolicy, InferOptions, InferStats, RProgram, SubtypeMode,
     };
-    pub use cj_runtime::{run_main, run_main_big_stack, Outcome, RunConfig, Value};
+    pub use cj_runtime::{run_main, run_main_big_stack, Engine, Outcome, RunConfig, Value};
+    pub use cj_vm::{lower_program, CompiledProgram};
 }
 
 use cj_diag::Diagnostics;

@@ -77,6 +77,72 @@ fn run_executes_main_with_arguments() {
 }
 
 #[test]
+fn run_engines_produce_identical_output() {
+    let path = temp_source(
+        "engines.cj",
+        "class List { int v; List next; }
+         class M {
+           static List build(int n) {
+             if (n == 0) { (List) null } else { new List(n, build(n - 1)) }
+           }
+           static int main(int n) { print(n); if (build(n) != null) { n } else { 0 } }
+         }",
+    );
+    let vm = cjrc(&["run", path.to_str().unwrap(), "--engine", "vm", "8"]);
+    let interp = cjrc(&["run", path.to_str().unwrap(), "--engine", "interp", "8"]);
+    assert!(vm.status.success() && interp.status.success());
+    assert_eq!(
+        String::from_utf8(vm.stdout).unwrap(),
+        String::from_utf8(interp.stdout).unwrap(),
+        "engines must print identical results and space lines"
+    );
+    // The default engine is the VM, surfaced in --json.
+    let json = cjrc(&["run", path.to_str().unwrap(), "--json", "8"]);
+    let stdout = String::from_utf8(json.stdout).unwrap();
+    assert!(stdout.contains("\"engine\":\"vm\""), "{stdout}");
+    assert!(stdout.contains("\"steps\":"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_limits_surface_structured_errors() {
+    let path = temp_source(
+        "limits.cj",
+        "class M { static int spin(int n) { spin(n + 1) } static int main() { spin(0) } }",
+    );
+    for engine in ["vm", "interp"] {
+        let out = cjrc(&[
+            "run",
+            path.to_str().unwrap(),
+            "--engine",
+            engine,
+            "--max-depth",
+            "50",
+        ]);
+        assert!(!out.status.success());
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("error[E0600]: call depth limit exceeded"),
+            "[{engine}] {stderr}"
+        );
+        let out = cjrc(&[
+            "run",
+            path.to_str().unwrap(),
+            "--engine",
+            engine,
+            "--fuel",
+            "100",
+        ]);
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("error[E0600]: step limit exceeded"),
+            "[{engine}] {stderr}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn run_json_reports_result_and_space() {
     let path = temp_source("runjson.cj", "class M { static int main(int n) { n + 1 } }");
     let out = cjrc(&["run", path.to_str().unwrap(), "--json", "41"]);

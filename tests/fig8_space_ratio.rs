@@ -132,6 +132,32 @@ fn reynolds3_letreg_placement_depth_is_pinned() {
 }
 
 #[test]
+fn reynolds3_space_stats_are_identical_on_the_vm() {
+    // The pinned Fig 8 drift must hold on the bytecode VM too: its
+    // bump-arena accounting reproduces the interpreter's SpaceStats
+    // bit-for-bit, so the 0.0125 pin above covers both engines.
+    let b = region_inference::benchmarks::by_name("Reynolds3").expect("registered");
+    let mut session = Session::new(
+        b.source,
+        SessionOptions::with_infer(InferOptions::with_mode(SubtypeMode::Field)),
+    );
+    let compilation = session.check().expect("Reynolds3 compiles");
+    let compiled = session.compiled().expect("Reynolds3 lowers");
+    let args: Vec<Value> = b.paper_input.iter().map(|&v| Value::Int(v)).collect();
+    let vm = region_inference::vm::run_main(&compiled, &args, RunConfig::default())
+        .expect("Reynolds3 runs on the VM");
+    let interp =
+        run_main_big_stack(&compilation.program, &args, RunConfig::default()).expect("runs");
+    assert_eq!(vm.space, interp.space, "SpaceStats diverged across engines");
+    assert_eq!(vm.value, interp.value);
+    let ratio = vm.space.space_ratio();
+    assert!(
+        (ratio - 0.0125).abs() < 0.0005,
+        "VM space ratio drifted from the pinned 0.0125 to {ratio:.4}"
+    );
+}
+
+#[test]
 fn reynolds3_mode_ordering_matches_fig8() {
     // Fig 8's qualitative ordering: no-sub = object-sub = 1.0 ≫ field-sub.
     let b = region_inference::benchmarks::by_name("Reynolds3").unwrap();

@@ -123,6 +123,35 @@ fn one_body_edit_recompiles_one_file_and_only_dirty_sccs() {
 }
 
 #[test]
+fn one_body_edit_relowers_only_that_files_changed_methods() {
+    let mut ws = Workspace::new(SessionOptions::default());
+    ws.set_source("list.cj", LIST_CJ).unwrap();
+    ws.set_source("stack.cj", STACK_CJ).unwrap();
+    ws.set_source("main.cj", MAIN_CJ).unwrap();
+    let opts = ws.options().infer;
+
+    ws.compiled_with(opts).unwrap();
+    let cold = ws.pass_counts();
+    assert_eq!(cold.lower, 1);
+    assert_eq!(cold.methods_lowered, 9, "all nine methods lowered cold");
+    assert_eq!(cold.methods_lower_reused, 0);
+    // Re-requesting the compiled program is a pure cache read.
+    ws.compiled_with(opts).unwrap();
+    assert_eq!(ws.pass_counts(), cold);
+
+    // Editing one body re-lowers exactly that method: lowering
+    // fingerprints are α-invariant in region ids (which drift globally
+    // with any edit), and the inference layer replays unchanged bodies
+    // verbatim, so every other method hashes identically.
+    ws.set_source("main.cj", MAIN_EDITED_CJ).unwrap();
+    ws.compiled_with(opts).unwrap();
+    let warm = ws.pass_counts().since(cold);
+    assert_eq!(warm.lower, 1);
+    assert_eq!(warm.methods_lowered, 1, "{warm:?}");
+    assert_eq!(warm.methods_lower_reused, 8, "{warm:?}");
+}
+
+#[test]
 fn queries_are_demand_driven_and_cached() {
     let mut ws = Workspace::new(SessionOptions::default());
     ws.set_source("list.cj", LIST_CJ).unwrap();
