@@ -94,6 +94,27 @@ fn measure(b: &Benchmark, quick: bool) -> BenchRow {
     }
 }
 
+/// Measures the `RegionHeap` recycled-chunk pool directly: the letreg
+/// churn pattern (push, allocate, pop, repeat) that dominates the
+/// RegJava loops. Reports how many pushes were served from the pool and
+/// the wall time of the churn loop.
+fn measure_heap_pool(quick: bool) -> (u64, u64, f64) {
+    use cj_vm::heap::RegionHeap;
+    let rounds: u64 = if quick { 20_000 } else { 200_000 };
+    let mut heap = RegionHeap::new();
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        let r = heap.push();
+        // A handful of small objects per region, like a loop-body letreg.
+        for f in 0..4u64 {
+            heap.alloc_object(r, 1, &[r], &[i, f]).expect("live region");
+        }
+        heap.pop(r).expect("top of stack");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (rounds, heap.chunks_reused(), wall_ms)
+}
+
 fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     let (mut sum, mut n) = (0.0f64, 0u32);
     for x in xs {
@@ -163,6 +184,12 @@ fn main() {
     let overall = geomean(rows.iter().map(|r| r.interp.wall_ms / r.vm.wall_ms));
     println!("geomean speedup: olden {olden:.2}x  regjava {regjava:.2}x  overall {overall:.2}x");
 
+    let (pool_rounds, pool_reused, pool_ms) = measure_heap_pool(quick);
+    println!(
+        "heap pool: {pool_reused}/{pool_rounds} region pushes served from \
+         recycled chunks ({pool_ms:.3}ms churn loop)"
+    );
+
     let body: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -186,13 +213,17 @@ fn main() {
         "{{\n  \"schema\":\"bench-vm/v1\",\n  \"input_scale\":\"{}\",\n  \
          \"benchmarks\":[\n{}\n  ],\n  \"summary\":{{\"olden_geomean_speedup\":{:.4},\
          \"regjava_geomean_speedup\":{:.4},\"overall_geomean_speedup\":{:.4},\
-         \"vm_faster_on_olden\":{}}}\n}}\n",
+         \"vm_faster_on_olden\":{},\
+         \"heap_pool\":{{\"churn_rounds\":{},\"chunks_reused\":{},\"wall_ms\":{:.4}}}}}\n}}\n",
         if quick { "test" } else { "paper" },
         body.join(",\n"),
         olden,
         regjava,
         overall,
-        olden > 1.0
+        olden > 1.0,
+        pool_rounds,
+        pool_reused,
+        pool_ms
     );
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("wrote {out_path}");

@@ -678,6 +678,7 @@ mod tests {
                 InferOptions {
                     mode,
                     downcast: DowncastPolicy::EquateFirst,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -756,6 +757,7 @@ mod tests {
                 InferOptions {
                     mode: SubtypeMode::Object,
                     downcast: policy,
+                    ..Default::default()
                 },
             )
             .unwrap();

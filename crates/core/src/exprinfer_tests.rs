@@ -15,6 +15,7 @@ fn run(src: &str) -> RProgram {
         InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::EquateFirst,
+            ..Default::default()
         },
     )
     .unwrap()
@@ -199,6 +200,7 @@ fn reject_policy_reports_method_and_is_error() {
         InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Reject,
+            ..Default::default()
         },
     )
     .unwrap_err();

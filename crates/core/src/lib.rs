@@ -54,6 +54,6 @@ pub mod recro;
 pub mod subtype;
 
 pub use error::InferError;
-pub use options::{DowncastPolicy, InferOptions, InferStats, SubtypeMode};
+pub use options::{DowncastPolicy, ExtentMode, InferOptions, InferStats, SubtypeMode};
 pub use pipeline::{infer, infer_source, infer_with_cache, InferCache};
 pub use rast::{RClass, RExpr, RExprKind, RMethod, RProgram, RType};

@@ -152,6 +152,59 @@ impl FromStr for DowncastPolicy {
     }
 }
 
+/// Which extent-inference pass places and tightens `letreg` bindings.
+///
+/// The pass runs *after* region inference proper: inference decides which
+/// regions are local to a method (`RMethod::localized`); extent inference
+/// decides how much of the body each local region's `letreg` spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExtentMode {
+    /// The paper's block-scoped placement (\[exp-block\]): each localized
+    /// region is bound at the smallest enclosing *block* covering its
+    /// occurrences.
+    #[default]
+    Paper,
+    /// Flow-sensitive liveness tightening (`cj-liveness`): a backward
+    /// per-point liveness pass shrinks each letreg to the smallest
+    /// well-scoped range covering the region's live program points.
+    Liveness,
+}
+
+impl fmt::Display for ExtentMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExtentMode::Paper => "paper",
+            ExtentMode::Liveness => "liveness",
+        })
+    }
+}
+
+impl ExtentMode {
+    /// Every mode, paper baseline first.
+    pub const ALL: [ExtentMode; 2] = [ExtentMode::Paper, ExtentMode::Liveness];
+
+    /// The spellings [`FromStr`] accepts (canonical `Display` form only —
+    /// both are already short).
+    pub const NAMES: [&'static str; 2] = ["paper", "liveness"];
+}
+
+impl FromStr for ExtentMode {
+    type Err = ParseOptionError;
+
+    /// Round-trips with [`Display`](fmt::Display) (`paper`, `liveness`).
+    fn from_str(s: &str) -> Result<ExtentMode, ParseOptionError> {
+        match s {
+            "paper" => Ok(ExtentMode::Paper),
+            "liveness" => Ok(ExtentMode::Liveness),
+            other => Err(ParseOptionError {
+                what: "extent mode",
+                input: other.to_string(),
+                expected: &Self::NAMES,
+            }),
+        }
+    }
+}
+
 /// Options controlling a run of region inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct InferOptions {
@@ -159,6 +212,8 @@ pub struct InferOptions {
     pub mode: SubtypeMode,
     /// Downcast-safety strategy.
     pub downcast: DowncastPolicy,
+    /// Letreg extent-inference pass.
+    pub extent: ExtentMode,
 }
 
 impl InferOptions {
@@ -168,6 +223,15 @@ impl InferOptions {
         InferOptions {
             mode: SubtypeMode::Field,
             downcast: DowncastPolicy::Padding,
+            extent: ExtentMode::Paper,
+        }
+    }
+
+    /// Options with the given extent mode and defaults otherwise.
+    pub fn with_extent(extent: ExtentMode) -> InferOptions {
+        InferOptions {
+            extent,
+            ..InferOptions::default()
         }
     }
 
@@ -230,6 +294,16 @@ mod tests {
         for policy in DowncastPolicy::ALL {
             assert_eq!(policy.to_string().parse::<DowncastPolicy>(), Ok(policy));
         }
+    }
+
+    #[test]
+    fn extent_mode_roundtrips_with_display() {
+        for extent in ExtentMode::ALL {
+            assert_eq!(extent.to_string().parse::<ExtentMode>(), Ok(extent));
+        }
+        let err = "nll".parse::<ExtentMode>().unwrap_err();
+        assert!(err.to_string().contains("unknown extent mode `nll`"));
+        assert!(err.to_string().contains("liveness"));
     }
 
     #[test]

@@ -637,6 +637,7 @@ mod tests {
             InferOptions {
                 mode,
                 downcast: DowncastPolicy::EquateFirst,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -957,6 +958,7 @@ mod tests {
             InferOptions {
                 mode: SubtypeMode::Object,
                 downcast: DowncastPolicy::EquateFirst,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -978,6 +980,7 @@ mod tests {
             InferOptions {
                 mode: SubtypeMode::Object,
                 downcast: DowncastPolicy::Reject,
+                ..Default::default()
             },
         );
         assert!(err.is_err());
@@ -1005,6 +1008,7 @@ mod tests {
             InferOptions {
                 mode: SubtypeMode::Object,
                 downcast: DowncastPolicy::Padding,
+                ..Default::default()
             },
         )
         .unwrap();

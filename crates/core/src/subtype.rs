@@ -118,6 +118,7 @@ mod tests {
             InferOptions {
                 mode,
                 downcast: DowncastPolicy::Reject,
+                ..Default::default()
             },
         )
     }
@@ -216,6 +217,7 @@ mod tests {
                 InferOptions {
                     mode,
                     downcast: DowncastPolicy::Reject,
+                    ..Default::default()
                 },
             );
             let mut out = ConstraintSet::new();

@@ -338,7 +338,9 @@ impl Server {
                     Ok(_) => {
                         let warnings = self.downcast_warnings()?;
                         Ok(format!(
-                            "\"status\":\"well-region-typed\",\"warnings\":{warnings}"
+                            "\"status\":\"well-region-typed\",\"extents\":\"{}\",\
+                             \"warnings\":{warnings}",
+                            opts.extent
                         ))
                     }
                     Err(diags) => Ok(format!(
@@ -353,7 +355,11 @@ impl Server {
                     .ws
                     .annotate_with(opts)
                     .map_err(|d| d.to_string().trim_end().to_string())?;
-                Ok(format!("\"annotated\":{}", json_string(&annotated)))
+                Ok(format!(
+                    "\"annotated\":{},\"extents\":\"{}\"",
+                    json_string(&annotated),
+                    opts.extent
+                ))
             }
             "run" => {
                 let args: Vec<Value> = match req.get("args") {
@@ -377,11 +383,13 @@ impl Server {
                     .run_values_engine(opts, engine, &args)
                     .map_err(|d| d.to_string().trim_end().to_string())?;
                 Ok(format!(
-                    "\"result\":{},\"engine\":\"{engine}\",\"steps\":{},\
-                     \"space_ratio\":{:.4}",
+                    "\"result\":{},\"engine\":\"{engine}\",\"extents\":\"{}\",\
+                     \"steps\":{},\"space_ratio\":{:.4},\"peak_live\":{}",
                     json_string(&out.value.to_string()),
+                    opts.extent,
                     out.steps,
-                    out.space.space_ratio()
+                    out.space.space_ratio(),
+                    out.space.peak_live
                 ))
             }
             "query" => self.query(req),
@@ -454,6 +462,9 @@ impl Server {
         if let Some(policy) = req.get_str("downcast") {
             opts.downcast = policy.parse().map_err(|e| format!("{e}"))?;
         }
+        if let Some(extents) = req.get_str("extents") {
+            opts.extent = extents.parse().map_err(|e| format!("{e}"))?;
+        }
         Ok(opts)
     }
 
@@ -515,7 +526,7 @@ fn passes_json(p: PassCounts) -> String {
         "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\"lower\":{},\
          \"methods_inferred\":{},\"methods_reused\":{},\"methods_lowered\":{},\
          \"methods_lower_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
-         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{}}}",
+         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{},\"extent_rewrites\":{}}}",
         p.parse,
         p.typecheck,
         p.infer,
@@ -529,7 +540,8 @@ fn passes_json(p: PassCounts) -> String {
         p.sccs_solved,
         p.sccs_reused,
         p.sccs_shared_hits,
-        p.sccs_disk_hits
+        p.sccs_disk_hits,
+        p.extent_rewrites
     )
 }
 
@@ -723,5 +735,35 @@ mod tests {
         let bad = s.handle_line(r#"{"cmd":"run","engine":"jit"}"#);
         assert!(bad.contains("\"ok\":false"), "{bad}");
         assert!(bad.contains("unknown engine"), "{bad}");
+    }
+
+    #[test]
+    fn requests_honor_per_request_extent_mode() {
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"m.cj","text":"class Box { int v; } class M { static int main(int n) { Box b = new Box(n); int out = b.v; print(out); out } }"}"#,
+        );
+        // Same session serves both placements side by side; each response
+        // reports the extent mode it was compiled under.
+        let paper = s.handle_line(r#"{"cmd":"run","args":[7],"extents":"paper"}"#);
+        let live = s.handle_line(r#"{"cmd":"run","args":[7],"extents":"liveness"}"#);
+        assert!(paper.contains("\"extents\":\"paper\""), "{paper}");
+        assert!(live.contains("\"extents\":\"liveness\""), "{live}");
+        for resp in [&paper, &live] {
+            assert!(resp.contains("\"result\":\"7\""), "{resp}");
+        }
+        let check = s.handle_line(r#"{"cmd":"check","extents":"liveness"}"#);
+        assert!(
+            check.contains("\"status\":\"well-region-typed\""),
+            "{check}"
+        );
+        assert!(check.contains("\"extents\":\"liveness\""), "{check}");
+        let annot = s.handle_line(r#"{"cmd":"annotate","extents":"liveness"}"#);
+        assert!(annot.contains("\"extents\":\"liveness\""), "{annot}");
+        let stats = s.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"extent_rewrites\":"), "{stats}");
+        let bad = s.handle_line(r#"{"cmd":"check","extents":"nll"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        assert!(bad.contains("extent mode"), "{bad}");
     }
 }

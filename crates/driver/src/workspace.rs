@@ -94,6 +94,9 @@ pub struct PassCounts {
     pub methods_lowered: u32,
     /// Method bodies reused from the per-method lowering cache.
     pub methods_lower_reused: u32,
+    /// `letreg` bindings narrowed or dropped by the liveness extent pass
+    /// (0 under the paper's block-scoped placement).
+    pub extent_rewrites: u32,
     /// Method bodies symbolically inferred.
     pub methods_inferred: u32,
     /// Method bodies replayed from the per-method cache.
@@ -127,6 +130,7 @@ impl PassCounts {
             lower: self.lower - earlier.lower,
             methods_lowered: self.methods_lowered - earlier.methods_lowered,
             methods_lower_reused: self.methods_lower_reused - earlier.methods_lower_reused,
+            extent_rewrites: self.extent_rewrites - earlier.extent_rewrites,
             methods_inferred: self.methods_inferred - earlier.methods_inferred,
             methods_reused: self.methods_reused - earlier.methods_reused,
             sccs_solved: self.sccs_solved - earlier.sccs_solved,
@@ -523,11 +527,15 @@ impl Workspace {
         let kernel = self.typecheck()?;
         self.counts.infer += 1;
         let state = self.state_mut(opts);
-        let (program, stats) = cj_infer::infer_with_cache(&kernel, opts, &mut state.cache)
+        let (mut program, stats) = cj_infer::infer_with_cache(&kernel, opts, &mut state.cache)
             .map_err(IntoDiagnostics::into_diagnostics)?;
+        // Extent inference runs after the paper pipeline, before anything
+        // downstream (checker, lowering, both engines) sees the program.
+        let extent_stats = cj_liveness::for_mode(opts.extent).rewrite_program(&mut program);
         let compilation = Arc::new(Compilation { program, stats });
         state.compilation = Some(Arc::clone(&compilation));
         let stats = &compilation.stats;
+        self.counts.extent_rewrites += (extent_stats.narrowed + extent_stats.dropped) as u32;
         self.counts.methods_inferred += stats.methods_inferred as u32;
         self.counts.methods_reused += stats.methods_reused as u32;
         self.counts.sccs_solved += stats.sccs_solved as u32;

@@ -68,6 +68,7 @@ fn infer_error_caret_and_json() {
         SessionOptions::with_infer(InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Reject,
+            ..Default::default()
         }),
     );
     assert_eq!(

@@ -76,12 +76,14 @@ fn infer_artifacts_are_keyed_by_full_options() {
         .infer_with(InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::EquateFirst,
+            ..Default::default()
         })
         .unwrap();
     let padding = s
         .infer_with(InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Padding,
+            ..Default::default()
         })
         .unwrap();
     assert_eq!(s.pass_counts().infer, 2, "policies are distinct artifacts");
@@ -93,6 +95,7 @@ fn infer_artifacts_are_keyed_by_full_options() {
         .infer_with(InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Reject,
+            ..Default::default()
         })
         .unwrap_err();
     assert!(err.has_errors());
@@ -100,6 +103,7 @@ fn infer_artifacts_are_keyed_by_full_options() {
     s.infer_with(InferOptions {
         mode: SubtypeMode::Object,
         downcast: DowncastPolicy::EquateFirst,
+        ..Default::default()
     })
     .unwrap();
     assert_eq!(s.pass_counts().infer, 3, "reject attempt ran inference");

@@ -1,0 +1,270 @@
+//! The per-method control-flow point graph and the backward liveness
+//! solver over it.
+//!
+//! Every annotated expression node gets one *action point* (its "do the
+//! operation" moment), emitted in evaluation order after its children's
+//! points; `if` gets an extra join point, `while` an extra exit point, and
+//! `letreg` a push point before and a pop point after its body. Successor
+//! edges follow evaluation order, branch at conditionals, and carry the
+//! loop back edge from a body's last point to its condition — the graph a
+//! region is "a set of points of" in the NLL design.
+//!
+//! A point *uses* a region variable when the operation at that point could
+//! touch data in the region: the node's annotated type, operand variables'
+//! types, allocation regions, call instantiations, cast targets — and, by
+//! design, a `let` declaration uses every region of the declared variable's
+//! type. Because the region system is flow-insensitive, everything
+//! reachable from a variable lives in the regions of the variable's type,
+//! so these syntactic use points cover every dynamic access; the
+//! declaration rule additionally pins a region wherever a variable *could*
+//! carry it, which is what makes extent rewriting across loop iterations
+//! sound (no binding outside an extent can smuggle a stale pointer back
+//! in).
+
+use cj_infer::rast::{RExpr, RExprKind, RMethod, RType};
+use cj_regions::var::RegVar;
+use std::collections::BTreeSet;
+
+/// One control-flow point.
+#[derive(Debug, Clone, Default)]
+pub struct Point {
+    /// Regions used at this point.
+    pub uses: BTreeSet<RegVar>,
+    /// Successor points.
+    pub succs: Vec<usize>,
+}
+
+/// The per-method point graph.
+#[derive(Debug, Clone, Default)]
+pub struct PointGraph {
+    /// Points, in emission (evaluation) order.
+    pub points: Vec<Point>,
+    /// Per-`letreg` `(region, push point, pop point)`, in traversal order.
+    /// Point ids are contiguous per subtree, so `[push, pop]` is exactly
+    /// the binding's extent.
+    pub letregs: Vec<(RegVar, usize, usize)>,
+}
+
+impl PointGraph {
+    /// Builds the graph for a method body.
+    pub fn build(m: &RMethod) -> PointGraph {
+        let mut g = PointGraph::default();
+        let mut b = Builder {
+            g: &mut g,
+            var_types: &m.var_types,
+        };
+        b.emit(&m.body);
+        g
+    }
+
+    /// Every point where `r` is used.
+    pub fn use_points(&self, r: RegVar) -> Vec<usize> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.uses.contains(&r))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Backward liveness of the given regions: `live[p]` is the set of
+    /// regions used at `p` or at some point reachable from `p`.
+    pub fn liveness(&self, of: &BTreeSet<RegVar>) -> Vec<BTreeSet<RegVar>> {
+        let n = self.points.len();
+        let mut live: Vec<BTreeSet<RegVar>> = (0..n)
+            .map(|i| self.points[i].uses.intersection(of).copied().collect())
+            .collect();
+        // Kleene iteration to fixpoint; the graph is near-linear, so
+        // sweeping in reverse emission order converges in a few passes
+        // (one extra per loop-nesting level for the back edges).
+        loop {
+            let mut changed = false;
+            for p in (0..n).rev() {
+                let mut add: Vec<RegVar> = Vec::new();
+                for &s in &self.points[p].succs {
+                    for &r in &live[s] {
+                        if !live[p].contains(&r) {
+                            add.push(r);
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    live[p].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return live;
+            }
+        }
+    }
+
+    /// Whether every use point of every `letreg`-bound region falls inside
+    /// its binding's `[push, pop]` extent — the invariant the extent
+    /// rewriter must uphold.
+    pub fn extents_cover_uses(&self) -> bool {
+        self.letregs
+            .iter()
+            .all(|&(r, push, pop)| self.use_points(r).iter().all(|&p| p >= push && p <= pop))
+    }
+}
+
+struct Builder<'a> {
+    g: &'a mut PointGraph,
+    var_types: &'a [RType],
+}
+
+impl<'a> Builder<'a> {
+    fn point(&mut self) -> usize {
+        self.g.points.push(Point::default());
+        self.g.points.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.g.points[from].succs.push(to);
+    }
+
+    fn var_regions(&self, v: cj_frontend::VarId) -> Vec<RegVar> {
+        self.var_types[v.index()].regions()
+    }
+
+    /// Emits points for `e`; returns `(entry, exit)`. The subtree's points
+    /// occupy the contiguous id range emitted during the call.
+    fn emit(&mut self, e: &RExpr) -> (usize, usize) {
+        match &e.kind {
+            RExprKind::Unit
+            | RExprKind::Int(_)
+            | RExprKind::Bool(_)
+            | RExprKind::Float(_)
+            | RExprKind::Null
+            | RExprKind::Var(_)
+            | RExprKind::Field(_, _)
+            | RExprKind::ArrayLen(_)
+            | RExprKind::New { .. }
+            | RExprKind::Cast { .. }
+            | RExprKind::CallVirtual { .. }
+            | RExprKind::CallStatic { .. } => {
+                let p = self.action(e);
+                (p, p)
+            }
+            RExprKind::AssignVar(_, a)
+            | RExprKind::AssignField(_, _, a)
+            | RExprKind::NewArray { len: a, .. }
+            | RExprKind::Index(_, a)
+            | RExprKind::Unary(_, a)
+            | RExprKind::Print(a) => {
+                let (entry, exit) = self.emit(a);
+                let p = self.action(e);
+                self.edge(exit, p);
+                (entry, p)
+            }
+            RExprKind::AssignIndex(_, a, b) | RExprKind::Seq(a, b) | RExprKind::Binary(_, a, b) => {
+                let (entry, ae) = self.emit(a);
+                let (be, bx) = self.emit(b);
+                self.edge(ae, be);
+                let p = self.action(e);
+                self.edge(bx, p);
+                (entry, p)
+            }
+            RExprKind::Let { init, body, .. } => {
+                let init_pts = init.as_ref().map(|i| self.emit(i));
+                let p = self.action(e); // declaration (and store)
+                let entry = match init_pts {
+                    Some((ie, ix)) => {
+                        self.edge(ix, p);
+                        ie
+                    }
+                    None => p,
+                };
+                let (be, bx) = self.emit(body);
+                self.edge(p, be);
+                (entry, bx)
+            }
+            RExprKind::Letreg(r, inner) => {
+                let push = self.action(e);
+                let (ie, ix) = self.emit(inner);
+                self.edge(push, ie);
+                let pop = self.point();
+                self.edge(ix, pop);
+                self.g.letregs.push((*r, push, pop));
+                (push, pop)
+            }
+            RExprKind::If {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let (entry, cx) = self.emit(cond);
+                let branch = self.action(e);
+                self.edge(cx, branch);
+                let (te, tx) = self.emit(then_e);
+                let (ee, ex) = self.emit(else_e);
+                self.edge(branch, te);
+                self.edge(branch, ee);
+                let join = self.point();
+                self.edge(tx, join);
+                self.edge(ex, join);
+                (entry, join)
+            }
+            RExprKind::While { cond, body } => {
+                let (ce, cx) = self.emit(cond);
+                let branch = self.action(e);
+                self.edge(cx, branch);
+                let (be, bx) = self.emit(body);
+                self.edge(branch, be);
+                self.edge(bx, ce); // loop back edge
+                let exit = self.point();
+                self.edge(branch, exit);
+                (ce, exit)
+            }
+        }
+    }
+
+    /// The node's action point, carrying its region uses.
+    fn action(&mut self, e: &RExpr) -> usize {
+        let p = self.point();
+        let mut uses: BTreeSet<RegVar> = e.rtype.regions().into_iter().collect();
+        match &e.kind {
+            RExprKind::Var(v)
+            | RExprKind::Field(v, _)
+            | RExprKind::ArrayLen(v)
+            | RExprKind::AssignVar(v, _)
+            | RExprKind::AssignField(v, _, _)
+            | RExprKind::Index(v, _)
+            | RExprKind::AssignIndex(v, _, _) => uses.extend(self.var_regions(*v)),
+            RExprKind::New { regions, args, .. } => {
+                uses.extend(regions.iter().copied());
+                for &a in args {
+                    uses.extend(self.var_regions(a));
+                }
+            }
+            RExprKind::NewArray { region, .. } => {
+                uses.insert(*region);
+            }
+            RExprKind::CallVirtual {
+                recv, inst, args, ..
+            } => {
+                uses.extend(self.var_regions(*recv));
+                uses.extend(inst.iter().copied());
+                for &a in args {
+                    uses.extend(self.var_regions(a));
+                }
+            }
+            RExprKind::CallStatic { inst, args, .. } => {
+                uses.extend(inst.iter().copied());
+                for &a in args {
+                    uses.extend(self.var_regions(a));
+                }
+            }
+            RExprKind::Cast { regions, var, .. } => {
+                uses.extend(regions.iter().copied());
+                uses.extend(self.var_regions(*var));
+            }
+            // Declarations use the declared variable's regions.
+            RExprKind::Let { var, .. } => uses.extend(self.var_regions(*var)),
+            _ => {}
+        }
+        self.g.points[p].uses = uses;
+        p
+    }
+}

@@ -1,0 +1,277 @@
+//! Differential correctness of the liveness extent pass: rewriting
+//! `letreg` extents must never change *observable* behaviour — value,
+//! prints, error variant and span — on either engine, must keep the
+//! program region-checker-valid, and must never make peak live space
+//! worse.
+//!
+//! Three layers, mirroring how this repo validates the VM:
+//!
+//! - the full Fig 8/9 benchmark suite at test inputs;
+//! - random well-typed-by-construction recursive programs (the same
+//!   shape family as the VM differential suite);
+//! - deterministic fault programs pinning error variant + span identity.
+
+use cj_benchmarks::all_benchmarks;
+use cj_infer::rast::RProgram;
+use cj_infer::{infer_source, InferOptions, SubtypeMode};
+use cj_liveness::{ExtentInference, LivenessExtents};
+use cj_runtime::{run_main_big_stack, RunConfig, Value};
+use proptest::prelude::*;
+
+/// Paper-placement program plus its liveness-tightened rewrite, both
+/// region-checked.
+fn both_modes(src: &str, opts: InferOptions) -> (RProgram, RProgram) {
+    let (paper, _) = infer_source(src, opts).expect("inference");
+    cj_check::check(&paper).expect("paper-mode program checks");
+    let mut live = paper.clone();
+    LivenessExtents.rewrite_program(&mut live);
+    cj_check::check(&live)
+        .unwrap_or_else(|e| panic!("liveness-rewritten program must still region-check: {e}"));
+    (paper, live)
+}
+
+struct Observed {
+    value: String,
+    prints: Vec<String>,
+    space: cj_runtime::SpaceStats,
+}
+
+fn run_both_engines(p: &RProgram, args: &[Value], label: &str) -> Observed {
+    let compiled = cj_vm::lower_program(p);
+    let vm = cj_vm::run_main(&compiled, args, RunConfig::default())
+        .unwrap_or_else(|e| panic!("[{label}] vm: {e}"));
+    let interp = run_main_big_stack(p, args, RunConfig::default())
+        .unwrap_or_else(|e| panic!("[{label}] interp: {e}"));
+    assert_eq!(
+        vm.value.to_string(),
+        interp.value.to_string(),
+        "[{label}] engines diverged on value"
+    );
+    assert_eq!(
+        vm.prints, interp.prints,
+        "[{label}] engines diverged on prints"
+    );
+    assert_eq!(
+        vm.space, interp.space,
+        "[{label}] engines diverged on space"
+    );
+    Observed {
+        value: vm.value.to_string(),
+        prints: vm.prints,
+        space: vm.space,
+    }
+}
+
+fn assert_mode_identical(paper: &Observed, live: &Observed, label: &str) {
+    assert_eq!(
+        paper.value, live.value,
+        "[{label}] value changed across modes"
+    );
+    assert_eq!(
+        paper.prints, live.prints,
+        "[{label}] prints changed across modes"
+    );
+    assert_eq!(
+        paper.space.total_allocated, live.space.total_allocated,
+        "[{label}] extent placement must not change what is allocated"
+    );
+    assert_eq!(
+        paper.space.objects_allocated, live.space.objects_allocated,
+        "[{label}] extent placement must not change allocation count"
+    );
+    assert!(
+        live.space.peak_live <= paper.space.peak_live,
+        "[{label}] liveness extents made peak live WORSE: {} > {}",
+        live.space.peak_live,
+        paper.space.peak_live
+    );
+}
+
+#[test]
+fn all_benchmarks_are_mode_identical_and_peak_no_worse() {
+    for b in all_benchmarks() {
+        let args: Vec<Value> = b.test_input.iter().map(|&v| Value::Int(v)).collect();
+        for mode in SubtypeMode::ALL {
+            let label = format!("{} [{mode}]", b.name);
+            let (paper, live) = both_modes(b.source, InferOptions::with_mode(mode));
+            let obs_paper = run_both_engines(&paper, &args, &label);
+            let obs_live = run_both_engines(&live, &args, &label);
+            assert_mode_identical(&obs_paper, &obs_live, &label);
+        }
+    }
+}
+
+#[test]
+fn fault_spans_are_mode_identical() {
+    let cases: &[(&str, &[Value])] = &[
+        (
+            "class Node { int v; Node next; }
+             class M {
+               static int walk(Node n, int k) {
+                 if (k == 0) { n.v } else { walk(n.next, k - 1) }
+               }
+               static int main(int k) { walk(new Node(7, (Node) null), k) }
+             }",
+            &[Value::Int(3)],
+        ),
+        (
+            "class M { static int main(int a, int b) { (a + b) / (a - b) } }",
+            &[Value::Int(4), Value::Int(4)],
+        ),
+        (
+            "class A { int x; } class B extends A { int y; }
+             class M {
+               static A pick(bool f) { if (f) { new B(1, 2) } else { new A(3) } }
+               static int main(bool f) { B b = (B) pick(f); b.y }
+             }",
+            &[Value::Bool(false)],
+        ),
+    ];
+    for (src, args) in cases {
+        let (paper, live) = both_modes(src, InferOptions::default());
+        for (p, label) in [(&paper, "paper"), (&live, "liveness")] {
+            let compiled = cj_vm::lower_program(p);
+            let vm = cj_vm::run_main(&compiled, args, RunConfig::default()).unwrap_err();
+            let interp = run_main_big_stack(p, args, RunConfig::default()).unwrap_err();
+            assert_eq!(vm, interp, "[{label}] error variant diverged:\n{src}");
+            assert_eq!(
+                vm.span(),
+                interp.span(),
+                "[{label}] error span diverged:\n{src}"
+            );
+        }
+        let p_err = run_main_big_stack(&paper, args, RunConfig::default()).unwrap_err();
+        let l_err = run_main_big_stack(&live, args, RunConfig::default()).unwrap_err();
+        assert_eq!(
+            p_err, l_err,
+            "error variant changed across extent modes:\n{src}"
+        );
+        assert_eq!(
+            p_err.span(),
+            l_err.span(),
+            "error span changed across extent modes:\n{src}"
+        );
+    }
+}
+
+// ---- random programs (generator shared in spirit with the VM suite) -------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    Copy(usize, usize),
+    Store(usize, usize),
+    Print(usize),
+    Branch(Box<Op>),
+    Loop(Box<Op>),
+}
+
+fn arb_op(nvars: usize) -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Op::Alloc),
+        (0..nvars, 0..nvars).prop_map(|(a, b)| Op::Copy(a, b)),
+        (0..nvars, 0..nvars).prop_map(|(a, b)| Op::Store(a, b)),
+        (0..nvars).prop_map(Op::Print),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|op| Op::Branch(Box::new(op))),
+            inner.prop_map(|op| Op::Loop(Box::new(op))),
+        ]
+    })
+}
+
+fn render(nclasses: usize, nvars: usize, ops: &[Op]) -> String {
+    let mut s = String::new();
+    for c in 0..nclasses {
+        let target = (c + 1) % nclasses;
+        s.push_str(&format!(
+            "class C{c} {{ int tag; C{target} link; C{c} self; }}\n"
+        ));
+    }
+    s.push_str("class Gen {\n");
+    for c in 0..nclasses {
+        let target = (c + 1) % nclasses;
+        s.push_str(&format!(
+            "  static C{c} mk{c}(int depth) {{\n\
+             \x20   if (depth <= 0) {{ (C{c}) null }}\n\
+             \x20   else {{ new C{c}(depth, mk{target}(depth - 1), mk{c}(depth - 2)) }}\n\
+             \x20 }}\n"
+        ));
+    }
+    s.push_str("  static int main(bool flag) {\n");
+    for v in 0..nvars {
+        s.push_str(&format!("    C0 v{v} = mk0(2);\n"));
+    }
+    let mut loop_id = 0u32;
+    for op in ops {
+        render_op(op, &mut s, 4, &mut loop_id);
+    }
+    s.push_str("    int alive = 0;\n");
+    for v in 0..nvars {
+        s.push_str(&format!(
+            "    if (v{v} != null) {{ alive = alive + v{v}.tag; }}\n"
+        ));
+    }
+    s.push_str("    print(alive);\n    alive\n  }\n}\n");
+    s
+}
+
+fn render_op(op: &Op, s: &mut String, indent: usize, loop_id: &mut u32) {
+    let pad = " ".repeat(indent);
+    match op {
+        Op::Alloc(v) => s.push_str(&format!("{pad}v{v} = mk0(3);\n")),
+        Op::Copy(a, b) => s.push_str(&format!("{pad}v{a} = v{b};\n")),
+        Op::Store(a, b) => s.push_str(&format!("{pad}if (v{a} != null) {{ v{a}.self = v{b}; }}\n")),
+        Op::Print(v) => s.push_str(&format!("{pad}if (v{v} != null) {{ print(v{v}.tag); }}\n")),
+        Op::Branch(inner) => {
+            s.push_str(&format!("{pad}if (flag) {{\n"));
+            render_op(inner, s, indent + 2, loop_id);
+            s.push_str(&format!("{pad}}}\n"));
+        }
+        Op::Loop(inner) => {
+            let id = *loop_id;
+            *loop_id += 1;
+            s.push_str(&format!("{pad}int gl{id} = 0;\n"));
+            s.push_str(&format!("{pad}while (gl{id} < 3) {{\n"));
+            render_op(inner, s, indent + 2, loop_id);
+            s.push_str(&format!("{pad}  gl{id} = gl{id} + 1;\n{pad}}}\n"));
+        }
+    }
+}
+
+fn clamp_op(op: &Op, nvars: usize) -> Op {
+    match op {
+        Op::Alloc(v) => Op::Alloc(v % nvars),
+        Op::Copy(a, b) => Op::Copy(a % nvars, b % nvars),
+        Op::Store(a, b) => Op::Store(a % nvars, b % nvars),
+        Op::Print(v) => Op::Print(v % nvars),
+        Op::Branch(inner) => Op::Branch(Box::new(clamp_op(inner, nvars))),
+        Op::Loop(inner) => Op::Loop(Box::new(clamp_op(inner, nvars))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_recursive_programs_are_mode_identical(
+        nclasses in 1usize..4,
+        nvars in 1usize..4,
+        ops in proptest::collection::vec(arb_op(3), 0..6),
+        flag in any::<bool>(),
+    ) {
+        let ops: Vec<Op> = ops.iter().map(|op| clamp_op(op, nvars)).collect();
+        let src = render(nclasses, nvars, &ops);
+        for mode in SubtypeMode::ALL {
+            let (paper, live) = both_modes(&src, InferOptions::with_mode(mode));
+            let args = [Value::Bool(flag)];
+            let obs_paper = run_both_engines(&paper, &args, &format!("{mode} paper"));
+            let obs_live = run_both_engines(&live, &args, &format!("{mode} liveness"));
+            assert_mode_identical(&obs_paper, &obs_live, &mode.to_string());
+        }
+    }
+}

@@ -52,6 +52,12 @@ struct Arena {
     words: Vec<u64>,
 }
 
+/// Upper bound on recycled arena word buffers kept in the free pool.
+/// Region nesting in practice is shallow (one letreg per frame plus the
+/// call spine), so a small pool captures nearly all reuse while bounding
+/// the memory retained by a one-off burst of deep nesting.
+const POOL_LIMIT: usize = 16;
+
 /// The stack-of-arenas allocator. Region 0 is the heap and is never
 /// freed.
 #[derive(Debug)]
@@ -61,6 +67,12 @@ pub struct RegionHeap {
     live_bytes: usize,
     stats: SpaceStats,
     next_serial: u32,
+    /// Word buffers of popped regions, kept (cleared, capacity intact)
+    /// for the next `RegPush` — letreg churn in a loop then allocates
+    /// into already-warm chunks instead of growing a fresh `Vec` each
+    /// iteration.
+    pool: Vec<Vec<u64>>,
+    chunks_reused: u64,
 }
 
 impl RegionHeap {
@@ -76,16 +88,25 @@ impl RegionHeap {
             live_bytes: 0,
             stats: SpaceStats::default(),
             next_serial: 0,
+            pool: Vec::new(),
+            chunks_reused: 0,
         }
     }
 
     /// Creates a region on top of the stack (`RegPush`).
     pub fn push(&mut self) -> u32 {
         let id = self.arenas.len() as u32;
+        let words = match self.pool.pop() {
+            Some(w) => {
+                self.chunks_reused += 1;
+                w
+            }
+            None => Vec::new(),
+        };
         self.arenas.push(Arena {
             live: true,
             bytes: 0,
-            words: Vec::new(),
+            words,
         });
         self.stack.push(id);
         self.stats.regions_created += 1;
@@ -106,8 +127,24 @@ impl RegionHeap {
         arena.live = false;
         self.live_bytes -= arena.bytes;
         // The wholesale free: every object in the region dies at once.
-        arena.words = Vec::new();
+        // The backing chunk is recycled (cleared) rather than dropped, so
+        // the dead arena is observably empty either way.
+        let mut words = std::mem::take(&mut arena.words);
+        if words.capacity() > 0 && self.pool.len() < POOL_LIMIT {
+            words.clear();
+            self.pool.push(words);
+        }
         Ok(())
+    }
+
+    /// How many `RegPush`es were served from the recycled-chunk pool.
+    pub fn chunks_reused(&self) -> u64 {
+        self.chunks_reused
+    }
+
+    /// Recycled chunks currently waiting in the pool.
+    pub fn pooled_chunks(&self) -> usize {
+        self.pool.len()
     }
 
     /// Whether `region` is still live.
@@ -354,6 +391,40 @@ mod tests {
             h.alloc_object(a, 0, &[a], &[]),
             Err(RegionError::DeadRegion(RegionId(a)))
         );
+    }
+
+    #[test]
+    fn popped_chunks_are_recycled_bounded_and_invisible() {
+        let mut h = RegionHeap::new();
+        // Empty arenas contribute nothing to the pool.
+        let r = h.push();
+        h.pop(r).unwrap();
+        assert_eq!(h.pooled_chunks(), 0);
+        // A warm chunk is recycled and the next push reuses it.
+        let r = h.push();
+        h.alloc_object(r, 1, &[r], &[1, 2, 3]).unwrap();
+        h.pop(r).unwrap();
+        assert_eq!(h.pooled_chunks(), 1);
+        let r2 = h.push();
+        assert_eq!(h.chunks_reused(), 1);
+        assert_eq!(h.pooled_chunks(), 0);
+        // The recycled chunk starts logically empty: first allocation
+        // lands at word 0 with fresh accounting, as with a new Vec.
+        let obj = h.alloc_object(r2, 2, &[r2], &[9]).unwrap();
+        assert_eq!(obj.word, 0);
+        assert_eq!(h.field(obj, 0), 9);
+        h.pop(r2).unwrap();
+        // The pool never grows past its bound.
+        let mut held = Vec::new();
+        for _ in 0..POOL_LIMIT + 8 {
+            let r = h.push();
+            h.alloc_object(r, 1, &[r], &[0]).unwrap();
+            held.push(r);
+        }
+        for r in held.into_iter().rev() {
+            h.pop(r).unwrap();
+        }
+        assert!(h.pooled_chunks() <= POOL_LIMIT);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() -> Result<(), Diagnostics> {
         SessionOptions::with_infer(InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Padding,
+            ..Default::default()
         }),
     )
     .with_name("fig7.cj");

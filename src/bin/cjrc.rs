@@ -1,21 +1,25 @@
 //! `cjrc` — the Core-Java region compiler driver.
 //!
 //! ```text
-//! cjrc infer  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--stats] [--json]
-//! cjrc check  <file> [--mode M] [--downcast D] [--cache-dir DIR] [--json]
+//! cjrc infer  <file> [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--stats] [--json]
+//! cjrc check  <file> [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
 //! cjrc run    <file> [--engine vm|interp] [--fuel N] [--max-depth N]
-//!                    [--mode M] [--downcast D] [--cache-dir DIR] [--json] [args…]
+//!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json] [args…]
 //! cjrc flows  <file> [--json]                                       downcast-set report
-//! cjrc serve         [--mode M] [--downcast D] [--cache-dir DIR]    JSON-lines compile server
+//! cjrc serve         [--mode M] [--downcast D] [--extents X] [--cache-dir DIR]
+//!                                                                   JSON-lines compile server
 //! cjrc daemon        [--addr H:P | --socket PATH] [--workers N]
 //!                    [--solve-threads N] [--cache-dir DIR]
 //!                    [--max-clients N] [--idle-timeout SECS]
-//!                    [--mode M] [--downcast D]                      multi-client compile daemon
+//!                    [--mode M] [--downcast D] [--extents X]        multi-client compile daemon
 //! ```
 //!
 //! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
 //! aliases none/object/field are accepted); `D` ∈ {reject, equate-first,
-//! padding} (default equate-first; alias equate). `--cache-dir`
+//! padding} (default equate-first; alias equate); `X` ∈ {paper, liveness}
+//! (default paper) selects `letreg` extent placement — `liveness` runs the
+//! cj-liveness flow-sensitive tightening pass after inference, shrinking
+//! region lifetimes without changing observable behaviour. `--cache-dir`
 //! persists solved constraint-abstraction SCCs (via `cj-persist`) so a
 //! later invocation — or a restarted server/daemon — starts warm,
 //! reporting `sccs_disk_hits` while producing output bit-identical to a
@@ -45,7 +49,7 @@
 
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
 use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions};
-use cj_infer::{DowncastPolicy, InferOptions, SubtypeMode};
+use cj_infer::{DowncastPolicy, ExtentMode, InferOptions, SubtypeMode};
 use cj_runtime::Engine;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -143,14 +147,15 @@ impl IntoDiagnostic for CliError {
 fn usage() -> String {
     format!(
         "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
-         [--downcast {d}] [--cache-dir DIR] [--stats] [--json] [run args…]\n       \
+         [--downcast {d}] [--extents {x}] [--cache-dir DIR] [--stats] [--json] [run args…]\n       \
          cjrc run <file.cj> [--engine {e}] [--fuel N] [--max-depth N] [args…]\n       \
-         cjrc serve [--mode {m}] [--downcast {d}] [--cache-dir DIR]\n       \
+         cjrc serve [--mode {m}] [--downcast {d}] [--extents {x}] [--cache-dir DIR]\n       \
          cjrc daemon [--addr host:port | --socket path] [--workers N] \
          [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
-         [--idle-timeout SECS] [--mode {m}] [--downcast {d}]",
+         [--idle-timeout SECS] [--mode {m}] [--downcast {d}] [--extents {x}]",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
+        x = ExtentMode::NAMES.join("|"),
         e = Engine::NAMES.join("|"),
     )
 }
@@ -195,6 +200,12 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     .next()
                     .ok_or_else(|| CliError::new("--downcast needs a value"))?;
                 opts.downcast = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
+            }
+            "--extents" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--extents needs a value"))?;
+                opts.extent = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
             }
             "--addr" => {
                 addr = Some(
@@ -484,8 +495,9 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             let stats = &compilation.stats;
             if cli.json {
                 println!(
-                    "{{\"annotated\":{},\"stats\":{}}}",
+                    "{{\"annotated\":{},\"extents\":\"{}\",\"stats\":{}}}",
                     cj_diag::json_string(&annotated),
+                    cli.opts.extent,
                     stats_json(stats)
                 );
             } else {
@@ -511,14 +523,24 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             if cli.json {
                 println!(
                     "{{\"status\":\"well-region-typed\",\"file\":{},\"mode\":\"{}\",\
-                     \"warnings\":{}}}",
+                     \"extents\":\"{}\",\"warnings\":{}}}",
                     cj_diag::json_string(session.name()),
                     cli.opts.mode,
+                    cli.opts.extent,
                     session.emitter().render_json_all(&warnings)
                 );
             } else {
                 eprint!("{}", session.emitter().render_all(&warnings));
-                println!("{}: well-region-typed ({})", session.name(), cli.opts.mode);
+                if cli.opts.extent == ExtentMode::Paper {
+                    println!("{}: well-region-typed ({})", session.name(), cli.opts.mode);
+                } else {
+                    println!(
+                        "{}: well-region-typed ({}; {} extents)",
+                        session.name(),
+                        cli.opts.mode,
+                        cli.opts.extent
+                    );
+                }
             }
             Ok(())
         }
@@ -532,11 +554,13 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
                 let prints: Vec<String> =
                     out.prints.iter().map(|p| cj_diag::json_string(p)).collect();
                 println!(
-                    "{{\"result\":{},\"prints\":[{}],\"engine\":\"{engine}\",\"steps\":{},\
+                    "{{\"result\":{},\"prints\":[{}],\"engine\":\"{engine}\",\
+                     \"extents\":\"{}\",\"steps\":{},\
                      \"space\":{{\"peak_live\":{},\
                      \"total_allocated\":{},\"ratio\":{:.4},\"regions\":{}}}}}",
                     cj_diag::json_string(&out.value.to_string()),
                     prints.join(","),
+                    cli.opts.extent,
                     out.steps,
                     out.space.peak_live,
                     out.space.total_allocated,
@@ -767,6 +791,32 @@ mod tests {
     }
 
     #[test]
+    fn parses_extent_modes() {
+        for (spelling, mode) in [
+            ("paper", ExtentMode::Paper),
+            ("liveness", ExtentMode::Liveness),
+        ] {
+            for cmd in ["infer", "check", "run"] {
+                let cli = parse_cli(argv(&[cmd, "x.cj", "--extents", spelling])).unwrap();
+                assert_eq!(cli.opts.extent, mode, "{cmd} --extents {spelling}");
+            }
+        }
+        // serve/daemon accept it as their session default.
+        let cli = parse_cli(argv(&["serve", "--extents", "liveness"])).unwrap();
+        assert_eq!(cli.opts.extent, ExtentMode::Liveness);
+        let cli = parse_cli(argv(&["daemon", "--extents", "liveness"])).unwrap();
+        assert_eq!(cli.opts.extent, ExtentMode::Liveness);
+        assert!(parse_cli(argv(&["check", "x.cj", "--extents"]))
+            .unwrap_err()
+            .message
+            .contains("--extents needs a value"));
+        assert!(parse_cli(argv(&["check", "x.cj", "--extents", "nll"]))
+            .unwrap_err()
+            .message
+            .contains("extent mode"));
+    }
+
+    #[test]
     fn usage_text_matches_accepted_spellings() {
         // The historic drift: usage said `equate` while the enum printed
         // `equate-first`. Both must now parse, and usage lists canonical
@@ -779,6 +829,10 @@ mod tests {
         for canonical in ["reject", "equate-first", "padding"] {
             assert!(text.contains(canonical), "usage misses {canonical}");
             assert!(canonical.parse::<DowncastPolicy>().is_ok());
+        }
+        for canonical in ExtentMode::NAMES {
+            assert!(text.contains(canonical), "usage misses {canonical}");
+            assert!(canonical.parse::<ExtentMode>().is_ok());
         }
     }
 

@@ -69,6 +69,7 @@ pub use cj_downcast as downcast;
 pub use cj_driver as driver;
 pub use cj_frontend as frontend;
 pub use cj_infer as infer;
+pub use cj_liveness as liveness;
 pub use cj_regions as regions;
 pub use cj_runtime as runtime;
 pub use cj_vm as vm;
@@ -83,7 +84,7 @@ pub mod prelude {
         SourceInput, Workspace,
     };
     pub use cj_infer::{
-        infer_source, DowncastPolicy, InferOptions, InferStats, RProgram, SubtypeMode,
+        infer_source, DowncastPolicy, ExtentMode, InferOptions, InferStats, RProgram, SubtypeMode,
     };
     pub use cj_runtime::{run_main, run_main_big_stack, Engine, Outcome, RunConfig, Value};
     pub use cj_vm::{lower_program, CompiledProgram};

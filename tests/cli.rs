@@ -67,6 +67,47 @@ fn infer_annotates_well_formed_programs() {
 }
 
 #[test]
+fn extents_flag_selects_liveness_placement_end_to_end() {
+    // A trailing tail after the last use of `b`'s region: liveness
+    // placement must keep the result and prints identical while the JSON
+    // reports the mode it compiled under.
+    let path = temp_source(
+        "extents.cj",
+        "class Box { int v; }
+         class M { static int main(int n) {
+             Box b = new Box(n);
+             int out = b.v;
+             print(out);
+             out + 1
+         } }",
+    );
+    let file = path.to_str().unwrap();
+    let paper = cjrc(&["run", file, "--extents", "paper", "--json", "6"]);
+    let live = cjrc(&["run", file, "--extents", "liveness", "--json", "6"]);
+    assert!(paper.status.success() && live.status.success());
+    let paper = String::from_utf8(paper.stdout).unwrap();
+    let live = String::from_utf8(live.stdout).unwrap();
+    assert!(paper.contains("\"extents\":\"paper\""), "{paper}");
+    assert!(live.contains("\"extents\":\"liveness\""), "{live}");
+    for out in [&paper, &live] {
+        assert!(out.contains("\"result\":\"7\""), "{out}");
+        assert!(out.contains("\"prints\":[\"6\"]"), "{out}");
+    }
+    let check = cjrc(&["check", file, "--extents", "liveness"]);
+    assert!(check.status.success());
+    let stdout = String::from_utf8(check.stdout).unwrap();
+    assert!(
+        stdout.contains("well-region-typed (field-sub; liveness extents)"),
+        "{stdout}"
+    );
+    let bad = cjrc(&["check", file, "--extents", "nll"]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("extent mode"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn run_executes_main_with_arguments() {
     let path = temp_source("run.cj", "class M { static int main(int n) { n * 3 } }");
     let out = cjrc(&["run", path.to_str().unwrap(), "14"]);

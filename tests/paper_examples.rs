@@ -235,6 +235,7 @@ fn fig7_downcasts_under_both_strategies() {
             InferOptions {
                 mode: SubtypeMode::Object,
                 downcast: policy,
+                ..Default::default()
             },
         )
         .unwrap_or_else(|e| panic!("{policy}: {e}"));
@@ -263,6 +264,7 @@ fn fig7_padding_pads_a_to_d_arity() {
         InferOptions {
             mode: SubtypeMode::Object,
             downcast: DowncastPolicy::Padding,
+            ..Default::default()
         },
     )
     .unwrap();
