@@ -531,6 +531,45 @@ impl RProgram {
         self.all_rmethods().map(|(_, m)| m.localized.len()).sum()
     }
 
+    /// The method's *closed constraint environment*: its solved
+    /// precondition conjoined with the class invariant `inv.cn` of every
+    /// class type occurring in the method (variable types, return type,
+    /// expression annotations), instantiated at that type's region
+    /// arguments. Entailment over this set is the region-reachability
+    /// relation that annotation-driven analyses (e.g. the `cj-policy`
+    /// source/sink and confinement rules) query: `s ≥ t` entailed here
+    /// means data in region `s` may be referenced from structure living in
+    /// region `t`.
+    pub fn method_closure(&self, id: MethodId) -> ConstraintSet {
+        let m = self.rmethod(id);
+        let mut set = m.precondition.clone();
+        let mut seen: BTreeSet<(ClassId, Vec<RegVar>)> = BTreeSet::new();
+        let mut add = |set: &mut ConstraintSet, t: &RType| {
+            let RType::Class { class, regions, .. } = t else {
+                return;
+            };
+            if !seen.insert((*class, regions.clone())) {
+                return;
+            }
+            let name = format!("inv.{}", self.kernel.table.name(*class));
+            if let Some(abs) = self.q.get(&name) {
+                // Only closed abstractions of matching arity instantiate
+                // (padded types carry extra regions beyond the invariant's
+                // formals; their base regions are covered by the unpadded
+                // occurrences).
+                if abs.params.len() == regions.len() && abs.body.calls.is_empty() {
+                    set.and(&self.q.instantiate(&name, regions));
+                }
+            }
+        };
+        for t in &m.var_types {
+            add(&mut set, t);
+        }
+        add(&mut set, &m.ret_type);
+        walk_rexpr(&m.body, &mut |e| add(&mut set, &e.rtype));
+        set
+    }
+
     /// All region variables appearing in a method's signature and body.
     pub fn method_region_universe(&self, id: MethodId) -> BTreeSet<RegVar> {
         let m = self.rmethod(id);

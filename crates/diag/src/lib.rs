@@ -59,6 +59,17 @@ pub mod codes {
     pub const CLI: &str = "E0700";
     /// I/O failures (unreadable input file, …).
     pub const IO: &str = "E0701";
+    /// Policy rule-file errors (malformed or unresolvable rules).
+    pub const POLICY: &str = "E0710";
+    /// Policy violation: a `no-escape` rule (value escapes its creation
+    /// region).
+    pub const POLICY_NO_ESCAPE: &str = "E0711";
+    /// Policy violation: a `confine` rule (allocation outside the owner's
+    /// regions).
+    pub const POLICY_CONFINE: &str = "E0712";
+    /// Policy violation: a `separate` rule (source-tainted region reaches a
+    /// sink parameter).
+    pub const POLICY_SEPARATE: &str = "E0713";
 }
 
 /// Conversion of a concrete error type into a structured [`Diagnostic`].

@@ -67,4 +67,4 @@ pub use batch::{compile_many, SourceInput};
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use server::{parse_json, Json, Server};
 pub use session::{Compilation, CompileResult, Session, SessionOptions};
-pub use workspace::{PassCounts, Workspace, FILE_SPAN_STRIDE};
+pub use workspace::{PassCounts, PolicyOutcome, Workspace, FILE_SPAN_STRIDE};

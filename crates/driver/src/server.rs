@@ -17,6 +17,7 @@
 //! | `check` | — | compile + region-check the workspace |
 //! | `annotate` | — | return the annotated program text |
 //! | `query` | `name` \| `invariant` \| `precondition` [+ `class`] [+ `entails`] | read the closed environment `Q` |
+//! | `policy` | optional `rules`, `name` | load inline rules (or reuse the loaded set) and check them |
 //! | `stats` | — | revision, files, cumulative passes, shared-memo hit rates, infer stats |
 //! | `shutdown` | optional `scope:"daemon"` | acknowledge and stop (the whole daemon with `scope`) |
 //!
@@ -393,6 +394,35 @@ impl Server {
                 ))
             }
             "query" => self.query(req),
+            "policy" => {
+                // Inline rules replace the loaded set; without `rules`, the
+                // previously loaded set is re-checked (how an editor polls
+                // after edits without resending its policy).
+                if let Some(rules) = req.get_str("rules") {
+                    let name = req.get_str("name").unwrap_or("<policy>");
+                    if let Err(d) = self.ws.set_policy(name, rules) {
+                        return Err(self.ws.render(&d).trim_end().to_string());
+                    }
+                }
+                let opts = self.request_opts(req)?;
+                let outcome = match self.ws.check_policy_with(opts) {
+                    Ok(outcome) => outcome,
+                    Err(d) => return Err(self.ws.render(&d).trim_end().to_string()),
+                };
+                let status = if outcome.ok() {
+                    "policy-ok"
+                } else {
+                    "policy-violations"
+                };
+                let rules = self.ws.policy().map_or(0, |set| set.rules.len());
+                Ok(format!(
+                    "\"status\":\"{status}\",\"rules\":{rules},\"violations\":{},\
+                     \"rule_errors\":{},\"diagnostics\":{}",
+                    outcome.violations,
+                    outcome.rule_errors,
+                    self.ws.render_json(&outcome.diagnostics)
+                ))
+            }
             "stats" => {
                 let files: Vec<String> =
                     self.ws.file_names().into_iter().map(json_string).collect();
@@ -526,7 +556,8 @@ fn passes_json(p: PassCounts) -> String {
         "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\"lower\":{},\
          \"methods_inferred\":{},\"methods_reused\":{},\"methods_lowered\":{},\
          \"methods_lower_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
-         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{},\"extent_rewrites\":{}}}",
+         \"sccs_shared_hits\":{},\"sccs_disk_hits\":{},\"extent_rewrites\":{},\
+         \"rules_checked\":{},\"policy_violations\":{}}}",
         p.parse,
         p.typecheck,
         p.infer,
@@ -541,7 +572,9 @@ fn passes_json(p: PassCounts) -> String {
         p.sccs_reused,
         p.sccs_shared_hits,
         p.sccs_disk_hits,
-        p.extent_rewrites
+        p.extent_rewrites,
+        p.rules_checked,
+        p.policy_violations
     )
 }
 
@@ -705,6 +738,52 @@ mod tests {
         assert!(warm.contains("\"parse\":1"), "{warm}");
         assert!(warm.contains("\"methods_inferred\":1"), "{warm}");
         assert!(warm.contains("\"methods_reused\":2"), "{warm}");
+    }
+
+    #[test]
+    fn policy_requests_check_inline_rules() {
+        let mut s = server();
+        s.handle_line(
+            r#"{"cmd":"open","file":"m.cj","text":"class Cell { Object v; } class M { static Cell leak() { new Cell(null) } static void main() { } }"}"#,
+        );
+        // No rules sent and none loaded: an error, not a silent pass.
+        let resp = s.handle_line(r#"{"cmd":"policy"}"#);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("no policy loaded"), "{resp}");
+
+        let resp = s.handle_line(r#"{"cmd":"policy","rules":"no-escape Cell"}"#);
+        assert!(resp.contains("\"status\":\"policy-violations\""), "{resp}");
+        assert!(resp.contains("\"rules\":1,\"violations\":1"), "{resp}");
+        assert!(resp.contains("\"code\":\"E0711\""), "{resp}");
+        assert!(resp.contains("\"file\":\"m.cj\""), "{resp}");
+        assert!(
+            resp.contains("rule `no-escape Cell` declared here"),
+            "{resp}"
+        );
+        assert!(!resp.contains("\"rules_checked\":0"), "{resp}");
+
+        // Re-sending the same rules replays the cached outcome: nothing is
+        // re-evaluated.
+        let resp = s.handle_line(r#"{"cmd":"policy","rules":"no-escape Cell"}"#);
+        assert!(resp.contains("\"status\":\"policy-violations\""), "{resp}");
+        assert!(resp.contains("\"rules_checked\":0"), "{resp}");
+        assert!(resp.contains("\"policy_violations\":0"), "{resp}");
+
+        // Omitting `rules` reuses the loaded set.
+        let resp = s.handle_line(r#"{"cmd":"policy"}"#);
+        assert!(resp.contains("\"status\":\"policy-violations\""), "{resp}");
+
+        // A clean rule set over the same program.
+        let resp = s.handle_line(r#"{"cmd":"policy","rules":"no-escape M"}"#);
+        assert!(resp.contains("\"status\":\"policy-ok\""), "{resp}");
+        assert!(resp.contains("\"violations\":0"), "{resp}");
+
+        // Malformed rules are a request error carrying the E0710 rendering.
+        let resp = s.handle_line(r#"{"cmd":"policy","rules":"frobnicate Cell"}"#);
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("E0710"), "{resp}");
+        let stats = s.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"rules_checked\":"), "{stats}");
     }
 
     #[test]

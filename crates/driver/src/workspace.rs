@@ -53,13 +53,16 @@ use cj_frontend::ast;
 use cj_frontend::KProgram;
 use cj_infer::{InferCache, InferOptions};
 use cj_persist::SccDiskCache;
+use cj_policy::{PolicyEngine, PolicySet};
 use cj_regions::abstraction::ConstraintAbs;
 use cj_regions::constraint::Atom;
 use cj_regions::incremental::SolveMemo;
 use cj_regions::solve::Solver;
 use cj_regions::var::RegVar;
 use cj_runtime::{Engine, Outcome, Value};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Size of each file's slice of the workspace span space. Spans of file
@@ -115,6 +118,11 @@ pub struct PassCounts {
     /// an on-disk cache (0 unless a cache was attached via
     /// [`Workspace::attach_disk_cache`] or loaded into a shared memo).
     pub sccs_disk_hits: u32,
+    /// Policy rule × method evaluations actually executed (memo replays —
+    /// at either the outcome or the per-method level — don't count).
+    pub rules_checked: u32,
+    /// Policy violations discovered by executed evaluations.
+    pub policy_violations: u32,
 }
 
 impl PassCounts {
@@ -137,6 +145,8 @@ impl PassCounts {
             sccs_reused: self.sccs_reused - earlier.sccs_reused,
             sccs_shared_hits: self.sccs_shared_hits - earlier.sccs_shared_hits,
             sccs_disk_hits: self.sccs_disk_hits - earlier.sccs_disk_hits,
+            rules_checked: self.rules_checked - earlier.rules_checked,
+            policy_violations: self.policy_violations - earlier.policy_violations,
         }
     }
 }
@@ -168,6 +178,32 @@ struct InferState {
     lower_cache: cj_vm::LowerCache,
     /// The current revision's lowered program, if the VM engine ran.
     compiled: Option<Arc<cj_vm::CompiledProgram>>,
+    /// Long-lived per-method policy-verdict memo (survives revisions; keys
+    /// are α-canonical content hashes, so untouched methods replay across
+    /// edits even when their region ids shift).
+    policy_engine: PolicyEngine,
+    /// The current revision's policy outcomes, keyed by rule-set content.
+    policy_results: HashMap<u64, Arc<PolicyOutcome>>,
+}
+
+/// The result of checking one policy set against one compiled revision.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyOutcome {
+    /// One diagnostic per finding: rule-file errors ([`codes::POLICY`])
+    /// first, then program violations (`E0711`–`E0713`) carrying a
+    /// "rule declared here" secondary label.
+    pub diagnostics: Diagnostics,
+    /// Program violations found (rule-file errors excluded).
+    pub violations: u32,
+    /// Rules that failed to resolve against the program.
+    pub rule_errors: u32,
+}
+
+impl PolicyOutcome {
+    /// Whether the program satisfies the policy (no findings of any kind).
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
 }
 
 /// A demand-driven, incrementally recompiled set of named sources. See the
@@ -176,6 +212,12 @@ struct InferState {
 pub struct Workspace {
     opts: SessionOptions,
     files: BTreeMap<String, SourceFile>,
+    /// Non-program texts (policy files) that still own a span slot so
+    /// their diagnostics render with carets; never merged or parsed.
+    meta_files: BTreeMap<String, SourceFile>,
+    /// The loaded policy rule set, spans pre-shifted into its meta file's
+    /// slice.
+    policy: Option<Arc<PolicySet>>,
     next_slot: u32,
     revision: u64,
     merged: Option<Arc<ast::Program>>,
@@ -212,6 +254,8 @@ impl Workspace {
         Workspace {
             opts,
             files: BTreeMap::new(),
+            meta_files: BTreeMap::new(),
+            policy: None,
             next_slot: 0,
             revision: 0,
             merged: None,
@@ -310,9 +354,13 @@ impl Workspace {
         self.files.keys().map(String::as_str).collect()
     }
 
-    /// The text of a file, if present.
+    /// The text of a file, if present (program sources and loaded policy
+    /// files alike).
     pub fn source(&self, name: &str) -> Option<&str> {
-        self.files.get(name).map(|f| f.text.as_str())
+        self.files
+            .get(name)
+            .or_else(|| self.meta_files.get(name))
+            .map(|f| f.text.as_str())
     }
 
     /// Adds or replaces a source file. A no-op (returning the unchanged
@@ -402,6 +450,9 @@ impl Workspace {
             // lowering memo survives: the next lower pass re-lowers only
             // the methods the edit actually changed.
             state.compiled = None;
+            // Same split for policy: outcomes are revision-bound, the
+            // per-method verdict memo survives.
+            state.policy_results.clear();
         }
     }
 
@@ -420,6 +471,8 @@ impl Workspace {
                 checked: false,
                 lower_cache: cj_vm::LowerCache::new(),
                 compiled: None,
+                policy_engine: PolicyEngine::new(),
+                policy_results: HashMap::new(),
             }
         })
     }
@@ -686,6 +739,159 @@ impl Workspace {
         Ok(cj_downcast::analyze(&kernel))
     }
 
+    // ---- the policy engine ----------------------------------------------
+
+    /// Loads (or replaces) the workspace's policy rule set from `text`,
+    /// registering `name` as a *meta file* so policy diagnostics render
+    /// with carets into it. Loading a policy never bumps the revision or
+    /// invalidates compiled artifacts — rules are checked against the
+    /// program, they are not part of it.
+    ///
+    /// # Errors
+    ///
+    /// [`codes::POLICY`] diagnostics for malformed rules (spans point into
+    /// `name`), or a [`codes::IO`] diagnostic when the text exceeds the
+    /// per-file span budget or the workspace is full.
+    pub fn set_policy(
+        &mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> CompileResult<Arc<PolicySet>> {
+        let name = name.into();
+        let text = text.into();
+        if text.len() as u64 >= FILE_SPAN_STRIDE as u64 {
+            return Err(Diagnostics::from_one(
+                Diagnostic::error(
+                    format!(
+                        "policy `{name}` is {} bytes; workspace files are limited to {} bytes",
+                        text.len(),
+                        FILE_SPAN_STRIDE - 1
+                    ),
+                    Span::DUMMY,
+                )
+                .with_code(codes::IO),
+            ));
+        }
+        let base = match self.meta_files.get_mut(&name) {
+            Some(file) => {
+                file.text = text.clone();
+                file.base()
+            }
+            None => {
+                if self.next_slot >= MAX_FILES {
+                    return Err(Diagnostics::from_one(
+                        Diagnostic::error(
+                            format!("workspace is full ({MAX_FILES} files)"),
+                            Span::DUMMY,
+                        )
+                        .with_code(codes::IO),
+                    ));
+                }
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.meta_files.insert(
+                    name.clone(),
+                    SourceFile {
+                        text: text.clone(),
+                        slot,
+                        revision: self.revision,
+                        parsed: None,
+                    },
+                );
+                slot * FILE_SPAN_STRIDE
+            }
+        };
+        let mut set =
+            PolicySet::parse(&name, &text).map_err(|diags| shift_diagnostics(diags, base))?;
+        set.shift_spans(base);
+        let set = Arc::new(set);
+        self.policy = Some(Arc::clone(&set));
+        Ok(set)
+    }
+
+    /// The loaded policy rule set, if any.
+    pub fn policy(&self) -> Option<Arc<PolicySet>> {
+        self.policy.clone()
+    }
+
+    /// Unloads the policy rule set (its meta file keeps its span slot).
+    pub fn clear_policy(&mut self) {
+        self.policy = None;
+    }
+
+    /// Checks the loaded policy against the compiled program under the
+    /// workspace's default options. Cached at two levels: per revision and
+    /// rule-set content here (replays bump no counters), and per method in
+    /// the engine's α-canonical verdict memo — so after an edit, only
+    /// rules × methods the edit affected count toward
+    /// [`PassCounts::rules_checked`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics, or a [`codes::POLICY`] diagnostic when no
+    /// policy is loaded. Violations are **not** errors — they are the
+    /// returned outcome's diagnostics.
+    pub fn check_policy(&mut self) -> CompileResult<Arc<PolicyOutcome>> {
+        self.check_policy_with(self.opts.infer)
+    }
+
+    /// [`check_policy`](Workspace::check_policy) under explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Compilation diagnostics, or a [`codes::POLICY`] diagnostic when no
+    /// policy is loaded.
+    pub fn check_policy_with(&mut self, opts: InferOptions) -> CompileResult<Arc<PolicyOutcome>> {
+        let Some(set) = self.policy.clone() else {
+            return Err(Diagnostics::from_one(
+                Diagnostic::error("no policy loaded in this workspace", Span::DUMMY)
+                    .with_code(codes::POLICY),
+            ));
+        };
+        let compilation = self.infer_with(opts)?;
+        // Key on the full source (not just the semantic fingerprint): a
+        // layout-only change keeps per-method verdicts but must re-resolve
+        // spans for "rule declared here" labels.
+        let key = {
+            let mut h = DefaultHasher::new();
+            set.fingerprint.hash(&mut h);
+            set.name.hash(&mut h);
+            set.source.hash(&mut h);
+            h.finish()
+        };
+        if let Some(outcome) = self
+            .states
+            .get(&opts)
+            .and_then(|s| s.policy_results.get(&key))
+        {
+            return Ok(Arc::clone(outcome));
+        }
+        let state = self.state_mut(opts);
+        let report = state.policy_engine.check(&compilation.program, &set);
+        self.counts.rules_checked += report.rules_checked;
+        self.counts.policy_violations += report.new_violations;
+        let mut outcome = PolicyOutcome::default();
+        for v in &report.violations {
+            let mut d = Diagnostic::error(v.message.clone(), v.span).with_code(v.code);
+            if v.in_policy {
+                outcome.rule_errors += 1;
+            } else {
+                outcome.violations += 1;
+                let rule = &set.rules[v.rule];
+                d = d.with_label(rule.span, format!("rule `{}` declared here", rule.text));
+            }
+            for note in &v.notes {
+                d = d.with_note(note.clone());
+            }
+            outcome.diagnostics.push(d);
+        }
+        let outcome = Arc::new(outcome);
+        self.state_mut(opts)
+            .policy_results
+            .insert(key, Arc::clone(&outcome));
+        Ok(outcome)
+    }
+
     // ---- the `Q` query API ----------------------------------------------
 
     /// The closed constraint abstraction named `name` (`inv.cn`,
@@ -784,12 +990,15 @@ impl Workspace {
             return None;
         }
         let slot = span.lo / FILE_SPAN_STRIDE;
-        self.files.iter().find_map(|(name, f)| {
-            (f.slot == slot).then(|| {
-                let base = f.base();
-                (name.as_str(), Span::new(span.lo - base, span.hi - base))
+        self.files
+            .iter()
+            .chain(self.meta_files.iter())
+            .find_map(|(name, f)| {
+                (f.slot == slot).then(|| {
+                    let base = f.base();
+                    (name.as_str(), Span::new(span.lo - base, span.hi - base))
+                })
             })
-        })
     }
 
     /// Renders diagnostics as caret snippets against their owning files.

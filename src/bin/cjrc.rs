@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! cjrc infer  <file> [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--stats] [--json]
-//! cjrc check  <file> [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
+//! cjrc check  <file> [--policy <file.cjpolicy>]
+//!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
+//! cjrc query  <file> <inv.C|pre.m|pre.C.m> [--entails ATOM]
+//!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
 //! cjrc run    <file> [--engine vm|interp] [--fuel N] [--max-depth N]
 //!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json] [args…]
 //! cjrc flows  <file> [--json]                                       downcast-set report
@@ -36,6 +39,14 @@
 //! message, span, labels, notes) on stdout. `check` additionally surfaces
 //! the Sec 5 *bound-to-fail* downcast warnings in both modes.
 //!
+//! `check --policy` additionally enforces user-written region-effect
+//! rules (`cj-policy`): `no-escape C`, `confine C to D` and
+//! `separate S from [D.]m`, reported as first-class `E071x` diagnostics
+//! whose secondary label points at the rule declaration; any violation
+//! exits non-zero. `query` answers one-shot questions against the closed
+//! constraint environment `Q` — print an abstraction, or decide
+//! `--entails "r2>=r1"` — without a serve round-trip.
+//!
 //! `serve` reads one JSON request per line on stdin and writes one JSON
 //! response per line on stdout (`open`/`edit`/`close`/`check`/`annotate`/
 //! `run`/`query`/`stats`/`shutdown`); every response carries the workspace
@@ -48,7 +59,7 @@
 //! `{"cmd":"shutdown","scope":"daemon"}` to stop the daemon itself.
 
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
-use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions};
+use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions, Workspace};
 use cj_infer::{DowncastPolicy, ExtentMode, InferOptions, SubtypeMode};
 use cj_runtime::Engine;
 use std::io::{BufRead, Write};
@@ -68,8 +79,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(failure) => {
             let Failure { session, diags } = *failure;
+            // Workspace-driven paths (`query`, `check --policy`) render
+            // their own diagnostics and fail with an empty batch.
             if cli.json {
-                println!("{}", session.emitter().render_json_all(&diags));
+                if !diags.is_empty() {
+                    println!("{}", session.emitter().render_json_all(&diags));
+                }
             } else {
                 eprint!("{}", session.emitter().render_all(&diags));
             }
@@ -109,6 +124,12 @@ struct Cli {
     fuel: Option<u64>,
     /// `run`: call-depth budget.
     max_depth: Option<u32>,
+    /// `check`: path of a `.cjpolicy` rule file to enforce.
+    policy: Option<String>,
+    /// `query`: the abstraction name (`inv.C`, `pre.m`, or `pre.C.m`).
+    query_name: Option<String>,
+    /// `query`: positional atom to test against the abstraction.
+    entails: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +138,7 @@ enum Command {
     Check,
     Run,
     Flows,
+    Query,
     Serve,
     Daemon,
 }
@@ -148,7 +170,9 @@ fn usage() -> String {
     format!(
         "usage: cjrc <infer|check|run|flows> <file.cj> [--mode {m}] \
          [--downcast {d}] [--extents {x}] [--cache-dir DIR] [--stats] [--json] [run args…]\n       \
+         cjrc check <file.cj> --policy <file.cjpolicy> [--json]\n       \
          cjrc run <file.cj> [--engine {e}] [--fuel N] [--max-depth N] [args…]\n       \
+         cjrc query <file.cj> <inv.C|pre.m|pre.C.m> [--entails ATOM] [--json]\n       \
          cjrc serve [--mode {m}] [--downcast {d}] [--extents {x}] [--cache-dir DIR]\n       \
          cjrc daemon [--addr host:port | --socket path] [--workers N] \
          [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
@@ -167,6 +191,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         Some("check") => Command::Check,
         Some("run") => Command::Run,
         Some("flows") => Command::Flows,
+        Some("query") => Command::Query,
         Some("serve") => Command::Serve,
         Some("daemon") => Command::Daemon,
         Some(other) => return Err(CliError::new(format!("unknown command `{other}`"))),
@@ -187,6 +212,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut engine = None;
     let mut fuel = None;
     let mut max_depth = None;
+    let mut policy = None;
+    let mut query_name = None;
+    let mut entails = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
@@ -304,12 +332,27 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     },
                 )?);
             }
+            "--policy" => {
+                policy = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--policy needs a rule-file value"))?,
+                );
+            }
+            "--entails" => {
+                entails = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--entails needs an atom value"))?,
+                );
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown option `{flag}`")));
             }
             other if file.is_none() => file = Some(other.to_string()),
+            other if command == Command::Query && query_name.is_none() => {
+                query_name = Some(other.to_string());
+            }
             other => {
                 let value = other.parse::<i64>().map_err(|_| {
                     CliError::new(format!("expected integer argument, found `{other}`"))
@@ -342,6 +385,22 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         return Err(CliError::new(
             "--engine/--fuel/--max-depth apply to `run` only",
         ));
+    }
+    if !matches!(command, Command::Check) && policy.is_some() {
+        return Err(CliError::new("--policy applies to `check` only"));
+    }
+    if !matches!(command, Command::Query) && entails.is_some() {
+        return Err(CliError::new("--entails applies to `query` only"));
+    }
+    if matches!(command, Command::Query) {
+        if query_name.is_none() {
+            return Err(CliError::new(
+                "`query` needs an abstraction name (`inv.C`, `pre.m`, or `pre.C.m`)",
+            ));
+        }
+        if !run_args.is_empty() {
+            return Err(CliError::new("`query` takes no run arguments"));
+        }
     }
     let file = match command {
         Command::Serve | Command::Daemon => {
@@ -385,6 +444,9 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         engine,
         fuel,
         max_depth,
+        policy,
+        query_name,
+        entails,
     })
 }
 
@@ -452,6 +514,22 @@ fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
                     Diagnostic::error(format!("daemon failed: {e}"), Span::DUMMY)
                         .with_code(codes::IO),
                 ),
+            })
+        });
+    }
+    if cli.command == Command::Query || (cli.command == Command::Check && cli.policy.is_some()) {
+        // Workspace-driven paths: they render their own diagnostics (the
+        // workspace knows both the program and the policy file), so a
+        // failure carries an empty batch back to `main`.
+        let outcome = if cli.command == Command::Query {
+            query_cmd(opts, cli)
+        } else {
+            policy_cmd(opts, cli)
+        };
+        return outcome.map_err(|()| {
+            Box::new(Failure {
+                session: Session::new("", SessionOptions::default()).with_name(cli.file.clone()),
+                diags: Diagnostics::new(),
             })
         });
     }
@@ -544,8 +622,8 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             }
             Ok(())
         }
-        Command::Serve | Command::Daemon => {
-            unreachable!("serve/daemon are dispatched before file loading")
+        Command::Serve | Command::Daemon | Command::Query => {
+            unreachable!("serve/daemon/query are dispatched before file loading")
         }
         Command::Run => {
             let engine = session.options().run.engine;
@@ -639,6 +717,187 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             }
             Ok(())
         }
+    }
+}
+
+// ---- workspace-driven commands (`query`, `check --policy`) ----------------
+
+/// Renders diagnostics for a workspace-driven command: caret snippets on
+/// stderr, or a JSON array on stdout with `--json`.
+fn ws_report(ws: &Workspace, json: bool, diags: &Diagnostics) {
+    if json {
+        println!("{}", ws.render_json(diags));
+    } else {
+        eprint!("{}", ws.render(diags));
+    }
+}
+
+/// Reads a file into a string, reporting failures through the workspace
+/// renderer.
+fn ws_read(ws: &Workspace, json: bool, path: &str) -> Result<String, ()> {
+    std::fs::read_to_string(path).map_err(|e| {
+        let d = Diagnostics::from_one(
+            Diagnostic::error(format!("cannot read `{path}`: {e}"), Span::DUMMY)
+                .with_code(codes::IO),
+        );
+        ws_report(ws, json, &d);
+    })
+}
+
+/// A workspace holding the program file named on the command line (under
+/// its real name, so diagnostics point at it), with the `--cache-dir`
+/// cache attached when requested.
+fn ws_open(opts: SessionOptions, cli: &Cli) -> Result<Workspace, ()> {
+    let mut ws = Workspace::new(opts);
+    match open_cache(cli) {
+        Ok(Some(cache)) => {
+            ws.attach_disk_cache(cache);
+        }
+        Ok(None) => {}
+        Err(d) => {
+            ws_report(&ws, cli.json, &d);
+            return Err(());
+        }
+    }
+    let text = ws_read(&ws, cli.json, &cli.file)?;
+    if let Err(d) = ws.set_source(&cli.file, text) {
+        ws_report(&ws, cli.json, &d);
+        return Err(());
+    }
+    Ok(ws)
+}
+
+/// Persists newly solved SCCs when `--cache-dir` was given; failures are
+/// warnings, never the command's outcome.
+fn ws_flush(ws: &Workspace, cli: &Cli) {
+    if cli.cache_dir.is_some() {
+        if let Err(e) = ws.flush_disk_cache() {
+            eprintln!("cjrc: warning: could not write compilation cache: {e}");
+        }
+    }
+}
+
+/// `cjrc query <file> <name> [--entails ATOM]`: one-shot access to the
+/// closed constraint environment `Q`.
+fn query_cmd(opts: SessionOptions, cli: &Cli) -> Result<(), ()> {
+    let infer_opts = opts.infer;
+    let mut ws = ws_open(opts, cli)?;
+    let name = cli.query_name.as_deref().expect("validated by parse_cli");
+    let unknown = |ws: &Workspace| {
+        let d = Diagnostics::from_one(
+            Diagnostic::error(format!("unknown abstraction `{name}`"), Span::DUMMY)
+                .with_code(codes::CLI),
+        );
+        ws_report(ws, cli.json, &d);
+    };
+    let result = if let Some(atom) = &cli.entails {
+        match ws.entails_with(infer_opts, name, atom) {
+            Ok(Some(holds)) => {
+                if cli.json {
+                    println!(
+                        "{{\"name\":{},\"atom\":{},\"entails\":{holds}}}",
+                        cj_diag::json_string(name),
+                        cj_diag::json_string(atom)
+                    );
+                } else {
+                    println!("{name} entails {atom}: {holds}");
+                }
+                Ok(())
+            }
+            Ok(None) => {
+                unknown(&ws);
+                Err(())
+            }
+            Err(d) => {
+                ws_report(&ws, cli.json, &d);
+                Err(())
+            }
+        }
+    } else {
+        match ws.q_with(infer_opts, name) {
+            Ok(Some(abs)) => {
+                if cli.json {
+                    println!(
+                        "{{\"name\":{},\"params\":{},\"abs\":{}}}",
+                        cj_diag::json_string(name),
+                        abs.params.len(),
+                        cj_diag::json_string(&abs.to_string())
+                    );
+                } else {
+                    println!("{abs}");
+                }
+                Ok(())
+            }
+            Ok(None) => {
+                unknown(&ws);
+                Err(())
+            }
+            Err(d) => {
+                ws_report(&ws, cli.json, &d);
+                Err(())
+            }
+        }
+    };
+    ws_flush(&ws, cli);
+    result
+}
+
+/// `cjrc check <file> --policy <rules>`: compile, region-check, then
+/// enforce the user's region-effect rules; violations exit non-zero.
+fn policy_cmd(opts: SessionOptions, cli: &Cli) -> Result<(), ()> {
+    let infer_opts = opts.infer;
+    let mut ws = ws_open(opts, cli)?;
+    let policy_path = cli.policy.as_deref().expect("validated by parse_cli");
+    let rules_text = ws_read(&ws, cli.json, policy_path)?;
+    if let Err(d) = ws.set_policy(policy_path, rules_text) {
+        ws_report(&ws, cli.json, &d);
+        return Err(());
+    }
+    if let Err(d) = ws.check_with(infer_opts) {
+        ws_report(&ws, cli.json, &d);
+        ws_flush(&ws, cli);
+        return Err(());
+    }
+    let outcome = match ws.check_policy_with(infer_opts) {
+        Ok(outcome) => outcome,
+        Err(d) => {
+            ws_report(&ws, cli.json, &d);
+            ws_flush(&ws, cli);
+            return Err(());
+        }
+    };
+    let rules = ws.policy().map_or(0, |set| set.rules.len());
+    let status = if outcome.ok() {
+        "policy-ok"
+    } else {
+        "policy-violations"
+    };
+    if cli.json {
+        println!(
+            "{{\"status\":\"{status}\",\"file\":{},\"policy\":{},\"rules\":{rules},\
+             \"violations\":{},\"rule_errors\":{},\"diagnostics\":{}}}",
+            cj_diag::json_string(&cli.file),
+            cj_diag::json_string(policy_path),
+            outcome.violations,
+            outcome.rule_errors,
+            ws.render_json(&outcome.diagnostics)
+        );
+    } else {
+        eprint!("{}", ws.render(&outcome.diagnostics));
+        if outcome.ok() {
+            println!("{}: policy-ok ({rules} rule(s))", cli.file);
+        } else {
+            println!(
+                "{}: {} policy violation(s), {} rule error(s)",
+                cli.file, outcome.violations, outcome.rule_errors
+            );
+        }
+    }
+    ws_flush(&ws, cli);
+    if outcome.ok() {
+        Ok(())
+    } else {
+        Err(())
     }
 }
 
@@ -834,6 +1093,58 @@ mod tests {
             assert!(text.contains(canonical), "usage misses {canonical}");
             assert!(canonical.parse::<ExtentMode>().is_ok());
         }
+    }
+
+    #[test]
+    fn policy_flag_is_check_only() {
+        let cli = parse_cli(argv(&["check", "x.cj", "--policy", "rules.cjpolicy"])).unwrap();
+        assert_eq!(cli.command, Command::Check);
+        assert_eq!(cli.policy.as_deref(), Some("rules.cjpolicy"));
+        for cmd in ["infer", "run", "flows", "query"] {
+            let mut args = vec![cmd, "x.cj"];
+            if cmd == "query" {
+                args.push("inv.Pair");
+            }
+            args.extend(["--policy", "rules.cjpolicy"]);
+            let err = parse_cli(argv(&args)).unwrap_err();
+            assert!(
+                err.message.contains("--policy applies to `check` only"),
+                "{cmd}: {}",
+                err.message
+            );
+        }
+        assert!(parse_cli(argv(&["check", "x.cj", "--policy"]))
+            .unwrap_err()
+            .message
+            .contains("--policy needs a rule-file value"));
+    }
+
+    #[test]
+    fn query_parses_name_and_entails() {
+        let cli = parse_cli(argv(&["query", "x.cj", "inv.Pair"])).unwrap();
+        assert_eq!(cli.command, Command::Query);
+        assert_eq!(cli.query_name.as_deref(), Some("inv.Pair"));
+        assert!(cli.entails.is_none());
+        let cli = parse_cli(argv(&[
+            "query",
+            "x.cj",
+            "pre.Pair.get",
+            "--entails",
+            "r2>=r1",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.query_name.as_deref(), Some("pre.Pair.get"));
+        assert_eq!(cli.entails.as_deref(), Some("r2>=r1"));
+        assert!(cli.json);
+        assert!(parse_cli(argv(&["query", "x.cj"]))
+            .unwrap_err()
+            .message
+            .contains("abstraction name"));
+        assert!(parse_cli(argv(&["check", "x.cj", "--entails", "r2>=r1"]))
+            .unwrap_err()
+            .message
+            .contains("--entails applies to `query` only"));
     }
 
     #[test]

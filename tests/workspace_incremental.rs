@@ -195,3 +195,85 @@ fn fig6_join_precondition_queryable_through_workspace() {
     assert_eq!(ws.entails("pre.join", "r5>=r8").unwrap(), Some(true));
     assert_eq!(ws.entails("pre.join", "r1=r2").unwrap(), Some(false));
 }
+
+#[test]
+fn policy_recheck_after_edit_reevaluates_only_affected_methods() {
+    // The ISSUE's incrementality criterion for the policy engine: after an
+    // edit, `rules_checked` grows by strictly less than a cold check — only
+    // methods whose bodies or closed imports changed are re-evaluated —
+    // while the verdict stays identical to a from-scratch workspace.
+    const CELL_CJ: &str = "
+    class Cell { Object v; }
+    class Box { Cell c;
+      void fill() { this.c = new Cell(null); }
+    }";
+    const MAIN_CJ: &str = "
+    class Main {
+      static Cell leak() { new Cell(null) }
+      static void main() { Box b = new Box(null); b.fill(); }
+    }";
+    // Same shape, different `main` body; `leak` and `Box.fill` untouched.
+    const MAIN_EDITED_CJ: &str = "
+    class Main {
+      static Cell leak() { new Cell(null) }
+      static void main() { Box b = new Box(null); b.fill(); b.fill(); }
+    }";
+    const RULES: &str = "no-escape Cell\nconfine Cell to Box\n";
+
+    let mut ws = Workspace::new(SessionOptions::default());
+    ws.set_source("cell.cj", CELL_CJ).unwrap();
+    ws.set_source("main.cj", MAIN_CJ).unwrap();
+    ws.set_policy("rules.cjpolicy", RULES).unwrap();
+
+    // ---- cold policy check ----------------------------------------------
+    ws.check().unwrap();
+    let cold_outcome = ws.check_policy().unwrap();
+    let cold = ws.pass_counts();
+    assert!(cold.rules_checked > 0, "{cold:?}");
+    assert_eq!(cold.policy_violations, cold_outcome.violations);
+    assert!(cold_outcome.violations > 0, "leak() must violate no-escape");
+
+    // ---- same revision: pure replay, no evaluation, same verdict --------
+    let replay_outcome = ws.check_policy().unwrap();
+    let replay = ws.pass_counts().since(cold);
+    assert_eq!(replay.rules_checked, 0, "replay must not re-evaluate");
+    assert_eq!(replay.policy_violations, 0, "replay must not re-count");
+    assert_eq!(
+        ws.render(&replay_outcome.diagnostics),
+        ws.render(&cold_outcome.diagnostics)
+    );
+
+    // ---- one body edit: only the edited method is re-evaluated ----------
+    ws.set_source("main.cj", MAIN_EDITED_CJ).unwrap();
+    ws.check().unwrap();
+    let warm_outcome = ws.check_policy().unwrap();
+    let warm = ws.pass_counts().since(cold);
+    assert!(warm.rules_checked > 0, "edit must re-check something");
+    assert!(
+        warm.rules_checked < cold.rules_checked,
+        "edit re-evaluated {} of {} cold rule checks — affected methods only",
+        warm.rules_checked,
+        cold.rules_checked
+    );
+    // Verdict unchanged (the edit is policy-neutral): the violations all
+    // live in untouched `leak`, so they are *replayed*, not re-found —
+    // the counter stays flat while the outcome still reports them.
+    assert_eq!(warm_outcome.violations, cold_outcome.violations);
+    assert_eq!(
+        warm.policy_violations, 0,
+        "replayed violations not re-counted"
+    );
+
+    // ---- cross-check against a from-scratch workspace -------------------
+    let mut scratch = Workspace::new(SessionOptions::default());
+    scratch.set_source("cell.cj", CELL_CJ).unwrap();
+    scratch.set_source("main.cj", MAIN_EDITED_CJ).unwrap();
+    scratch.set_policy("rules.cjpolicy", RULES).unwrap();
+    scratch.check().unwrap();
+    let scratch_outcome = scratch.check_policy().unwrap();
+    assert_eq!(
+        scratch.render(&scratch_outcome.diagnostics),
+        ws.render(&warm_outcome.diagnostics),
+        "incremental verdict must match from-scratch"
+    );
+}
