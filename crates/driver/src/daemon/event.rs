@@ -1,0 +1,206 @@
+//! The event-loop front end ([`Frontend::Event`]): **one** reactor
+//! thread ([`cj_net::EventLoop`]) multiplexes every connection —
+//! nonblocking accept, incremental line framing, write-side backpressure
+//! — while decoded requests run on the same worker pool the threads
+//! front end uses. Workers push responses back through a [`NetHandle`]
+//! (an mpsc command queue plus a wakeup pipe into the poller).
+//!
+//! Per connection the reactor delivers at most one request at a time
+//! (pipelined bytes wait in the framer, then in the kernel), so each
+//! connection's `Server` is accessed serially even though ownership
+//! hops between the event thread and workers — the `Mutex` around it is
+//! uncontended by construction.
+//!
+//! Shutdown: a daemon-scope request sets the stop flag from the worker
+//! (before its response is queued); the reactor keeps turning until no
+//! request is in flight, then flushes pending responses — the shutdown
+//! acknowledgement included — under a bounded grace period, closes every
+//! connection and joins the pool.
+
+use super::{
+    capacity_reject_line, decode_request, idle_goodbye_line, is_daemon_shutdown, Daemon, Listener,
+    MAX_REQUEST_BYTES,
+};
+use crate::server::Server;
+use crate::workspace::Workspace;
+use cj_net::{EventLoop, NetConfig, NetEvent, NetHandle, NetListener, Token};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// One decoded request bound for the worker pool.
+struct Job {
+    token: Token,
+    server: Arc<Mutex<Server>>,
+    request: String,
+}
+
+/// The reactor loop. See the module docs.
+pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
+    // The reactor owns a dup of the listener fd; the `Daemon` keeps its
+    // original for `local_addr`/`describe_addr`.
+    let net_listener = match &daemon.listener {
+        Listener::Tcp(l) => NetListener::Tcp(l.try_clone()?),
+        #[cfg(unix)]
+        Listener::Unix(l) => NetListener::Unix(l.try_clone()?),
+    };
+    let net_config = NetConfig {
+        max_clients: daemon.config.max_clients,
+        idle_timeout: daemon.config.idle_timeout,
+        max_line_bytes: MAX_REQUEST_BYTES,
+    };
+    let mut el = EventLoop::new(net_listener, net_config)?;
+    let handle = el.handle();
+
+    // The worker pool: same mpsc shape as the threads front end, but the
+    // unit of work is one request, not one connection's lifetime.
+    let (jtx, jrx) = mpsc::channel::<Job>();
+    let jrx = Arc::new(Mutex::new(jrx));
+    let workers = daemon.config.workers.max(1);
+    // Requests queued or executing. The reactor refuses to stop while
+    // any are pending, so a drain never abandons an in-flight response.
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let jrx = Arc::clone(&jrx);
+        let stop = Arc::clone(&daemon.stop);
+        let in_flight = Arc::clone(&in_flight);
+        let handle: NetHandle = handle.clone();
+        handles.push(std::thread::spawn(move || loop {
+            let job = jrx.lock().expect("daemon job queue poisoned").recv();
+            let Ok(Job {
+                token,
+                server,
+                request,
+            }) = job
+            else {
+                break; // reactor gone, queue drained
+            };
+            let daemon_stop = is_daemon_shutdown(&request);
+            let (response, done) = {
+                let mut server = server.lock().expect("connection server poisoned");
+                let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
+                (response, server.is_done())
+            };
+            if daemon_stop {
+                // Before the response is queued: a client hanging up right
+                // after asking for a daemon shutdown must still stop the
+                // daemon.
+                stop.store(true, Ordering::SeqCst);
+            }
+            let mut bytes = response.into_bytes();
+            bytes.push(b'\n');
+            handle.send(token, bytes);
+            if daemon_stop || done {
+                handle.close(token);
+            } else {
+                handle.resume(token);
+            }
+            // Last: the reactor may only observe "no work in flight" once
+            // the response commands above are already queued.
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            handle.wake();
+        }));
+    }
+
+    // Per-connection protocol state. `None` marks an over-capacity
+    // connection that only ever receives the rejection line (excluded
+    // from served/close accounting).
+    let mut conns: HashMap<Token, Option<Arc<Mutex<Server>>>> = HashMap::new();
+    let mut events: Vec<NetEvent> = Vec::new();
+    let mut fatal = None;
+    loop {
+        if daemon.stop.load(Ordering::SeqCst) && in_flight.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        events.clear();
+        if let Err(e) = el.poll(&mut events, Duration::from_millis(50)) {
+            fatal = Some(e);
+            break;
+        }
+        for event in events.drain(..) {
+            match event {
+                NetEvent::Accepted {
+                    token,
+                    over_capacity: false,
+                } => {
+                    daemon.stats.record_accept();
+                    let mut ws = Workspace::with_shared_memo(
+                        daemon.config.opts.clone(),
+                        Arc::clone(&daemon.memo),
+                    );
+                    ws.set_solve_threads(daemon.config.solve_threads);
+                    let mut server = Server::with_workspace(ws);
+                    server.set_daemon_stats(Arc::clone(&daemon.stats));
+                    conns.insert(token, Some(Arc::new(Mutex::new(server))));
+                }
+                NetEvent::Accepted {
+                    token,
+                    over_capacity: true,
+                } => {
+                    daemon.stats.record_reject();
+                    let mut line = capacity_reject_line(daemon.config.max_clients).into_bytes();
+                    line.push(b'\n');
+                    el.send(token, &line);
+                    el.close(token);
+                    conns.insert(token, None);
+                }
+                NetEvent::Line { token, line } => {
+                    if daemon.stop.load(Ordering::SeqCst) {
+                        // Stopping: new requests are dropped, exactly like
+                        // the threads front end's post-stop `Drop`.
+                        el.close(token);
+                        continue;
+                    }
+                    let Some(Some(server)) = conns.get(&token) else {
+                        continue;
+                    };
+                    let request = decode_request(line);
+                    if request.trim().is_empty() {
+                        el.resume(token);
+                        continue;
+                    }
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let job = Job {
+                        token,
+                        server: Arc::clone(server),
+                        request,
+                    };
+                    if jtx.send(job).is_err() {
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        el.close(token);
+                    }
+                }
+                NetEvent::IdleExpired { token } => {
+                    let mut line = idle_goodbye_line(daemon.config.idle_timeout).into_bytes();
+                    line.push(b'\n');
+                    el.send(token, &line);
+                    el.close(token);
+                }
+                NetEvent::Closed { token } => {
+                    if let Some(Some(_)) = conns.remove(&token) {
+                        daemon.stats.record_close();
+                    }
+                }
+            }
+        }
+    }
+    daemon.stop.store(true, Ordering::SeqCst);
+    // Flush pending responses (the shutdown acknowledgement included)
+    // under a bounded grace period, then close every connection.
+    el.drain(Duration::from_secs(5));
+    for (_, server) in conns.drain() {
+        if server.is_some() {
+            daemon.stats.record_close();
+        }
+    }
+    drop(jtx);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

@@ -2,19 +2,39 @@
 //!
 //! A [`Daemon`] listens on a TCP or Unix-domain socket and speaks the
 //! `cjrc serve` JSON-lines protocol ([`crate::server`]) *per connection*:
-//! every client gets its own [`Server`] over its own [`Workspace`]
-//! (private files, revisions and pass counters), while all workspaces
-//! feed **one shared content-addressed SCC solve memo**
-//! ([`cj_regions::incremental::SolveMemo`]). The memo keys are
-//! α-invariant and name-independent, so a constraint-abstraction SCC
-//! solved for one client is a hit for every other client compiling an
-//! equivalent fragment — cross-client reuse the `stats` command reports
-//! as `shared_memo.shared_hits` (and per-compilation as
-//! `sccs_shared_hits`).
+//! every client gets its own [`crate::server::Server`] over its own
+//! [`crate::workspace::Workspace`] (private files, revisions and pass
+//! counters), while all workspaces feed **one shared content-addressed
+//! SCC solve memo** ([`cj_regions::incremental::SolveMemo`]). The memo
+//! keys are α-invariant and name-independent, so a
+//! constraint-abstraction SCC solved for one client is a hit for every
+//! other client compiling an equivalent fragment — cross-client reuse
+//! the `stats` command reports as `shared_memo.shared_hits` (and
+//! per-compilation as `sccs_shared_hits`).
 //!
-//! Connections are served by a fixed pool of worker threads; the shared
-//! memo is sharded and lock-striped, so concurrent clients contend only
-//! on the shard owning one canonical key, never on a global lock.
+//! # Front ends
+//!
+//! Two interchangeable connection front ends feed the same worker pool
+//! ([`DaemonConfig::frontend`]):
+//!
+//! - [`Frontend::Event`] (default): **one event thread** multiplexes
+//!   every connection through a readiness-driven reactor
+//!   ([`cj_net::EventLoop`] — epoll on Linux, `poll(2)` elsewhere).
+//!   Sockets are nonblocking; request lines are framed incrementally as
+//!   bytes arrive and handed to the worker pool, and responses flow back
+//!   over a wakeup pipe with write-side backpressure. Thousands of
+//!   mostly-idle editor connections cost one thread plus per-connection
+//!   buffers.
+//! - [`Frontend::Threads`]: the classic **thread-per-connection** model —
+//!   each accepted connection occupies one pool worker for its lifetime,
+//!   reading with a short timeout so the stop flag and idle clock stay
+//!   observed. Simple and fine under a handful of busy clients; idle
+//!   connections hold workers hostage.
+//!
+//! Protocol behaviour — request/response bytes, capacity rejection, idle
+//! eviction, daemon-scope shutdown with drain-and-join — is identical
+//! across front ends; both share one bounded line framer
+//! ([`cj_net::LineFramer`]) so framing edge cases cannot drift apart.
 //!
 //! # Production hardening
 //!
@@ -31,7 +51,8 @@
 //! - **Idle eviction** ([`DaemonConfig::idle_timeout`]): a client that
 //!   completes no request within the bound is told
 //!   (`{"ok":false,...,"code":"idle"}`) and disconnected, so a stalled or
-//!   half-open peer cannot pin a pool worker.
+//!   half-open peer cannot pin a pool worker (threads) or leak a
+//!   connection slot (event).
 //!
 //! # Connection lifecycle
 //!
@@ -42,7 +63,7 @@
 //! 3. `{"cmd":"shutdown"}` (or EOF) ends the connection; the daemon keeps
 //!    running;
 //! 4. `{"cmd":"shutdown","scope":"daemon"}` ends the connection **and**
-//!    stops the daemon: the accept loop exits, queued connections are
+//!    stops the daemon: the accept loop exits, in-flight requests are
 //!    drained, workers join, and [`Daemon::run`] returns.
 //!
 //! # Example (in-process)
@@ -56,19 +77,56 @@
 //! println!("served {} clients", summary.clients_served);
 //! ```
 
-use crate::server::{parse_json, Server};
+mod event;
+mod threads;
+
+use crate::server::parse_json;
 use crate::session::SessionOptions;
-use crate::workspace::Workspace;
 use cj_persist::SccDiskCache;
 use cj_regions::incremental::SolveMemo;
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which connection front end a daemon runs. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// One readiness-driven event thread multiplexing every connection
+    /// (the default).
+    #[default]
+    Event,
+    /// Thread-per-connection: each client occupies a pool worker for its
+    /// whole lifetime.
+    Threads,
+}
+
+impl Frontend {
+    /// The CLI / stats-report spelling (`"event"` / `"threads"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Frontend::Event => "event",
+            Frontend::Threads => "threads",
+        }
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Frontend, String> {
+        match s {
+            "event" => Ok(Frontend::Event),
+            "threads" => Ok(Frontend::Threads),
+            other => Err(format!(
+                "unknown front end `{other}` (expected `event` or `threads`)"
+            )),
+        }
+    }
+}
 
 /// Configuration of a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -76,8 +134,12 @@ pub struct DaemonConfig {
     /// Default session (inference + runtime) options for every client;
     /// requests may still override `mode`/`downcast` per call.
     pub opts: SessionOptions,
-    /// Worker threads serving connections (also the number of clients
-    /// served concurrently; further connections queue).
+    /// The connection front end (event-loop or thread-per-connection).
+    pub frontend: Frontend,
+    /// Worker threads executing requests. Under [`Frontend::Threads`]
+    /// this is also the number of clients served concurrently (further
+    /// connections queue); under [`Frontend::Event`] connections are not
+    /// tied to workers and only CPU-bound request handling queues here.
     pub workers: usize,
     /// Worker threads each compilation's per-SCC solve fans out over
     /// (1 = sequential; output is identical either way).
@@ -87,13 +149,11 @@ pub struct DaemonConfig {
     /// persistence.
     pub cache_dir: Option<std::path::PathBuf>,
     /// Backpressure bound: with more than this many connections in
-    /// flight (being served or queued for a worker), further ones are
-    /// rejected immediately with a structured JSON error instead of
-    /// hanging in the accept queue. 0 = unbounded.
+    /// flight, further ones are rejected immediately with a structured
+    /// JSON error instead of hanging in the accept queue. 0 = unbounded.
     pub max_clients: usize,
     /// Per-connection idle bound: a client that completes no request for
-    /// this long is disconnected (with a structured JSON error), so a
-    /// stalled or half-open client releases its pool worker.
+    /// this long is disconnected (with a structured JSON error).
     /// [`Duration::ZERO`] disables eviction.
     pub idle_timeout: Duration,
     /// How often the background thread flushes newly solved SCCs to the
@@ -105,6 +165,7 @@ impl Default for DaemonConfig {
     fn default() -> DaemonConfig {
         DaemonConfig {
             opts: SessionOptions::default(),
+            frontend: Frontend::default(),
             workers: 4,
             solve_threads: 1,
             cache_dir: None,
@@ -115,6 +176,82 @@ impl Default for DaemonConfig {
     }
 }
 
+/// Live serving counters shared between the front end and every
+/// connection's `Server`, so the `stats` command reports the daemon's
+/// serving health alongside compilation statistics.
+#[derive(Debug)]
+pub struct DaemonStats {
+    frontend: Frontend,
+    clients_served: AtomicU64,
+    clients_rejected: AtomicU64,
+    connections_current: AtomicU64,
+    connections_peak: AtomicU64,
+}
+
+impl DaemonStats {
+    fn new(frontend: Frontend) -> DaemonStats {
+        DaemonStats {
+            frontend,
+            clients_served: AtomicU64::new(0),
+            clients_rejected: AtomicU64::new(0),
+            connections_current: AtomicU64::new(0),
+            connections_peak: AtomicU64::new(0),
+        }
+    }
+
+    fn record_accept(&self) {
+        self.clients_served.fetch_add(1, Ordering::Relaxed);
+        let now = self.connections_current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.connections_peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn record_reject(&self) {
+        self.clients_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_close(&self) {
+        self.connections_current.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The front end serving this daemon.
+    pub fn frontend(&self) -> Frontend {
+        self.frontend
+    }
+
+    /// Connections accepted (and handed to the protocol layer) so far.
+    pub fn clients_served(&self) -> u64 {
+        self.clients_served.load(Ordering::Relaxed)
+    }
+
+    /// Connections turned away by the `max_clients` bound so far.
+    pub fn clients_rejected(&self) -> u64 {
+        self.clients_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections open right now.
+    pub fn connections_current(&self) -> u64 {
+        self.connections_current.load(Ordering::SeqCst)
+    }
+
+    /// The concurrent-connection high-water mark.
+    pub fn connections_peak(&self) -> u64 {
+        self.connections_peak.load(Ordering::SeqCst)
+    }
+
+    /// The `stats` response's `"daemon"` object.
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            "{{\"frontend\":\"{}\",\"clients_served\":{},\"clients_rejected\":{},\
+             \"connections_current\":{},\"connections_peak\":{}}}",
+            self.frontend.name(),
+            self.clients_served(),
+            self.clients_rejected(),
+            self.connections_current(),
+            self.connections_peak(),
+        )
+    }
+}
+
 /// What a finished daemon reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaemonSummary {
@@ -122,6 +259,8 @@ pub struct DaemonSummary {
     pub clients_served: u64,
     /// Connections rejected by the `max_clients` backpressure bound.
     pub clients_rejected: u64,
+    /// The concurrent-connection high-water mark.
+    pub connections_peak: u64,
     /// Solve-memo entries warm-loaded from the on-disk cache at bind.
     pub cache_entries_loaded: usize,
     /// Entries retained on disk by the shutdown compaction (0 without a
@@ -129,13 +268,13 @@ pub struct DaemonSummary {
     pub cache_entries_persisted: usize,
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener),
 }
 
-enum Conn {
+pub(crate) enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
@@ -215,7 +354,7 @@ pub struct Daemon {
     cache: Option<Arc<SccDiskCache>>,
     cache_entries_loaded: usize,
     stop: Arc<AtomicBool>,
-    clients_served: Arc<AtomicU64>,
+    stats: Arc<DaemonStats>,
 }
 
 impl Daemon {
@@ -274,6 +413,7 @@ impl Daemon {
             }
             None => None,
         };
+        let stats = Arc::new(DaemonStats::new(config.frontend));
         Ok(Daemon {
             listener,
             config,
@@ -281,7 +421,7 @@ impl Daemon {
             cache,
             cache_entries_loaded,
             stop: Arc::new(AtomicBool::new(false)),
-            clients_served: Arc::new(AtomicU64::new(0)),
+            stats,
         })
     }
 
@@ -343,59 +483,26 @@ impl Daemon {
         Arc::clone(&self.stop)
     }
 
+    /// The live serving counters (front end, served/rejected, current and
+    /// peak connections) this daemon reports under `stats.daemon`.
+    pub fn stats_handle(&self) -> Arc<DaemonStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Serves connections until a daemon-scope shutdown arrives (or the
-    /// [`stop_handle`](Daemon::stop_handle) is set), then drains queued
-    /// connections, joins every worker, compacts the on-disk cache (when
-    /// configured) and returns.
+    /// [`stop_handle`](Daemon::stop_handle) is set), then drains
+    /// in-flight work, joins every worker, compacts the on-disk cache
+    /// (when configured) and returns.
     ///
     /// # Errors
     ///
-    /// Setting the listener non-blocking; individual connection I/O
-    /// errors only terminate that connection, and cache flush errors are
+    /// Fatal listener/poller errors; individual connection I/O errors
+    /// only terminate that connection, and cache flush errors are
     /// reported once at shutdown.
     pub fn run(self) -> std::io::Result<DaemonSummary> {
-        match &self.listener {
-            Listener::Tcp(l) => l.set_nonblocking(true)?,
-            #[cfg(unix)]
-            Listener::Unix(l) => l.set_nonblocking(true)?,
-        }
-        let (tx, rx) = mpsc::channel::<Conn>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = self.config.workers.max(1);
-        // Connections in flight — queued or being served. The accept loop
-        // bounds this at `max_clients`; workers decrement it when a
-        // connection ends.
-        let in_flight = Arc::new(AtomicUsize::new(0));
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let rx = Arc::clone(&rx);
-            let opts = self.config.opts.clone();
-            let solve_threads = self.config.solve_threads;
-            let idle_timeout = self.config.idle_timeout;
-            let memo = Arc::clone(&self.memo);
-            let stop = Arc::clone(&self.stop);
-            let in_flight = Arc::clone(&in_flight);
-            handles.push(std::thread::spawn(move || loop {
-                let conn = rx.lock().expect("daemon queue poisoned").recv();
-                match conn {
-                    Ok(conn) => {
-                        serve_connection(
-                            conn,
-                            opts.clone(),
-                            solve_threads,
-                            idle_timeout,
-                            &memo,
-                            &stop,
-                        );
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    Err(_) => break, // accept loop gone, queue drained
-                }
-            }));
-        }
         // The periodic cache flush: newly solved SCCs reach disk while
         // the daemon runs, so even a crash (no compaction) loses at most
-        // one interval of work.
+        // one interval of work. Front-end independent.
         let flusher = self.cache.as_ref().map(|cache| {
             let cache = Arc::clone(cache);
             let memo = Arc::clone(&self.memo);
@@ -412,60 +519,13 @@ impl Daemon {
                 }
             })
         });
-        let mut clients_rejected = 0u64;
-        let mut fatal = None;
-        while !self.stop.load(Ordering::SeqCst) {
-            let accepted = match &self.listener {
-                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-                #[cfg(unix)]
-                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
-            };
-            match accepted {
-                Ok(conn) => {
-                    // The listener is nonblocking only so this loop can
-                    // poll the stop flag; clients must block normally (on
-                    // several platforms accepted sockets inherit the
-                    // listener's nonblocking mode).
-                    if conn.set_blocking().is_err() {
-                        continue;
-                    }
-                    let limit = self.config.max_clients;
-                    if limit > 0 && in_flight.load(Ordering::SeqCst) >= limit {
-                        // Over the backpressure bound: tell the client
-                        // *why* and hang up, instead of letting it queue
-                        // behind `limit` busy connections indefinitely.
-                        clients_rejected += 1;
-                        reject_connection(conn, limit);
-                        continue;
-                    }
-                    in_flight.fetch_add(1, Ordering::SeqCst);
-                    self.clients_served.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(conn).is_err() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if transient_accept_error(&e) => {
-                    // E.g. the client reset between SYN and accept: not a
-                    // reason to take the daemon down.
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => {
-                    // A broken listener is an error the operator must see,
-                    // not a clean-looking shutdown.
-                    fatal = Some(e);
-                    break;
-                }
-            }
+        let fatal = match self.config.frontend {
+            Frontend::Threads => threads::serve(&self),
+            Frontend::Event => event::serve(&self),
         }
+        .err();
         // Unblock the flusher's poll loop even on a fatal listener error.
         self.stop.store(true, Ordering::SeqCst);
-        drop(tx);
-        for handle in handles {
-            let _ = handle.join();
-        }
         if let Some(flusher) = flusher {
             let _ = flusher.join();
         }
@@ -484,8 +544,9 @@ impl Daemon {
         match fatal.or(cache_error) {
             Some(e) => Err(e),
             None => Ok(DaemonSummary {
-                clients_served: self.clients_served.load(Ordering::Relaxed),
-                clients_rejected,
+                clients_served: self.stats.clients_served(),
+                clients_rejected: self.stats.clients_rejected(),
+                connections_peak: self.stats.connections_peak(),
                 cache_entries_loaded: self.cache_entries_loaded,
                 cache_entries_persisted,
             }),
@@ -493,18 +554,24 @@ impl Daemon {
     }
 }
 
-/// Sends the backpressure reject line — the same `{"ok":false,...}` shape
-/// every protocol error uses, plus a machine-readable `"code"` so clients
-/// can distinguish "retry later" from a malformed request — and drops the
-/// connection.
-fn reject_connection(mut conn: Conn, limit: usize) {
-    let line = format!(
+/// The backpressure reject line — the same `{"ok":false,...}` shape every
+/// protocol error uses, plus a machine-readable `"code"` so clients can
+/// distinguish "retry later" from a malformed request.
+fn capacity_reject_line(limit: usize) -> String {
+    format!(
         "{{\"ok\":false,\"error\":\"daemon at capacity ({limit} active \
          client{}); retry later\",\"code\":\"capacity\"}}",
         if limit == 1 { "" } else { "s" }
-    );
-    let _ = writeln!(conn, "{line}");
-    let _ = conn.flush();
+    )
+}
+
+/// The idle-eviction goodbye line.
+fn idle_goodbye_line(idle_timeout: Duration) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"idle timeout: no request \
+         completed in {}s\",\"code\":\"idle\"}}",
+        idle_timeout.as_secs_f64()
+    )
 }
 
 /// Whether a request line asks for a daemon-scope shutdown.
@@ -514,161 +581,17 @@ fn is_daemon_shutdown(line: &str) -> bool {
     })
 }
 
-/// How one attempt to read a request line ended.
-enum LineRead {
-    /// A complete `\n`-terminated line (or final unterminated line at
-    /// EOF) is in the buffer.
-    Line,
-    /// Clean end of stream with nothing buffered.
-    Eof,
-    /// No request completed within the idle bound.
-    IdleTimeout,
-    /// The daemon is stopping, or the line outgrew its byte bound, or a
-    /// real I/O error occurred — drop the connection without ceremony.
-    Drop,
-}
-
 /// Largest accepted request line. Workspace files are capped at 1 MiB,
 /// so even a fully escaped `open` fits comfortably; anything bigger is a
 /// protocol violation (or an attack) and must not grow worker memory.
-const MAX_REQUEST_BYTES: usize = 16 << 20;
+pub(crate) const MAX_REQUEST_BYTES: usize = 16 << 20;
 
-/// Reads one `\n`-terminated line into `line`, re-checking the stop flag
-/// and the idle clock on **every** buffered chunk — not only on a fully
-/// idle socket. A client that drips bytes without ever completing a line
-/// therefore still hits the idle bound instead of pinning the worker,
-/// and the accumulated line is capped at [`MAX_REQUEST_BYTES`].
-fn read_request_line(
-    reader: &mut BufReader<Conn>,
-    line: &mut Vec<u8>,
-    idle_timeout: Duration,
-    last_request: Instant,
-    stop: &AtomicBool,
-) -> LineRead {
-    use std::io::BufRead as _;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return LineRead::Drop;
-        }
-        if !idle_timeout.is_zero() && last_request.elapsed() >= idle_timeout {
-            return LineRead::IdleTimeout;
-        }
-        let consumed = match reader.fill_buf() {
-            Ok([]) => {
-                // EOF: surface a final unterminated line if one is
-                // buffered, else a clean end of stream.
-                return if line.is_empty() {
-                    LineRead::Eof
-                } else {
-                    LineRead::Line
-                };
-            }
-            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    line.extend_from_slice(&buf[..=pos]);
-                    pos + 1
-                }
-                None => {
-                    line.extend_from_slice(buf);
-                    buf.len()
-                }
-            },
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue;
-            }
-            Err(_) => return LineRead::Drop,
-        };
-        reader.consume(consumed);
-        if line.ends_with(b"\n") {
-            return LineRead::Line;
-        }
-        if line.len() > MAX_REQUEST_BYTES {
-            return LineRead::Drop;
-        }
-    }
-}
-
-/// One connection: a private `Server`/`Workspace` over the shared memo,
-/// driven line by line until shutdown, EOF, or idle eviction. I/O errors
-/// just end the connection — they never unwind into the worker pool.
-///
-/// Reads are bounded by a short timeout and go through
-/// [`read_request_line`], so the worker observes the stop flag and the
-/// idle clock between every received chunk: neither a silent half-open
-/// client nor one dripping bytes without a newline can pin a worker or
-/// block [`Daemon::run`]'s drain-and-join shutdown. A client that
-/// completes no request for `idle_timeout` is told so and disconnected,
-/// releasing its pool worker for queued connections.
-fn serve_connection(
-    conn: Conn,
-    opts: SessionOptions,
-    solve_threads: usize,
-    idle_timeout: Duration,
-    memo: &Arc<SolveMemo>,
-    stop: &AtomicBool,
-) {
-    let Ok(read_half) = conn.try_clone() else {
-        return;
-    };
-    if read_half
-        .set_read_timeout(Duration::from_millis(100))
-        .is_err()
-    {
-        return;
-    }
-    let mut reader = BufReader::new(read_half);
-    let mut writer = conn;
-    let mut ws = Workspace::with_shared_memo(opts, Arc::clone(memo));
-    ws.set_solve_threads(solve_threads);
-    let mut server = Server::with_workspace(ws);
-    let mut last_request = Instant::now();
-    let mut line = Vec::new();
-    loop {
-        line.clear();
-        match read_request_line(&mut reader, &mut line, idle_timeout, last_request, stop) {
-            LineRead::Line => {}
-            LineRead::IdleTimeout => {
-                let _ = writeln!(
-                    writer,
-                    "{{\"ok\":false,\"error\":\"idle timeout: no request \
-                     completed in {}s\",\"code\":\"idle\"}}",
-                    idle_timeout.as_secs_f64()
-                );
-                let _ = writer.flush();
-                break;
-            }
-            LineRead::Eof | LineRead::Drop => break,
-        }
-        // Move the buffer in the (overwhelmingly common) valid-UTF-8
-        // case; only a malformed client pays for a lossy copy.
-        let request = match String::from_utf8(std::mem::take(&mut line)) {
-            Ok(s) => s,
-            Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
-        };
-        if request.trim().is_empty() {
-            continue;
-        }
-        let daemon_stop = is_daemon_shutdown(&request);
-        let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
-        if daemon_stop {
-            // Before the write: a client hanging up right after asking for
-            // a daemon shutdown must still stop the daemon.
-            stop.store(true, Ordering::SeqCst);
-        }
-        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-            break;
-        }
-        if daemon_stop || server.is_done() {
-            break;
-        }
-        // Restart the idle clock only *after* the response: time spent
-        // compiling must never count against the client, or one request
-        // longer than the bound would evict them mid-conversation.
-        last_request = Instant::now();
+/// Decodes a request line for the protocol layer: move in the
+/// (overwhelmingly common) valid-UTF-8 case, lossy copy only for a
+/// malformed client.
+fn decode_request(line: Vec<u8>) -> String {
+    match String::from_utf8(line) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
     }
 }

@@ -1,0 +1,275 @@
+//! The thread-per-connection front end ([`Frontend::Threads`]): a fixed
+//! pool of workers each owning one blocking connection at a time, with a
+//! short read timeout so the stop flag and idle clock are re-checked
+//! between chunks — **including before the first byte ever arrives**, so
+//! a daemon shutdown never waits on a silent client.
+//!
+//! Request framing is [`cj_net::LineFramer`] — the exact implementation
+//! (and byte bound) the event front end uses, so the two cannot drift
+//! apart on torn-frame or pipelining edge cases.
+
+use super::{
+    capacity_reject_line, decode_request, idle_goodbye_line, is_daemon_shutdown,
+    transient_accept_error, Conn, Daemon, DaemonStats, Frontend, Listener, MAX_REQUEST_BYTES,
+};
+use crate::server::Server;
+use crate::session::SessionOptions;
+use crate::workspace::Workspace;
+use cj_net::LineFramer;
+use cj_regions::incremental::SolveMemo;
+use std::io::{Read as _, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The accept loop: distributes connections over the worker pool until a
+/// daemon-scope shutdown (or stop-handle) stops it, then drains the queue
+/// and joins every worker.
+pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
+    match &daemon.listener {
+        Listener::Tcp(l) => l.set_nonblocking(true)?,
+        #[cfg(unix)]
+        Listener::Unix(l) => l.set_nonblocking(true)?,
+    }
+    let (tx, rx) = mpsc::channel::<Conn>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = daemon.config.workers.max(1);
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let opts = daemon.config.opts.clone();
+        let solve_threads = daemon.config.solve_threads;
+        let idle_timeout = daemon.config.idle_timeout;
+        let memo = Arc::clone(&daemon.memo);
+        let stop = Arc::clone(&daemon.stop);
+        let stats = Arc::clone(&daemon.stats);
+        handles.push(std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("daemon queue poisoned").recv();
+            match conn {
+                Ok(conn) => {
+                    serve_connection(
+                        conn,
+                        opts.clone(),
+                        solve_threads,
+                        idle_timeout,
+                        &memo,
+                        &stop,
+                        &stats,
+                    );
+                    stats.record_close();
+                }
+                Err(_) => break, // accept loop gone, queue drained
+            }
+        }));
+    }
+    let mut fatal = None;
+    while !daemon.stop.load(Ordering::SeqCst) {
+        let accepted = match &daemon.listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        match accepted {
+            Ok(conn) => {
+                // The listener is nonblocking only so this loop can poll
+                // the stop flag; clients must block normally (on several
+                // platforms accepted sockets inherit the listener's
+                // nonblocking mode).
+                if conn.set_blocking().is_err() {
+                    continue;
+                }
+                let limit = daemon.config.max_clients;
+                // `connections_current` counts queued + served — exactly
+                // the in-flight number the backpressure bound governs.
+                if limit > 0 && daemon.stats.connections_current() >= limit as u64 {
+                    // Over the backpressure bound: tell the client *why*
+                    // and hang up, instead of letting it queue behind
+                    // `limit` busy connections indefinitely.
+                    daemon.stats.record_reject();
+                    reject_connection(conn, limit);
+                    continue;
+                }
+                daemon.stats.record_accept();
+                if tx.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if transient_accept_error(&e) => {
+                // E.g. the client reset between SYN and accept: not a
+                // reason to take the daemon down.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                // A broken listener is an error the operator must see,
+                // not a clean-looking shutdown.
+                fatal = Some(e);
+                break;
+            }
+        }
+    }
+    daemon.stop.store(true, Ordering::SeqCst);
+    drop(tx);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Sends the backpressure reject line and drops the connection.
+fn reject_connection(mut conn: Conn, limit: usize) {
+    let line = capacity_reject_line(limit);
+    let _ = writeln!(conn, "{line}");
+    let _ = conn.flush();
+}
+
+/// How one attempt to read a request line ended.
+enum LineRead {
+    /// A complete `\n`-terminated line (or final unterminated line at
+    /// EOF).
+    Line(Vec<u8>),
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// No request completed within the idle bound.
+    IdleTimeout,
+    /// The daemon is stopping, or the line outgrew its byte bound, or a
+    /// real I/O error occurred — drop the connection without ceremony.
+    Drop,
+}
+
+/// Reads one request line through the shared [`LineFramer`], re-checking
+/// the stop flag and the idle clock before **every** read — the very
+/// first one included, so a connection whose client never sends a byte
+/// still observes a daemon shutdown within one read-timeout tick. A
+/// client that drips bytes without ever completing a line likewise hits
+/// the idle bound instead of pinning the worker, and a single line is
+/// capped at [`MAX_REQUEST_BYTES`].
+fn read_request_line(
+    conn: &mut Conn,
+    framer: &mut LineFramer,
+    idle_timeout: Duration,
+    last_request: Instant,
+    stop: &AtomicBool,
+) -> LineRead {
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return LineRead::Drop;
+        }
+        if !idle_timeout.is_zero() && last_request.elapsed() >= idle_timeout {
+            return LineRead::IdleTimeout;
+        }
+        // A pipelined request may already be buffered from the previous
+        // chunk — serve it before touching the socket again.
+        if let Some(line) = framer.next_line() {
+            return LineRead::Line(line);
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: surface a final unterminated line if one is
+                // buffered, else a clean end of stream.
+                return match framer.take_remainder() {
+                    Some(rest) => LineRead::Line(rest),
+                    None => LineRead::Eof,
+                };
+            }
+            Ok(n) => {
+                if framer.push(&chunk[..n]).is_err() {
+                    return LineRead::Drop;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return LineRead::Drop,
+        }
+    }
+}
+
+/// One connection: a private `Server`/`Workspace` over the shared memo,
+/// driven line by line until shutdown, EOF, or idle eviction. I/O errors
+/// just end the connection — they never unwind into the worker pool.
+///
+/// Reads are bounded by a short timeout and go through
+/// [`read_request_line`], so the worker observes the stop flag and the
+/// idle clock between every received chunk: neither a silent half-open
+/// client nor one dripping bytes without a newline can pin a worker or
+/// block the drain-and-join shutdown. A client that completes no request
+/// for `idle_timeout` is told so and disconnected, releasing its pool
+/// worker for queued connections.
+#[allow(clippy::too_many_arguments)]
+fn serve_connection(
+    conn: Conn,
+    opts: SessionOptions,
+    solve_threads: usize,
+    idle_timeout: Duration,
+    memo: &Arc<SolveMemo>,
+    stop: &AtomicBool,
+    stats: &Arc<DaemonStats>,
+) {
+    debug_assert_eq!(stats.frontend(), Frontend::Threads);
+    let Ok(mut read_half) = conn.try_clone() else {
+        return;
+    };
+    if read_half
+        .set_read_timeout(Duration::from_millis(100))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = conn;
+    let mut ws = Workspace::with_shared_memo(opts, Arc::clone(memo));
+    ws.set_solve_threads(solve_threads);
+    let mut server = Server::with_workspace(ws);
+    server.set_daemon_stats(Arc::clone(stats));
+    let mut framer = LineFramer::new(MAX_REQUEST_BYTES);
+    let mut last_request = Instant::now();
+    loop {
+        let line = match read_request_line(
+            &mut read_half,
+            &mut framer,
+            idle_timeout,
+            last_request,
+            stop,
+        ) {
+            LineRead::Line(line) => line,
+            LineRead::IdleTimeout => {
+                let _ = writeln!(writer, "{}", idle_goodbye_line(idle_timeout));
+                let _ = writer.flush();
+                break;
+            }
+            LineRead::Eof | LineRead::Drop => break,
+        };
+        let request = decode_request(line);
+        if request.trim().is_empty() {
+            continue;
+        }
+        let daemon_stop = is_daemon_shutdown(&request);
+        let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
+        if daemon_stop {
+            // Before the write: a client hanging up right after asking for
+            // a daemon shutdown must still stop the daemon.
+            stop.store(true, Ordering::SeqCst);
+        }
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if daemon_stop || server.is_done() {
+            break;
+        }
+        // Restart the idle clock only *after* the response: time spent
+        // compiling must never count against the client, or one request
+        // longer than the bound would evict them mid-conversation.
+        last_request = Instant::now();
+    }
+}

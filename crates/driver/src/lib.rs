@@ -64,7 +64,7 @@ pub mod session;
 pub mod workspace;
 
 pub use batch::{compile_many, SourceInput};
-pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
+pub use daemon::{Daemon, DaemonConfig, DaemonStats, DaemonSummary, Frontend};
 pub use server::{parse_json, Json, Server};
 pub use session::{Compilation, CompileResult, Session, SessionOptions};
 pub use workspace::{PassCounts, PolicyOutcome, Workspace, FILE_SPAN_STRIDE};

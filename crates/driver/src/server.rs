@@ -258,6 +258,9 @@ fn read_hex4(b: &[u8], at: usize) -> Option<u32> {
 pub struct Server {
     ws: Workspace,
     done: bool,
+    /// Live daemon serving counters (set only when this server runs
+    /// behind `cjrcd`); surfaced under `stats.daemon`.
+    daemon_stats: Option<std::sync::Arc<crate::daemon::DaemonStats>>,
 }
 
 impl Server {
@@ -270,7 +273,18 @@ impl Server {
     /// gives every connection a workspace feeding one shared SCC memo
     /// ([`Workspace::with_shared_memo`]).
     pub fn with_workspace(ws: Workspace) -> Server {
-        Server { ws, done: false }
+        Server {
+            ws,
+            done: false,
+            daemon_stats: None,
+        }
+    }
+
+    /// Attaches the daemon's live serving counters, making the `stats`
+    /// response report a `"daemon"` object (front end, clients served and
+    /// rejected, current and peak connection counts).
+    pub fn set_daemon_stats(&mut self, stats: std::sync::Arc<crate::daemon::DaemonStats>) {
+        self.daemon_stats = Some(stats);
     }
 
     /// Whether a `shutdown` request has been processed.
@@ -439,6 +453,9 @@ impl Server {
                     memo.shared_hits(),
                     memo.disk_hits()
                 );
+                if let Some(daemon) = &self.daemon_stats {
+                    let _ = write!(extra, ",\"daemon\":{}", daemon.to_json());
+                }
                 // A pure read of cached state: `stats` never compiles.
                 let opts = self.request_opts(req)?;
                 if let Some(compilation) = self.ws.cached_compilation(opts) {

@@ -5,9 +5,10 @@
 //! computed), cross-client SCC reuse must actually happen and be
 //! observable, and a daemon-scope shutdown must drain cleanly.
 
-use cj_driver::{Daemon, DaemonConfig, Server, SessionOptions};
+use cj_driver::{Daemon, DaemonConfig, Frontend, Server, SessionOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 const CELL: &str = "class Cell { Object item; Object get() { this.item } \
                     void put(Object o) { this.item = o; } }";
@@ -75,11 +76,13 @@ fn drive_isolated(lines: &[String]) -> Vec<String> {
     lines.iter().map(|l| server.handle_line(l)).collect()
 }
 
-#[test]
-fn concurrent_clients_match_isolated_sessions_and_share_sccs() {
+/// The full concurrent-clients e2e, parameterized over the front end:
+/// both must produce byte-identical protocol output.
+fn concurrent_clients_e2e(frontend: Frontend) {
     let daemon = Daemon::bind_tcp(
         "127.0.0.1:0",
         DaemonConfig {
+            frontend,
             workers: 4,
             solve_threads: 2,
             ..DaemonConfig::default()
@@ -134,10 +137,18 @@ fn concurrent_clients_match_isolated_sessions_and_share_sccs() {
         .and_then(|n| n.parse::<u64>().ok())
         .expect("check response carries sccs_shared_hits");
     assert!(shared_field > 0, "expected cross-client hits in {check}");
-    // ...and `stats` exposes the memo-wide shared view.
+    // ...and `stats` exposes the memo-wide shared view plus the daemon
+    // counters (which front end, how many clients, connection peak).
     let stats = &got[7];
     assert!(stats.contains("\"shared_memo\":{"), "{stats}");
     assert!(!stats.contains("\"shared_hits\":0"), "{stats}");
+    assert!(stats.contains("\"daemon\":{"), "{stats}");
+    assert!(
+        stats.contains(&format!("\"frontend\":\"{}\"", frontend.name())),
+        "{stats}"
+    );
+    assert!(stats.contains("\"clients_served\":"), "{stats}");
+    assert!(stats.contains("\"connections_peak\":"), "{stats}");
     // Byte-identical semantics for the late client too.
     let want = drive_isolated(&script(0));
     for (k, w) in want.iter().enumerate() {
@@ -158,6 +169,180 @@ fn concurrent_clients_match_isolated_sessions_and_share_sccs() {
     assert!(bye[0].contains("\"status\":\"bye\""), "{:?}", bye);
     let summary = daemon_thread.join().expect("daemon thread");
     assert_eq!(summary.clients_served, 5);
+    assert!(
+        summary.connections_peak >= 3,
+        "three clients were connected at once, peak {}",
+        summary.connections_peak
+    );
+}
+
+#[test]
+fn concurrent_clients_match_isolated_sessions_and_share_sccs() {
+    concurrent_clients_e2e(Frontend::Event);
+}
+
+#[test]
+fn concurrent_clients_match_isolated_sessions_threads_frontend() {
+    concurrent_clients_e2e(Frontend::Threads);
+}
+
+/// Event front end: a client dripping a request one byte at a time (one
+/// poller turn per byte) exercises torn-frame reassembly; the responses
+/// must match a well-behaved client's byte for byte.
+#[test]
+fn event_frontend_reassembles_byte_dripped_requests() {
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let requests = vec![
+        format!(
+            "{{\"cmd\":\"open\",\"file\":\"cell.cj\",\"text\":{}}}",
+            cj_diag::json_string(CELL)
+        ),
+        "{\"cmd\":\"check\"}".to_string(),
+    ];
+    let mut got = Vec::new();
+    for request in &requests {
+        for byte in request.as_bytes() {
+            writer.write_all(std::slice::from_ref(byte)).expect("drip");
+            writer.flush().expect("flush");
+        }
+        writer.write_all(b"\n").expect("terminate");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "daemon closed early on `{request}`");
+        got.push(response.trim_end().to_string());
+    }
+    assert!(
+        got[1].contains("\"status\":\"well-region-typed\""),
+        "{}",
+        got[1]
+    );
+    let want = drive_isolated(&requests);
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(strip_passes(g), strip_passes(w), "dripped answer diverged");
+    }
+    drop(reader);
+    drop(writer);
+
+    let bye = drive_tcp(
+        addr,
+        &["{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string()],
+    );
+    assert!(bye[0].contains("\"status\":\"bye\""), "{bye:?}");
+    daemon_thread.join().expect("daemon thread");
+}
+
+/// Event front end: several requests arriving in **one** TCP segment are
+/// answered in order — the framer holds pipelined lines while a request
+/// is in flight instead of dropping or reordering them.
+#[test]
+fn event_frontend_serves_pipelined_requests_in_order() {
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    let requests = vec![
+        format!(
+            "{{\"cmd\":\"open\",\"file\":\"cell.cj\",\"text\":{}}}",
+            cj_diag::json_string(CELL)
+        ),
+        "{\"cmd\":\"check\"}".to_string(),
+        "{\"cmd\":\"query\",\"invariant\":\"Cell\"}".to_string(),
+        "{\"cmd\":\"shutdown\"}".to_string(),
+    ];
+    let mut batch = String::new();
+    for request in &requests {
+        batch.push_str(request);
+        batch.push('\n');
+    }
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    // The whole conversation in a single write: every request after the
+    // first waits first in the framer, then behind the paused reader.
+    writer.write_all(batch.as_bytes()).expect("send batch");
+    writer.flush().expect("flush");
+    let mut got = Vec::new();
+    for request in &requests {
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "daemon closed early on `{request}`");
+        got.push(response.trim_end().to_string());
+    }
+    let want = drive_isolated(&requests);
+    for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(strip_passes(g), strip_passes(w), "pipelined line {k}");
+    }
+    assert!(got[3].contains("\"status\":\"bye\""), "{}", got[3]);
+
+    let bye = drive_tcp(
+        addr,
+        &["{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string()],
+    );
+    assert!(bye[0].contains("\"status\":\"bye\""), "{bye:?}");
+    daemon_thread.join().expect("daemon thread");
+}
+
+/// Event front end: a half-open client (partial request, then silence)
+/// is evicted by the idle clock with a structured goodbye — and while it
+/// idles, a well-behaved client is served in full, proving the one event
+/// thread is never pinned by the stalled connection.
+#[test]
+fn event_frontend_evicts_half_open_client_without_pinning() {
+    let daemon = Daemon::bind_tcp(
+        "127.0.0.1:0",
+        DaemonConfig {
+            workers: 1,
+            idle_timeout: Duration::from_millis(300),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // The half-open client: a torn request fragment, then silence. The
+    // partial bytes must NOT reset the idle clock.
+    let mut half_open = TcpStream::connect(addr).expect("half-open connect");
+    half_open
+        .write_all(b"{\"cmd\":\"chec")
+        .expect("partial write");
+    half_open.flush().expect("flush");
+
+    // Meanwhile a full conversation completes on the same event thread.
+    let got = drive_tcp(addr, &script(0));
+    assert!(
+        got[2].contains("\"status\":\"well-region-typed\""),
+        "{}",
+        got[2]
+    );
+
+    // The stalled client is told why it is being disconnected...
+    half_open
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(half_open);
+    let mut goodbye = String::new();
+    reader.read_line(&mut goodbye).expect("idle goodbye");
+    assert!(goodbye.contains("\"code\":\"idle\""), "{goodbye}");
+    // ...and then actually disconnected.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0, "{rest}");
+
+    let bye = drive_tcp(
+        addr,
+        &["{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string()],
+    );
+    assert!(bye[0].contains("\"status\":\"bye\""), "{bye:?}");
+    let summary = daemon_thread.join().expect("daemon thread");
+    assert_eq!(summary.clients_served, 3);
 }
 
 #[cfg(unix)]

@@ -6,7 +6,7 @@
 //! reporting `sccs_disk_hits`, and a mutilated cache must cold-start
 //! rather than fail.
 
-use cj_driver::{Daemon, DaemonConfig, SessionOptions, Workspace};
+use cj_driver::{Daemon, DaemonConfig, Frontend, SessionOptions, Workspace};
 use cj_persist::SccDiskCache;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -322,6 +322,7 @@ fn byte_dripping_clients_hit_the_idle_bound_too() {
     let daemon = Daemon::bind_tcp(
         "127.0.0.1:0",
         DaemonConfig {
+            frontend: Frontend::Threads,
             workers: 1,
             idle_timeout: Duration::from_millis(300),
             ..DaemonConfig::default()
@@ -367,6 +368,7 @@ fn idle_clients_are_evicted_and_release_their_worker() {
     let daemon = Daemon::bind_tcp(
         "127.0.0.1:0",
         DaemonConfig {
+            frontend: Frontend::Threads,
             workers: 1,
             idle_timeout: Duration::from_millis(300),
             ..DaemonConfig::default()

@@ -1,0 +1,944 @@
+//! # cj-loadgen — the serving-path load harness
+//!
+//! Replays synthetic `open`/`edit`/`check`/`query`/`policy` traffic
+//! against a live `cjrcd` from **one** thread: every simulated client is
+//! multiplexed over a single [`cj_net::EventLoop`] in client mode, the
+//! mirror image of the daemon's event front end. That is what lets the
+//! harness hold thousands of concurrent connections (and measure the
+//! daemon doing the same) without a thousand threads of its own.
+//!
+//! The traffic model is the standard two-level one:
+//!
+//! - **Open-loop arrivals**: connections are *scheduled* at a fixed rate
+//!   ([`LoadConfig::arrival_per_sec`]), independent of how fast the
+//!   daemon answers — the load does not politely back off when the
+//!   server slows down. Rate `0` connects everyone immediately.
+//! - **Closed-loop conversations**: within a connection, each request
+//!   waits for its response plus a jittered think time
+//!   ([`LoadConfig::think`]) — a client never has two requests in
+//!   flight, matching the daemon's one-request-per-connection pacing.
+//!
+//! Every response is validated against the request kind that produced it
+//! (a `check` must come back `well-region-typed`, a `query` must carry
+//! an abstraction, …); any mismatch, premature close, or read failure is
+//! a **protocol error**, and the harness exists to prove that count is
+//! zero at depth. All scheduling decisions derive from
+//! [`LoadConfig::seed`], so a run is reproducible end to end.
+//!
+//! The result is a [`LoadReport`]: latency percentiles per request kind,
+//! aggregate request rate, the connection high-water mark seen on both
+//! sides, and the shared-memo hit rates scraped from a final `stats`
+//! probe — rendered as the JSON committed to `BENCH_daemon.json`.
+
+#![forbid(missing_docs)]
+
+use cj_net::{EventLoop, NetConfig, NetEvent, NetStream, Token};
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+// ---- deterministic randomness ---------------------------------------------
+
+/// A tiny splitmix64 generator: one `u64` of state, full 64-bit output,
+/// good enough to diversify scripts and think times reproducibly (this
+/// is a load harness, not a cryptosystem).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed` (any value, zero included).
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---- the synthetic workload ------------------------------------------------
+
+/// What kind of protocol request a script line is — the unit latency is
+/// bucketed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// `{"cmd":"open",...}` — introduce a file.
+    Open,
+    /// `{"cmd":"edit",...}` — replace a file (incremental recompile).
+    Edit,
+    /// `{"cmd":"check"}` — full region-check of the workspace.
+    Check,
+    /// `{"cmd":"query",...}` — read a solved abstraction from `Q`.
+    Query,
+    /// `{"cmd":"policy",...}` — enforce region-effect rules.
+    Policy,
+    /// `{"cmd":"shutdown"}` — connection-scope goodbye.
+    Shutdown,
+}
+
+impl Kind {
+    /// Every kind, in report order.
+    pub const ALL: [Kind; 6] = [
+        Kind::Open,
+        Kind::Edit,
+        Kind::Check,
+        Kind::Query,
+        Kind::Policy,
+        Kind::Shutdown,
+    ];
+
+    /// The report/JSON label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Open => "open",
+            Kind::Edit => "edit",
+            Kind::Check => "check",
+            Kind::Query => "query",
+            Kind::Policy => "policy",
+            Kind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One scripted request: the kind (for bucketing and validation) and the
+/// JSON line to send.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Which latency bucket and validator applies.
+    pub kind: Kind,
+    /// The protocol line (no trailing newline).
+    pub line: String,
+}
+
+/// One shared library class plus consumer variants over it. Clients
+/// drawing the same workload solve the same SCCs — that overlap is what
+/// exercises the daemon's cross-client memo.
+struct Workload {
+    class_name: &'static str,
+    lib: &'static str,
+    consumers: [&'static str; 3],
+}
+
+const WORKLOADS: [Workload; 3] = [
+    Workload {
+        class_name: "Cell",
+        lib: "class Cell { Object item; Object get() { this.item } \
+              void put(Object o) { this.item = o; } }",
+        consumers: [
+            "class M { static Object f(Cell c) { c.get() } }",
+            "class M { static Object f(Cell c) { c.put(c.get()); c.get() } }",
+            "class M { static Object f(Cell c) { Cell d = new Cell(null); \
+              d.put(c.get()); d.get() } }",
+        ],
+    },
+    Workload {
+        class_name: "Pair",
+        lib: "class Pair { Object fst; Object snd; Object first() { this.fst } \
+              void swap() { Object t = this.fst; this.fst = this.snd; this.snd = t; } }",
+        consumers: [
+            "class M { static Object f(Pair p) { p.first() } }",
+            "class M { static Object f(Pair p) { p.swap(); p.first() } }",
+            "class M { static Object f(Pair p) { Pair q = new Pair(null, null); \
+              q.swap(); q.first() } }",
+        ],
+    },
+    Workload {
+        class_name: "Box",
+        lib: "class Box { Object v; Object take() { this.v } \
+              void fill(Object o) { this.v = o; } }",
+        consumers: [
+            "class M { static Object f(Box b) { b.take() } }",
+            "class M { static Object f(Box b) { b.fill(b.take()); b.take() } }",
+            "class M { static Object f(Box b) { Box c = new Box(null); \
+              c.fill(b.take()); c.take() } }",
+        ],
+    },
+];
+
+fn open_line(file: &str, text: &str) -> String {
+    format!(
+        "{{\"cmd\":\"open\",\"file\":\"{file}\",\"text\":{}}}",
+        cj_diag::json_string(text)
+    )
+}
+
+fn edit_line(file: &str, text: &str) -> String {
+    format!(
+        "{{\"cmd\":\"edit\",\"file\":\"{file}\",\"text\":{}}}",
+        cj_diag::json_string(text)
+    )
+}
+
+/// The deterministic conversation of client `id` under `seed`: open a
+/// shared library and a consumer, check, query the library's invariant,
+/// edit the consumer and re-check (the incremental path), enforce a
+/// region-escape policy, sometimes test an entailment, and say goodbye.
+pub fn client_script(seed: u64, id: usize) -> Vec<Request> {
+    let mut rng = Rng::new(seed ^ (id as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    let workload = &WORKLOADS[rng.below(WORKLOADS.len() as u64) as usize];
+    let first = rng.below(3) as usize;
+    let second = (first + 1 + rng.below(2) as usize) % 3;
+    let mut script = vec![
+        Request {
+            kind: Kind::Open,
+            line: open_line("lib.cj", workload.lib),
+        },
+        Request {
+            kind: Kind::Open,
+            line: open_line("main.cj", workload.consumers[first]),
+        },
+        Request {
+            kind: Kind::Check,
+            line: "{\"cmd\":\"check\"}".to_string(),
+        },
+        Request {
+            kind: Kind::Query,
+            line: format!(
+                "{{\"cmd\":\"query\",\"invariant\":\"{}\"}}",
+                workload.class_name
+            ),
+        },
+        Request {
+            kind: Kind::Edit,
+            line: edit_line("main.cj", workload.consumers[second]),
+        },
+        Request {
+            kind: Kind::Check,
+            line: "{\"cmd\":\"check\"}".to_string(),
+        },
+        Request {
+            kind: Kind::Policy,
+            line: format!(
+                "{{\"cmd\":\"policy\",\"rules\":\"no-escape {}\"}}",
+                workload.class_name
+            ),
+        },
+    ];
+    if rng.below(2) == 0 {
+        script.push(Request {
+            kind: Kind::Query,
+            line: format!(
+                "{{\"cmd\":\"query\",\"invariant\":\"{}\",\"entails\":\"r2>=r1\"}}",
+                workload.class_name
+            ),
+        });
+    }
+    script.push(Request {
+        kind: Kind::Shutdown,
+        line: "{\"cmd\":\"shutdown\"}".to_string(),
+    });
+    script
+}
+
+/// Whether `response` is a protocol-valid answer to a `kind` request.
+/// Semantic outcomes that depend on the program (a policy verdict, an
+/// entailment truth value) are accepted either way; malformed or
+/// error-shaped responses are not.
+pub fn validate(kind: Kind, response: &str) -> bool {
+    match kind {
+        Kind::Open | Kind::Edit => response.starts_with("{\"ok\":true"),
+        Kind::Check => response.contains("\"status\":\"well-region-typed\""),
+        Kind::Query => response.contains("\"abs\":") || response.contains("\"entails\":"),
+        Kind::Policy => response.contains("\"status\":\"policy-"),
+        Kind::Shutdown => response.contains("\"status\":\"bye\""),
+    }
+}
+
+// ---- configuration ---------------------------------------------------------
+
+/// Tunables of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// The live daemon to drive.
+    pub addr: SocketAddr,
+    /// How many simulated clients to run.
+    pub clients: usize,
+    /// Open-loop connection arrivals per second (0 = all at once).
+    pub arrival_per_sec: f64,
+    /// Mean closed-loop think time between a response and the next
+    /// request (jittered ±50% per step; zero = none).
+    pub think: Duration,
+    /// Seed for every random decision (scripts, jitter).
+    pub seed: u64,
+    /// Hold every connection open until **all** clients are connected
+    /// before the first request is sent — this is what pushes the
+    /// daemon's connection high-water mark to `clients`.
+    pub hold_barrier: bool,
+    /// Abort (as a harness failure, not a daemon bug) if the whole run
+    /// exceeds this bound.
+    pub deadline: Duration,
+}
+
+impl LoadConfig {
+    /// A default-shaped config against `addr`.
+    pub fn new(addr: SocketAddr) -> LoadConfig {
+        LoadConfig {
+            addr,
+            clients: 200,
+            arrival_per_sec: 0.0,
+            think: Duration::ZERO,
+            seed: 42,
+            hold_barrier: true,
+            deadline: Duration::from_secs(600),
+        }
+    }
+}
+
+// ---- the report ------------------------------------------------------------
+
+/// Latency summary of one request kind, in microseconds.
+#[derive(Debug, Clone)]
+pub struct KindStats {
+    /// Which request kind.
+    pub kind: Kind,
+    /// How many requests of this kind completed.
+    pub count: usize,
+    /// Median latency.
+    pub p50_us: u64,
+    /// 95th-percentile latency.
+    pub p95_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+    /// Worst observed latency.
+    pub max_us: u64,
+}
+
+/// The daemon's own view, scraped from a final `stats` probe.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonSnapshot {
+    /// Which front end served the run.
+    pub frontend: String,
+    /// Connections ever accepted.
+    pub clients_served: u64,
+    /// Connections turned away at the capacity bound.
+    pub clients_rejected: u64,
+    /// The daemon-side connection high-water mark.
+    pub connections_peak: u64,
+    /// Solved SCC abstractions resident in the shared memo.
+    pub memo_entries: u64,
+    /// Memo lookups that hit.
+    pub memo_hits: u64,
+    /// Memo lookups that missed (work actually done).
+    pub memo_misses: u64,
+    /// Hits on entries another client solved — the cross-client payoff.
+    pub memo_shared_hits: u64,
+    /// Hits served from the on-disk cache.
+    pub memo_disk_hits: u64,
+}
+
+/// Everything one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Clients simulated.
+    pub clients: usize,
+    /// Requests completed (responses received and validated).
+    pub requests: usize,
+    /// Validation failures, premature closes, I/O errors.
+    pub protocol_errors: usize,
+    /// First connect to last response.
+    pub elapsed: Duration,
+    /// Completed requests per second over the request phase.
+    pub requests_per_sec: f64,
+    /// Harness-side connection high-water mark.
+    pub peak_connections_local: usize,
+    /// Per-kind latency summaries (kinds with traffic only).
+    pub per_kind: Vec<KindStats>,
+    /// The daemon's counters, if the `stats` probe succeeded.
+    pub daemon: Option<DaemonSnapshot>,
+}
+
+/// Nearest-rank percentile over an already sorted sample, `p` in 0..=100.
+pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+impl LoadReport {
+    /// The largest p99 across all request kinds — what a smoke test
+    /// bounds.
+    pub fn worst_p99_us(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.p99_us).max().unwrap_or(0)
+    }
+
+    /// Renders the report as the `BENCH_daemon.json` document.
+    pub fn to_json(&self, config: &LoadConfig) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"benchmark\": \"cjrcd-loadgen\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"clients\": {}, \"arrival_per_sec\": {}, \
+             \"think_ms\": {}, \"seed\": {}, \"hold_barrier\": {}}},\n",
+            config.clients,
+            config.arrival_per_sec,
+            config.think.as_millis(),
+            config.seed,
+            config.hold_barrier,
+        ));
+        out.push_str(&format!(
+            "  \"requests\": {},\n  \"protocol_errors\": {},\n  \
+             \"elapsed_secs\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \
+             \"peak_connections_local\": {},\n",
+            self.requests,
+            self.protocol_errors,
+            self.elapsed.as_secs_f64(),
+            self.requests_per_sec,
+            self.peak_connections_local,
+        ));
+        out.push_str("  \"latency_us\": {\n");
+        for (i, k) in self.per_kind.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \
+                 \"p99\": {}, \"max\": {}}}{}\n",
+                k.kind.name(),
+                k.count,
+                k.p50_us,
+                k.p95_us,
+                k.p99_us,
+                k.max_us,
+                if i + 1 < self.per_kind.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  },\n");
+        match &self.daemon {
+            Some(d) => {
+                let lookups = d.memo_hits + d.memo_misses;
+                let hit_rate = if lookups == 0 {
+                    0.0
+                } else {
+                    d.memo_hits as f64 / lookups as f64
+                };
+                out.push_str(&format!(
+                    "  \"daemon\": {{\"frontend\": \"{}\", \"clients_served\": {}, \
+                     \"clients_rejected\": {}, \"connections_peak\": {}}},\n",
+                    d.frontend, d.clients_served, d.clients_rejected, d.connections_peak,
+                ));
+                out.push_str(&format!(
+                    "  \"memo\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+                     \"shared_hits\": {}, \"disk_hits\": {}, \"hit_rate\": {:.3}}}\n",
+                    d.memo_entries,
+                    d.memo_hits,
+                    d.memo_misses,
+                    d.memo_shared_hits,
+                    d.memo_disk_hits,
+                    hit_rate,
+                ));
+            }
+            None => out.push_str("  \"daemon\": null,\n  \"memo\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+// ---- the harness -----------------------------------------------------------
+
+/// A scheduled step: connect a client or send its next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Connect(usize),
+    Send(usize),
+}
+
+/// Min-heap entry ordered by due time (sequence breaks ties FIFO).
+#[derive(Debug, PartialEq, Eq)]
+struct Due {
+    when: Instant,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for Due {
+    fn cmp(&self, other: &Due) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Due) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One simulated client's progress through its script.
+struct SimClient {
+    token: Option<Token>,
+    script: Vec<Request>,
+    /// Index of the request in flight (or next to send).
+    next: usize,
+    /// When the in-flight request was sent, if one is.
+    sent_at: Option<Instant>,
+    finished: bool,
+}
+
+/// The harness state while a run is in flight.
+struct Harness<'a> {
+    config: &'a LoadConfig,
+    el: EventLoop,
+    clients: Vec<SimClient>,
+    by_token: HashMap<Token, usize>,
+    schedule: BinaryHeap<Due>,
+    seq: u64,
+    rng: Rng,
+    connected: usize,
+    finished: usize,
+    samples: HashMap<Kind, Vec<u64>>,
+    protocol_errors: usize,
+    first_send: Option<Instant>,
+    last_response: Option<Instant>,
+}
+
+/// Runs one full load against a live daemon and returns the report.
+/// Harness-side failures (cannot connect, deadline exceeded) are `Err`;
+/// daemon misbehavior is counted in [`LoadReport::protocol_errors`].
+pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let el = EventLoop::client(NetConfig {
+        max_clients: 0,
+        idle_timeout: Duration::ZERO,
+        max_line_bytes: 16 << 20,
+    })?;
+    let start = Instant::now();
+    let mut harness = Harness {
+        config,
+        el,
+        clients: (0..config.clients)
+            .map(|id| SimClient {
+                token: None,
+                script: client_script(config.seed, id),
+                next: 0,
+                sent_at: None,
+                finished: false,
+            })
+            .collect(),
+        by_token: HashMap::new(),
+        schedule: BinaryHeap::new(),
+        seq: 0,
+        rng: Rng::new(config.seed ^ 0x7468_696E_6B21_7468),
+        connected: 0,
+        finished: 0,
+        samples: HashMap::new(),
+        protocol_errors: 0,
+        first_send: None,
+        last_response: None,
+    };
+    harness.schedule_arrivals(start);
+    harness.drive(start)?;
+    let elapsed = start.elapsed();
+    Ok(harness.into_report(config, elapsed))
+}
+
+impl Harness<'_> {
+    fn push(&mut self, when: Instant, action: Action) {
+        self.seq += 1;
+        self.schedule.push(Due {
+            when,
+            seq: self.seq,
+            action,
+        });
+    }
+
+    /// Open-loop arrival schedule: client `i` connects at
+    /// `start + i / rate` (or immediately when the rate is 0).
+    fn schedule_arrivals(&mut self, start: Instant) {
+        for id in 0..self.config.clients {
+            let when = if self.config.arrival_per_sec > 0.0 {
+                start + Duration::from_secs_f64(id as f64 / self.config.arrival_per_sec)
+            } else {
+                start
+            };
+            self.push(when, Action::Connect(id));
+        }
+    }
+
+    /// Jittered closed-loop think time: uniform in `[t/2, 3t/2)`.
+    fn think_time(&mut self) -> Duration {
+        let base = self.config.think;
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let micros = (base.as_micros() as u64).max(1);
+        Duration::from_micros(micros / 2 + self.rng.below(micros))
+    }
+
+    fn connect(&mut self, id: usize) -> std::io::Result<()> {
+        // Bursts can transiently overflow the listener backlog; retry
+        // briefly before declaring the daemon unreachable.
+        let mut delay = Duration::from_millis(1);
+        let mut stream = None;
+        for _ in 0..8 {
+            match TcpStream::connect(self.config.addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(100));
+                }
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => TcpStream::connect(self.config.addr)?,
+        };
+        let token = self.el.add_stream(NetStream::Tcp(stream))?;
+        self.by_token.insert(token, id);
+        self.clients[id].token = Some(token);
+        self.connected += 1;
+        let now = Instant::now();
+        if self.config.hold_barrier {
+            if self.connected == self.config.clients {
+                // Barrier reached: everyone starts talking. The daemon's
+                // connection count is at its high-water mark right now.
+                for other in 0..self.config.clients {
+                    let think = self.think_time();
+                    self.push(now + think, Action::Send(other));
+                }
+            }
+        } else {
+            self.push(now, Action::Send(id));
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, id: usize) {
+        let client = &mut self.clients[id];
+        let (Some(token), Some(request)) = (client.token, client.script.get(client.next)) else {
+            return;
+        };
+        let mut bytes = request.line.clone().into_bytes();
+        bytes.push(b'\n');
+        let now = Instant::now();
+        client.sent_at = Some(now);
+        self.first_send.get_or_insert(now);
+        // `resume` re-arms line delivery paused by the previous response;
+        // it is a no-op before the first one.
+        self.el.send(token, &bytes);
+        self.el.resume(token);
+    }
+
+    fn on_line(&mut self, token: Token, line: Vec<u8>) {
+        let Some(&id) = self.by_token.get(&token) else {
+            return;
+        };
+        let now = Instant::now();
+        self.last_response = Some(now);
+        let client = &mut self.clients[id];
+        let Some(sent_at) = client.sent_at.take() else {
+            // A response nothing asked for.
+            self.protocol_errors += 1;
+            return;
+        };
+        let kind = client.script[client.next].kind;
+        let response = String::from_utf8_lossy(&line);
+        let valid = validate(kind, response.trim_end());
+        client.next += 1;
+        if client.next >= client.script.len() {
+            // Script complete; the daemon closes after the goodbye. Mark
+            // done now so a well-behaved `Closed` is not an error.
+            client.finished = true;
+            self.finished += 1;
+        }
+        if valid {
+            self.samples
+                .entry(kind)
+                .or_default()
+                .push(now.duration_since(sent_at).as_micros() as u64);
+            if !self.clients[id].finished {
+                let think = self.think_time();
+                self.push(now + think, Action::Send(id));
+            }
+        } else {
+            self.protocol_errors += 1;
+            if !self.clients[id].finished {
+                let think = self.think_time();
+                self.push(now + think, Action::Send(id));
+            }
+        }
+    }
+
+    fn on_closed(&mut self, token: Token) {
+        let Some(id) = self.by_token.remove(&token) else {
+            return;
+        };
+        let client = &mut self.clients[id];
+        client.token = None;
+        if !client.finished {
+            // The daemon hung up mid-script.
+            self.protocol_errors += 1;
+            client.finished = true;
+            self.finished += 1;
+        }
+    }
+
+    fn drive(&mut self, start: Instant) -> std::io::Result<()> {
+        let mut events: Vec<NetEvent> = Vec::new();
+        while self.finished < self.config.clients {
+            if start.elapsed() > self.config.deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "load run exceeded its {:?} deadline ({} of {} clients done)",
+                        self.config.deadline, self.finished, self.config.clients
+                    ),
+                ));
+            }
+            let now = Instant::now();
+            while let Some(due) = self.schedule.peek() {
+                if due.when > now {
+                    break;
+                }
+                let action = self.schedule.pop().expect("peeked entry").action;
+                match action {
+                    Action::Connect(id) => self.connect(id)?,
+                    Action::Send(id) => self.send(id),
+                }
+            }
+            let timeout = match self.schedule.peek() {
+                Some(due) => due.when.saturating_duration_since(Instant::now()),
+                None => Duration::from_millis(50),
+            }
+            .min(Duration::from_millis(50));
+            events.clear();
+            self.el.poll(&mut events, timeout)?;
+            for event in events.drain(..) {
+                match event {
+                    NetEvent::Line { token, line } => self.on_line(token, line),
+                    NetEvent::Closed { token } => self.on_closed(token),
+                    // Client mode: no listener, no idle clock.
+                    NetEvent::Accepted { .. } | NetEvent::IdleExpired { .. } => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn into_report(self, config: &LoadConfig, elapsed: Duration) -> LoadReport {
+        let mut per_kind = Vec::new();
+        let mut requests = 0;
+        for kind in Kind::ALL {
+            let Some(mut samples) = self.samples.get(&kind).cloned() else {
+                continue;
+            };
+            samples.sort_unstable();
+            requests += samples.len();
+            per_kind.push(KindStats {
+                kind,
+                count: samples.len(),
+                p50_us: percentile(&samples, 50.0),
+                p95_us: percentile(&samples, 95.0),
+                p99_us: percentile(&samples, 99.0),
+                max_us: *samples.last().unwrap_or(&0),
+            });
+        }
+        let phase = match (self.first_send, self.last_response) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => elapsed,
+        };
+        let requests_per_sec = if phase.as_secs_f64() > 0.0 {
+            requests as f64 / phase.as_secs_f64()
+        } else {
+            0.0
+        };
+        let daemon = probe_stats(config.addr).ok();
+        LoadReport {
+            clients: config.clients,
+            requests,
+            protocol_errors: self.protocol_errors,
+            elapsed,
+            requests_per_sec,
+            peak_connections_local: self.el.peak_connections(),
+            per_kind,
+            daemon,
+        }
+    }
+}
+
+// ---- the stats probe -------------------------------------------------------
+
+/// Extracts the integer after `"key":` in a flat JSON response.
+fn json_u64(response: &str, key: &str) -> u64 {
+    let pattern = format!("\"{key}\":");
+    response
+        .split(&pattern)
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Extracts the string after `"key":"` in a flat JSON response.
+fn json_str(response: &str, key: &str) -> String {
+    let pattern = format!("\"{key}\":\"");
+    response
+        .split(&pattern)
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// One extra blocking connection that asks the daemon for `stats` and
+/// scrapes the shared-memo and daemon-counter blocks out of the answer.
+pub fn probe_stats(addr: SocketAddr) -> std::io::Result<DaemonSnapshot> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(writer, "{{\"cmd\":\"stats\"}}")?;
+    writer.flush()?;
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if !response.contains("\"shared_memo\":{") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("stats probe got a response without a memo block: {response}"),
+        ));
+    }
+    let snapshot = DaemonSnapshot {
+        frontend: json_str(&response, "frontend"),
+        clients_served: json_u64(&response, "clients_served"),
+        clients_rejected: json_u64(&response, "clients_rejected"),
+        connections_peak: json_u64(&response, "connections_peak"),
+        memo_entries: json_u64(&response, "entries"),
+        memo_hits: json_u64(&response, "hits"),
+        memo_misses: json_u64(&response, "misses"),
+        memo_shared_hits: json_u64(&response, "shared_hits"),
+        memo_disk_hits: json_u64(&response, "disk_hits"),
+    };
+    // Leave the daemon as we found it: a connection-scope goodbye.
+    writeln!(writer, "{{\"cmd\":\"shutdown\"}}")?;
+    writer.flush()?;
+    let mut bye = String::new();
+    let _ = reader.read_line(&mut bye);
+    Ok(snapshot)
+}
+
+/// Asks the daemon at `addr` to shut itself down (daemon scope).
+pub fn shutdown_daemon(addr: SocketAddr) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(writer, "{{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}}")?;
+    writer.flush()?;
+    let mut bye = String::new();
+    let _ = reader.read_line(&mut bye);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_and_scripts_are_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for id in 0..32 {
+            let x = client_script(42, id);
+            let y = client_script(42, id);
+            assert_eq!(x.len(), y.len());
+            for (p, q) in x.iter().zip(&y) {
+                assert_eq!(p.kind, q.kind);
+                assert_eq!(p.line, q.line);
+            }
+            assert_eq!(x.first().map(|r| r.kind), Some(Kind::Open));
+            assert_eq!(x.last().map(|r| r.kind), Some(Kind::Shutdown));
+        }
+        // Different seeds move at least some clients to other workloads.
+        let differs = (0..32).any(|id| {
+            client_script(1, id)
+                .iter()
+                .zip(client_script(2, id).iter())
+                .any(|(p, q)| p.line != q.line)
+        });
+        assert!(differs, "seed must influence the scripts");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        // Rank 4.5 rounds up: the estimator never understates the tail.
+        assert_eq!(percentile(&sorted, 50.0), 60);
+        assert_eq!(percentile(&sorted, 95.0), 100);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn validators_accept_the_real_response_shapes() {
+        assert!(validate(Kind::Open, "{\"ok\":true,\"revision\":1}"));
+        assert!(!validate(Kind::Open, "{\"ok\":false,\"error\":\"nope\"}"));
+        assert!(validate(
+            Kind::Check,
+            "{\"ok\":true,\"status\":\"well-region-typed\"}"
+        ));
+        assert!(!validate(Kind::Check, "{\"ok\":true,\"status\":\"error\"}"));
+        assert!(validate(
+            Kind::Query,
+            "{\"ok\":true,\"abs\":\"inv.Cell<r1>\"}"
+        ));
+        assert!(validate(Kind::Query, "{\"ok\":true,\"entails\":false}"));
+        assert!(validate(
+            Kind::Policy,
+            "{\"ok\":true,\"status\":\"policy-ok\"}"
+        ));
+        assert!(validate(
+            Kind::Policy,
+            "{\"ok\":true,\"status\":\"policy-violations\"}"
+        ));
+        assert!(validate(Kind::Shutdown, "{\"ok\":true,\"status\":\"bye\"}"));
+    }
+
+    #[test]
+    fn every_workload_program_checks_cleanly() {
+        // The scripts assert `well-region-typed`, so every (library,
+        // consumer) pair must actually be a valid program — and the
+        // query/policy lines must be answerable.
+        use cj_driver::{Server, SessionOptions};
+        for workload in &WORKLOADS {
+            for consumer in &workload.consumers {
+                let mut server = Server::new(SessionOptions::default());
+                let open = server.handle_line(&open_line("lib.cj", workload.lib));
+                assert!(open.contains("\"ok\":true"), "{open}");
+                let open = server.handle_line(&open_line("main.cj", consumer));
+                assert!(open.contains("\"ok\":true"), "{open}");
+                let check = server.handle_line("{\"cmd\":\"check\"}");
+                assert!(
+                    check.contains("\"status\":\"well-region-typed\""),
+                    "workload {} consumer `{consumer}`: {check}",
+                    workload.class_name
+                );
+                let query = server.handle_line(&format!(
+                    "{{\"cmd\":\"query\",\"invariant\":\"{}\"}}",
+                    workload.class_name
+                ));
+                assert!(query.contains("\"abs\":"), "{query}");
+                let policy = server.handle_line(&format!(
+                    "{{\"cmd\":\"policy\",\"rules\":\"no-escape {}\"}}",
+                    workload.class_name
+                ));
+                assert!(policy.contains("\"status\":\"policy-"), "{policy}");
+            }
+        }
+    }
+}

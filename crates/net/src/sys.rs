@@ -1,0 +1,357 @@
+//! The `unsafe` syscall floor of cj-net: raw `extern "C"` declarations
+//! for the three readiness primitives the reactor needs — `epoll` (Linux),
+//! `poll(2)` (every other Unix), and a nonblocking self-pipe for
+//! cross-thread wakeups — plus the `fcntl` bits to make them nonblocking.
+//!
+//! This is the **only** module in the workspace that speaks to the OS
+//! directly; everything above it ([`crate::poller`], [`crate::event_loop`])
+//! is safe code over these wrappers. No `libc` crate: the container is
+//! offline and the declarations below are the stable kernel ABI the
+//! standard library itself relies on.
+
+#![allow(non_camel_case_types)]
+
+use std::fs::File;
+use std::io;
+use std::os::fd::{FromRawFd, RawFd};
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::sync::Arc;
+
+// ---- epoll (Linux) ---------------------------------------------------------
+
+/// One `struct epoll_event`. On x86/x86-64 the kernel ABI packs the
+/// struct (no padding between `events` and `data`); everywhere else it is
+/// naturally aligned — exactly the `cfg_attr` split glibc and the `libc`
+/// crate use.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+}
+
+#[cfg(target_os = "linux")]
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: c_int = 2;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: c_int = 3;
+#[cfg(target_os = "linux")]
+pub const EPOLLIN: u32 = 0x001;
+#[cfg(target_os = "linux")]
+pub const EPOLLOUT: u32 = 0x004;
+#[cfg(target_os = "linux")]
+pub const EPOLLERR: u32 = 0x008;
+#[cfg(target_os = "linux")]
+pub const EPOLLHUP: u32 = 0x010;
+
+/// Safe wrapper over an epoll instance; the fd closes on drop.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+pub struct Epoll {
+    fd: std::os::fd::OwnedFd,
+}
+
+#[cfg(target_os = "linux")]
+impl Epoll {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 has no pointer arguments; a negative
+        // return is an error, otherwise we own the returned fd.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, owned epoll descriptor.
+        Ok(Epoll {
+            fd: unsafe { std::os::fd::OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, key: u64) -> io::Result<()> {
+        use std::os::fd::AsRawFd as _;
+        let mut ev = epoll_event { events, data: key };
+        // SAFETY: `ev` outlives the call; DEL ignores the event pointer
+        // but passing a valid one is always allowed.
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `key` for the given readiness interest.
+    pub fn add(&self, fd: RawFd, key: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest_bits(readable, writable), key)
+    }
+
+    /// Changes the interest set of an already registered `fd`.
+    pub fn modify(&self, fd: RawFd, key: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest_bits(readable, writable), key)
+    }
+
+    /// Removes `fd` from the interest list.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` (`-1` = forever), appending `(key,
+    /// readable, writable)` triples to `out`. Error/hangup conditions are
+    /// reported as both readable and writable so the caller's read/write
+    /// paths observe them naturally.
+    pub fn wait(
+        &self,
+        out: &mut Vec<(u64, bool, bool)>,
+        timeout_ms: c_int,
+        capacity: usize,
+    ) -> io::Result<()> {
+        use std::os::fd::AsRawFd as _;
+        let mut buf: Vec<epoll_event> = vec![epoll_event { events: 0, data: 0 }; capacity.max(16)];
+        let n = loop {
+            // SAFETY: `buf` is a valid array of `buf.len()` events.
+            let rc = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        };
+        for ev in &buf[..n] {
+            // Copy out of the (possibly packed) struct field by value.
+            let bits = ev.events;
+            let key = ev.data;
+            let err = bits & (EPOLLERR | EPOLLHUP) != 0;
+            out.push((key, bits & EPOLLIN != 0 || err, bits & EPOLLOUT != 0 || err));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn interest_bits(readable: bool, writable: bool) -> u32 {
+    let mut bits = 0;
+    if readable {
+        bits |= EPOLLIN;
+    }
+    if writable {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+// ---- poll(2) (portable Unix fallback) --------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+#[cfg(target_os = "linux")]
+type nfds_t = c_ulong;
+#[cfg(not(target_os = "linux"))]
+type nfds_t = std::os::raw::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+}
+
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+const O_NONBLOCK: c_int = 0x0004;
+#[cfg(not(any(target_os = "macos", target_os = "ios")))]
+const O_NONBLOCK: c_int = 0o4000;
+
+/// `poll(2)` over a caller-built `pollfd` array; retries on `EINTR`.
+/// Returns the number of descriptors with events.
+pub fn poll_fds(fds: &mut [pollfd], timeout_ms: c_int) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid mutable slice for the whole call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
+
+fn set_nonblocking_fd(fd: c_int) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL on an owned, open fd.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: as above.
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+// ---- the wakeup self-pipe --------------------------------------------------
+
+/// A nonblocking self-pipe: worker threads write one byte to interrupt a
+/// reactor blocked in `epoll_wait`/`poll`; the reactor drains it on
+/// readiness. A full pipe means a wakeup is already pending, so the
+/// `WouldBlock` on write is success, not failure.
+#[derive(Debug)]
+pub struct WakePipe {
+    reader: File,
+    writer: Arc<File>,
+}
+
+impl WakePipe {
+    /// A fresh nonblocking pipe pair.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array.
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here both fds are owned by the `File`s below, which close
+        // them on drop — including on the error paths through `?`.
+        // SAFETY: fresh fds from a successful pipe().
+        let reader = unsafe { File::from_raw_fd(fds[0]) };
+        // SAFETY: as above.
+        let writer = unsafe { File::from_raw_fd(fds[1]) };
+        use std::os::fd::AsRawFd as _;
+        set_nonblocking_fd(reader.as_raw_fd())?;
+        set_nonblocking_fd(writer.as_raw_fd())?;
+        Ok(WakePipe {
+            reader,
+            writer: Arc::new(writer),
+        })
+    }
+
+    /// The raw read-side fd — what the reactor registers for readiness.
+    pub fn read_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd as _;
+        self.reader.as_raw_fd()
+    }
+
+    /// A clonable, thread-safe waker for the write side.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            writer: Arc::clone(&self.writer),
+        }
+    }
+
+    /// Drains every pending wakeup byte (the level-triggered readiness
+    /// would otherwise re-fire forever).
+    pub fn drain(&mut self) {
+        use std::io::Read as _;
+        let mut buf = [0u8; 64];
+        while matches!(self.reader.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// The write side of a [`WakePipe`] — clonable and usable from any thread.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    writer: Arc<File>,
+}
+
+impl Waker {
+    /// Interrupts the reactor's wait. Never blocks: a full pipe already
+    /// guarantees a pending wakeup.
+    pub fn wake(&self) {
+        use std::io::Write as _;
+        let _ = (&*self.writer).write(&[1u8]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_roundtrip_and_drain() {
+        let mut pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker();
+        waker.wake();
+        waker.wake();
+        let mut fds = [pollfd {
+            fd: pipe.read_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        pipe.drain();
+        // Drained: no readiness within a short poll.
+        fds[0].revents = 0;
+        let n = poll_fds(&mut fds, 0).unwrap();
+        assert_eq!(n, 0, "drain must consume every pending byte");
+    }
+
+    #[test]
+    fn full_pipe_wake_is_not_an_error() {
+        let pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker();
+        // A pipe holds ~64 KiB; vastly overshoot to hit WouldBlock.
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        let mut fds = [pollfd {
+            fd: pipe.read_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_sees_pipe_readiness() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), 7, true, false).unwrap();
+        let mut out = Vec::new();
+        ep.wait(&mut out, 0, 16).unwrap();
+        assert!(out.is_empty(), "nothing pending yet");
+        pipe.waker().wake();
+        ep.wait(&mut out, 1000, 16).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], (7, true, false));
+        ep.modify(pipe.read_fd(), 7, false, false).unwrap();
+        out.clear();
+        ep.wait(&mut out, 0, 16).unwrap();
+        assert!(out.is_empty(), "interest cleared");
+        ep.delete(pipe.read_fd()).unwrap();
+    }
+}

@@ -1,0 +1,400 @@
+//! Reactor scenarios shared by the per-backend test binaries
+//! (`reactor.rs` runs the platform default; `reactor_poll.rs` forces the
+//! portable `poll(2)` backend in its own process).
+
+use cj_net::{EventLoop, NetConfig, NetEvent, NetListener, Token};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A server-mode loop on an ephemeral localhost port.
+pub fn listen(config: NetConfig) -> (EventLoop, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let el = EventLoop::new(NetListener::Tcp(listener), config).unwrap();
+    (el, addr)
+}
+
+/// Polls until `pred` is satisfied by the accumulated events (panics
+/// after `secs` seconds).
+pub fn poll_until(
+    el: &mut EventLoop,
+    events: &mut Vec<NetEvent>,
+    secs: u64,
+    mut pred: impl FnMut(&[NetEvent]) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !pred(events) {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on the reactor; events so far: {events:?}"
+        );
+        el.poll(events, Duration::from_millis(20)).unwrap();
+    }
+}
+
+pub fn first_accepted(events: &[NetEvent]) -> Option<(Token, bool)> {
+    events.iter().find_map(|e| match e {
+        NetEvent::Accepted {
+            token,
+            over_capacity,
+        } => Some((*token, *over_capacity)),
+        _ => None,
+    })
+}
+
+pub fn lines_for(events: &[NetEvent], token: Token) -> Vec<Vec<u8>> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            NetEvent::Line { token: t, line } if *t == token => Some(line.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+pub fn closed(events: &[NetEvent], token: Token) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e, NetEvent::Closed { token: t } if *t == token))
+}
+
+/// Accept → one request line → respond → peer hangup → `Closed`.
+pub fn echo_roundtrip() {
+    let (mut el, addr) = listen(NetConfig::default());
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+        let mut response = String::new();
+        c.try_clone()
+            .unwrap()
+            .take(6)
+            .read_to_string(&mut response)
+            .unwrap();
+        drop(c);
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, over) = first_accepted(&events).unwrap();
+    assert!(!over);
+    assert_eq!(
+        lines_for(&events, token),
+        vec![b"{\"cmd\":\"ping\"}".to_vec()]
+    );
+
+    el.send(token, b"pong!\n");
+    el.resume(token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert_eq!(client.join().unwrap(), "pong!\n");
+    assert_eq!(el.connections(), 0, "slot reclaimed after hangup");
+}
+
+/// A request dripped one byte per TCP segment must reassemble into a
+/// single `Line` event, arriving only after the terminator.
+pub fn torn_frame_drip() {
+    let (mut el, addr) = listen(NetConfig::default());
+    let request = b"{\"cmd\":\"check\",\"file\":\"drip.cj\"}\n";
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_nodelay(true).unwrap();
+        for &b in request.iter() {
+            c.write_all(&[b]).unwrap();
+            c.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut response = String::new();
+        c.take(3).read_to_string(&mut response).unwrap();
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 10, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, _) = first_accepted(&events).unwrap();
+    let lines = lines_for(&events, token);
+    assert_eq!(lines.len(), 1, "exactly one line from the dripped bytes");
+    assert_eq!(lines[0], request[..request.len() - 1].to_vec());
+
+    el.send(token, b"ok\n");
+    el.resume(token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert_eq!(client.join().unwrap(), "ok\n");
+}
+
+/// Two requests pipelined into one segment: the second line is held back
+/// until the owner `resume`s after answering the first.
+pub fn pipelined_segment() {
+    let (mut el, addr) = listen(NetConfig::default());
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"first\nsecond\n").unwrap();
+        let mut response = String::new();
+        c.take(4).read_to_string(&mut response).unwrap();
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, _) = first_accepted(&events).unwrap();
+    assert_eq!(lines_for(&events, token), vec![b"first".to_vec()]);
+
+    // More polling must NOT surface the second line while paused.
+    for _ in 0..5 {
+        el.poll(&mut events, Duration::from_millis(10)).unwrap();
+    }
+    assert_eq!(
+        lines_for(&events, token),
+        vec![b"first".to_vec()],
+        "paused connection delivers nothing"
+    );
+
+    el.send(token, b"A\n");
+    el.resume(token);
+    poll_until(&mut el, &mut events, 5, |ev| {
+        lines_for(ev, token).len() == 2
+    });
+    assert_eq!(
+        lines_for(&events, token),
+        vec![b"first".to_vec(), b"second".to_vec()]
+    );
+    el.send(token, b"B\n");
+    el.resume(token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert_eq!(client.join().unwrap(), "A\nB\n");
+}
+
+/// Over `max_clients`, accepts surface with `over_capacity` so the owner
+/// can send a rejection line; under it they do not.
+pub fn capacity_rejection() {
+    let (mut el, addr) = listen(NetConfig {
+        max_clients: 1,
+        ..NetConfig::default()
+    });
+    let keeper = TcpStream::connect(addr).unwrap();
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| first_accepted(ev).is_some());
+    let (first, over) = first_accepted(&events).unwrap();
+    assert!(!over);
+
+    let rejected_client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        c.read_to_string(&mut response).unwrap(); // until server closes
+        response
+    });
+    poll_until(&mut el, &mut events, 5, |ev| {
+        ev.iter().any(|e| {
+            matches!(
+                e,
+                NetEvent::Accepted {
+                    over_capacity: true,
+                    ..
+                }
+            )
+        })
+    });
+    let reject_token = events
+        .iter()
+        .find_map(|e| match e {
+            NetEvent::Accepted {
+                token,
+                over_capacity: true,
+            } => Some(*token),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(el.active_connections(), 1, "rejected conns are not active");
+    el.send(reject_token, b"busy\n");
+    el.close(reject_token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, reject_token));
+    assert_eq!(rejected_client.join().unwrap(), "busy\n");
+
+    drop(keeper);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, first));
+    assert_eq!(el.peak_connections(), 1);
+}
+
+/// A half-open client (connected, sends nothing) is evicted by the idle
+/// clock — and the clock must not pin the event thread: the loop sleeps
+/// in the poller between deadline checks.
+pub fn idle_eviction_without_spinning() {
+    let (mut el, addr) = listen(NetConfig {
+        idle_timeout: Duration::from_millis(120),
+        ..NetConfig::default()
+    });
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        c.read_to_string(&mut response).unwrap(); // blocked until evicted
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| first_accepted(ev).is_some());
+    let (token, _) = first_accepted(&events).unwrap();
+
+    // Count poller turns while waiting for the idle event: a spinning
+    // loop would rack up thousands; a deadline-aware sleep stays small.
+    let mut turns = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !events
+        .iter()
+        .any(|e| matches!(e, NetEvent::IdleExpired { token: t } if *t == token))
+    {
+        assert!(Instant::now() < deadline, "idle clock never fired");
+        el.poll(&mut events, Duration::from_secs(1)).unwrap();
+        turns += 1;
+    }
+    assert!(
+        turns <= 20,
+        "idle wait should park in the poller, not spin ({turns} turns)"
+    );
+
+    el.send(token, b"idle-goodbye\n");
+    el.close(token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert_eq!(client.join().unwrap(), "idle-goodbye\n");
+}
+
+/// A large response to a slow reader: `send` buffers the unwritten tail
+/// and later writability events drain it — no bytes lost, no blocking.
+pub fn backpressure_partial_write_resumption() {
+    let (mut el, addr) = listen(NetConfig::default());
+    const PAYLOAD: usize = 4 << 20;
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"gimme\n").unwrap();
+        // Dawdle so the kernel buffers fill and the server must pend.
+        std::thread::sleep(Duration::from_millis(150));
+        let mut total = 0usize;
+        let mut buf = [0u8; 64 * 1024];
+        let mut sum = 0u64;
+        loop {
+            match c.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    total += n;
+                    sum += buf[..n].iter().map(|&b| u64::from(b)).sum::<u64>();
+                }
+                Err(e) => panic!("client read failed: {e}"),
+            }
+        }
+        (total, sum)
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, _) = first_accepted(&events).unwrap();
+    let payload: Vec<u8> = (0..PAYLOAD).map(|i| (i % 251) as u8).collect();
+    let expected_sum: u64 = payload.iter().map(|&b| u64::from(b)).sum();
+    el.send(token, &payload);
+    el.close(token); // flush-then-close exercises the drain path
+    poll_until(&mut el, &mut events, 20, |ev| closed(ev, token));
+    let (total, sum) = client.join().unwrap();
+    assert_eq!(total, PAYLOAD, "every byte of the backpressured payload");
+    assert_eq!(sum, expected_sum, "bytes arrive unmangled and in order");
+}
+
+/// Commands issued from another thread via `NetHandle` reach the loop
+/// through the wakeup pipe.
+pub fn cross_thread_handle() {
+    let (mut el, addr) = listen(NetConfig::default());
+    let handle = el.handle();
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"work\n").unwrap();
+        let mut response = String::new();
+        c.take(5).read_to_string(&mut response).unwrap();
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, _) = first_accepted(&events).unwrap();
+
+    let worker = std::thread::spawn(move || {
+        handle.send(token, b"done\n".to_vec());
+        handle.resume(token);
+    });
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    worker.join().unwrap();
+    assert_eq!(client.join().unwrap(), "done\n");
+}
+
+/// A single line over the byte bound tears the connection down without
+/// delivering anything.
+pub fn oversized_line_drops_connection() {
+    let (mut el, addr) = listen(NetConfig {
+        max_line_bytes: 64,
+        ..NetConfig::default()
+    });
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let big = vec![b'x'; 256];
+        let _ = c.write_all(&big);
+        let mut response = String::new();
+        c.read_to_string(&mut response).unwrap_or(0)
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| first_accepted(ev).is_some());
+    let (token, _) = first_accepted(&events).unwrap();
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert!(lines_for(&events, token).is_empty(), "no line was complete");
+    assert_eq!(
+        client.join().unwrap(),
+        0,
+        "server closed without a response"
+    );
+}
+
+/// A client that sends its final request without a trailing newline and
+/// shuts down its write half still gets an answer.
+pub fn unterminated_final_request_is_served() {
+    let (mut el, addr) = listen(NetConfig::default());
+    let client = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"no-newline").unwrap();
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        c.read_to_string(&mut response).unwrap();
+        response
+    });
+
+    let mut events = Vec::new();
+    poll_until(&mut el, &mut events, 5, |ev| {
+        first_accepted(ev).is_some_and(|(t, _)| !lines_for(ev, t).is_empty())
+    });
+    let (token, _) = first_accepted(&events).unwrap();
+    assert_eq!(lines_for(&events, token), vec![b"no-newline".to_vec()]);
+    el.send(token, b"served\n");
+    el.resume(token);
+    poll_until(&mut el, &mut events, 5, |ev| closed(ev, token));
+    assert_eq!(client.join().unwrap(), "served\n");
+}
+
+/// Runs every scenario (the forced-poll binary calls this; the default
+/// binary lists scenarios individually, leaving this unused there).
+#[allow(dead_code)]
+pub fn run_all() {
+    echo_roundtrip();
+    torn_frame_drip();
+    pipelined_segment();
+    capacity_rejection();
+    idle_eviction_without_spinning();
+    backpressure_partial_write_resumption();
+    cross_thread_handle();
+    oversized_line_drops_connection();
+    unterminated_final_request_is_served();
+}

@@ -1,0 +1,50 @@
+//! Reactor scenarios under the platform-default backend (epoll on
+//! Linux). The same scenarios run under the portable `poll(2)` backend
+//! in `reactor_poll.rs`.
+
+mod common;
+
+#[test]
+fn echo_roundtrip() {
+    common::echo_roundtrip();
+}
+
+#[test]
+fn torn_frame_drip() {
+    common::torn_frame_drip();
+}
+
+#[test]
+fn pipelined_segment() {
+    common::pipelined_segment();
+}
+
+#[test]
+fn capacity_rejection() {
+    common::capacity_rejection();
+}
+
+#[test]
+fn idle_eviction_without_spinning() {
+    common::idle_eviction_without_spinning();
+}
+
+#[test]
+fn backpressure_partial_write_resumption() {
+    common::backpressure_partial_write_resumption();
+}
+
+#[test]
+fn cross_thread_handle() {
+    common::cross_thread_handle();
+}
+
+#[test]
+fn oversized_line_drops_connection() {
+    common::oversized_line_drops_connection();
+}
+
+#[test]
+fn unterminated_final_request_is_served() {
+    common::unterminated_final_request_is_served();
+}

@@ -1,0 +1,16 @@
+//! The full reactor scenario suite under the portable `poll(2)` backend.
+//!
+//! `CJ_NET_FORCE_POLL` is process-global, so this lives in its own test
+//! binary (own process) and runs every scenario from one `#[test]` —
+//! setting the variable here cannot race the default-backend binary.
+
+mod common;
+
+#[test]
+fn all_scenarios_under_poll_backend() {
+    std::env::set_var("CJ_NET_FORCE_POLL", "1");
+    let el = cj_net::EventLoop::client(cj_net::NetConfig::default()).unwrap();
+    assert_eq!(el.backend_name(), "poll", "env override must take effect");
+    drop(el);
+    common::run_all();
+}

@@ -59,7 +59,7 @@
 //! `{"cmd":"shutdown","scope":"daemon"}` to stop the daemon itself.
 
 use cj_diag::{codes, Diagnostic, Diagnostics, IntoDiagnostic, Span};
-use cj_driver::{Daemon, DaemonConfig, Server, Session, SessionOptions, Workspace};
+use cj_driver::{Daemon, DaemonConfig, Frontend, Server, Session, SessionOptions, Workspace};
 use cj_infer::{DowncastPolicy, ExtentMode, InferOptions, SubtypeMode};
 use cj_runtime::Engine;
 use std::io::{BufRead, Write};
@@ -104,6 +104,8 @@ struct Cli {
     stats: bool,
     json: bool,
     run_args: Vec<i64>,
+    /// `daemon`: connection front end (default event).
+    frontend: Option<Frontend>,
     /// `daemon`: TCP listen address (`host:port`).
     addr: Option<String>,
     /// `daemon`: Unix-socket path (conflicts with `addr`).
@@ -174,9 +176,9 @@ fn usage() -> String {
          cjrc run <file.cj> [--engine {e}] [--fuel N] [--max-depth N] [args…]\n       \
          cjrc query <file.cj> <inv.C|pre.m|pre.C.m> [--entails ATOM] [--json]\n       \
          cjrc serve [--mode {m}] [--downcast {d}] [--extents {x}] [--cache-dir DIR]\n       \
-         cjrc daemon [--addr host:port | --socket path] [--workers N] \
-         [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
-         [--idle-timeout SECS] [--mode {m}] [--downcast {d}] [--extents {x}]",
+         cjrc daemon [--frontend event|threads] [--addr host:port | --socket path] \
+         [--workers N] [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
+         [--idle-timeout SECS] [--mode {m}] [--downcast {d}] [--extents {x}] [--json]",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
         x = ExtentMode::NAMES.join("|"),
@@ -202,6 +204,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut stats = false;
     let mut json = false;
     let mut run_args = Vec::new();
+    let mut frontend = None;
     let mut addr = None;
     let mut socket = None;
     let mut workers = None;
@@ -234,6 +237,12 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                     .next()
                     .ok_or_else(|| CliError::new("--extents needs a value"))?;
                 opts.extent = value.parse().map_err(|e| CliError::new(format!("{e}")))?;
+            }
+            "--frontend" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::new("--frontend needs a value (event|threads)"))?;
+                frontend = Some(value.parse::<Frontend>().map_err(CliError::new)?);
             }
             "--addr" => {
                 addr = Some(
@@ -362,7 +371,8 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         }
     }
     if !matches!(command, Command::Daemon)
-        && (addr.is_some()
+        && (frontend.is_some()
+            || addr.is_some()
             || socket.is_some()
             || workers.is_some()
             || solve_threads.is_some()
@@ -370,8 +380,8 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
             || idle_timeout.is_some())
     {
         return Err(CliError::new(
-            "--addr/--socket/--workers/--solve-threads/--max-clients/--idle-timeout \
-             apply to `daemon` only",
+            "--frontend/--addr/--socket/--workers/--solve-threads/--max-clients/\
+             --idle-timeout apply to `daemon` only",
         ));
     }
     if matches!(command, Command::Flows) && cache_dir.is_some() {
@@ -415,7 +425,11 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                      protocol), found `{extra}`"
                 )));
             }
-            if stats || json || !run_args.is_empty() {
+            // `daemon --json` switches the exit summary to one JSON
+            // line; everything else stays rejected, and `serve` (whose
+            // stdout *is* the protocol) accepts none of them.
+            let json_ok = command == Command::Daemon;
+            if stats || (json && !json_ok) || !run_args.is_empty() {
                 return Err(CliError::new(format!(
                     "`{name}` accepts no --stats/--json/run arguments"
                 )));
@@ -434,6 +448,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         stats,
         json,
         run_args,
+        frontend,
         addr,
         socket,
         workers,
@@ -908,6 +923,7 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
     let defaults = DaemonConfig::default();
     let config = DaemonConfig {
         opts,
+        frontend: cli.frontend.unwrap_or_default(),
         workers: cli.workers.unwrap_or(4),
         solve_threads: cli.solve_threads.unwrap_or(1),
         cache_dir: cli.cache_dir.as_ref().map(std::path::PathBuf::from),
@@ -947,7 +963,24 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
     }
     println!("cjrcd listening on {}", daemon.describe_addr());
     std::io::stdout().flush()?;
+    let frontend = cli.frontend.unwrap_or_default();
     let summary = daemon.run()?;
+    if cli.json {
+        // One machine-readable exit summary on stdout (the listening
+        // banner above is the only other stdout line).
+        println!(
+            "{{\"frontend\":\"{}\",\"clients_served\":{},\"clients_rejected\":{},\
+             \"connections_peak\":{},\"cache_entries_loaded\":{},\
+             \"cache_entries_persisted\":{}}}",
+            frontend.name(),
+            summary.clients_served,
+            summary.clients_rejected,
+            summary.connections_peak,
+            summary.cache_entries_loaded,
+            summary.cache_entries_persisted,
+        );
+        return Ok(());
+    }
     if cli.cache_dir.is_some() {
         eprintln!(
             "cjrcd: persisted {} SCC(s) to the cache",
@@ -955,8 +988,12 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
         );
     }
     eprintln!(
-        "cjrcd: served {} client(s) ({} rejected at capacity), bye",
-        summary.clients_served, summary.clients_rejected
+        "cjrcd: served {} client(s) ({} rejected at capacity, peak {} concurrent, \
+         {} front end), bye",
+        summary.clients_served,
+        summary.clients_rejected,
+        summary.connections_peak,
+        frontend.name(),
     );
     Ok(())
 }
@@ -1179,6 +1216,7 @@ mod tests {
     fn daemon_flags_parse_and_validate() {
         let cli = parse_cli(argv(&["daemon"])).unwrap();
         assert_eq!(cli.command, Command::Daemon);
+        assert_eq!(cli.frontend, None, "front end defaults downstream");
         assert_eq!(cli.addr, None);
         assert_eq!(cli.workers, None);
         assert_eq!(cli.solve_threads, None);
@@ -1200,8 +1238,21 @@ mod tests {
         assert_eq!(cli.opts.mode, SubtypeMode::Object);
         let cli = parse_cli(argv(&["daemon", "--socket", "/tmp/cjrcd.sock"])).unwrap();
         assert_eq!(cli.socket.as_deref(), Some("/tmp/cjrcd.sock"));
+        let cli = parse_cli(argv(&["daemon", "--frontend", "threads"])).unwrap();
+        assert_eq!(cli.frontend, Some(Frontend::Threads));
+        let cli = parse_cli(argv(&["daemon", "--frontend", "event"])).unwrap();
+        assert_eq!(cli.frontend, Some(Frontend::Event));
+        // `--json` selects the machine-readable exit summary.
+        let cli = parse_cli(argv(&["daemon", "--json"])).unwrap();
+        assert!(cli.json);
 
         // Invalid combinations are rejected.
+        let err = parse_cli(argv(&["daemon", "--frontend", "fibers"])).unwrap_err();
+        assert!(err.message.contains("unknown front end"), "{err:?}");
+        let err = parse_cli(argv(&["check", "x.cj", "--frontend", "event"])).unwrap_err();
+        assert!(err.message.contains("apply to `daemon` only"));
+        let err = parse_cli(argv(&["daemon", "--stats"])).unwrap_err();
+        assert!(err.message.contains("no --stats"));
         let err = parse_cli(argv(&["daemon", "--addr", "a:1", "--socket", "/tmp/x"])).unwrap_err();
         assert!(err.message.contains("mutually exclusive"));
         let err = parse_cli(argv(&["daemon", "main.cj"])).unwrap_err();
