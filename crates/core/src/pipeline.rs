@@ -189,6 +189,7 @@ pub fn infer_with_cache(
     let reuse_bodies = ctx.downcast_info.is_none();
 
     // ---- symbolic body inference (once per changed method) --------------
+    let mut bodies_span = cj_trace::span("pipeline", "infer-bodies");
     let ids: Vec<MethodId> = kp.all_methods().map(|(id, _)| id).collect();
     let mut bodies: BTreeMap<MethodId, BodyResult> = BTreeMap::new();
     for &id in &ids {
@@ -239,8 +240,12 @@ pub fn infer_with_cache(
         });
         bodies.insert(id, res);
     }
+    bodies_span.add("inferred", stats.methods_inferred as u64);
+    bodies_span.add("reused", stats.methods_reused as u64);
+    drop(bodies_span);
 
     // ---- global solve / repair loop --------------------------------------
+    let mut solve_span = cj_trace::span("pipeline", "solve");
     let mut closed;
     loop {
         stats.global_iterations += 1;
@@ -278,6 +283,10 @@ pub fn infer_with_cache(
             });
         }
     }
+    solve_span.add("global_iterations", stats.global_iterations as u64);
+    solve_span.add("sccs_solved", stats.sccs_solved as u64);
+    solve_span.add("sccs_reused", stats.sccs_reused as u64);
+    drop(solve_span);
 
     // ---- finalization ----------------------------------------------------
     let mut methods: Vec<Vec<RMethod>> = vec![Vec::new(); kp.table.len()];

@@ -27,13 +27,17 @@ use cj_net::{EventLoop, NetConfig, NetEvent, NetHandle, NetListener, Token};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One decoded request bound for the worker pool.
 struct Job {
     token: Token,
     server: Arc<Mutex<Server>>,
     request: String,
+    /// When the reactor queued this job — the worker charges the gap to
+    /// the `queue_wait_us` histogram (and, under tracing, a
+    /// cross-thread `queue-wait` interval).
+    enqueued: Instant,
 }
 
 /// The reactor loop. See the module docs.
@@ -66,6 +70,7 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
         let jrx = Arc::clone(&jrx);
         let stop = Arc::clone(&daemon.stop);
         let in_flight = Arc::clone(&in_flight);
+        let telemetry = Arc::clone(&daemon.telemetry);
         let handle: NetHandle = handle.clone();
         handles.push(std::thread::spawn(move || loop {
             let job = jrx.lock().expect("daemon job queue poisoned").recv();
@@ -73,12 +78,16 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
                 token,
                 server,
                 request,
+                enqueued,
             }) = job
             else {
                 break; // reactor gone, queue drained
             };
+            telemetry.record_queue_wait(enqueued.elapsed());
+            cj_trace::record_interval("daemon", "queue-wait", enqueued);
             let daemon_stop = is_daemon_shutdown(&request);
             let (response, done) = {
+                let _span = cj_trace::span("daemon", "worker-handle");
                 let mut server = server.lock().expect("connection server poisoned");
                 let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
                 (response, server.is_done())
@@ -133,6 +142,7 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
                     ws.set_solve_threads(daemon.config.solve_threads);
                     let mut server = Server::with_workspace(ws);
                     server.set_daemon_stats(Arc::clone(&daemon.stats));
+                    server.set_telemetry(Arc::clone(&daemon.telemetry));
                     conns.insert(token, Some(Arc::new(Mutex::new(server))));
                 }
                 NetEvent::Accepted {
@@ -166,6 +176,7 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
                         token,
                         server: Arc::clone(server),
                         request,
+                        enqueued: Instant::now(),
                     };
                     if jtx.send(job).is_err() {
                         in_flight.fetch_sub(1, Ordering::SeqCst);

@@ -159,6 +159,11 @@ pub struct DaemonConfig {
     /// How often the background thread flushes newly solved SCCs to the
     /// cache (only with `cache_dir`; shutdown always flushes).
     pub flush_interval: Duration,
+    /// TCP address of the HTTP metrics scrape endpoint (`GET /metrics`,
+    /// `GET /metrics.json`), e.g. `"127.0.0.1:9464"`. `None` = no
+    /// endpoint. Served by its own [`cj_net::EventLoop`] reactor thread,
+    /// independent of the protocol front end.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -172,6 +177,7 @@ impl Default for DaemonConfig {
             max_clients: 0,
             idle_timeout: Duration::from_secs(600),
             flush_interval: Duration::from_secs(30),
+            metrics_addr: None,
         }
     }
 }
@@ -240,21 +246,62 @@ impl DaemonStats {
 
     /// The `stats` response's `"daemon"` object.
     pub(crate) fn to_json(&self) -> String {
-        format!(
-            "{{\"frontend\":\"{}\",\"clients_served\":{},\"clients_rejected\":{},\
-             \"connections_current\":{},\"connections_peak\":{}}}",
+        ServingReport {
+            frontend: self.frontend,
+            clients_served: self.clients_served(),
+            clients_rejected: self.clients_rejected(),
+            connections_current: Some(self.connections_current()),
+            connections_peak: self.connections_peak(),
+            cache: None,
+        }
+        .to_json()
+    }
+}
+
+/// The one serializer behind every daemon serving-counter report: the
+/// `stats` response's `"daemon"` object (live, with
+/// `connections_current`) and the `cjrc daemon --json` exit summary
+/// (final, with the cache tallies). One code path keeps the shared field
+/// names from drifting apart.
+#[derive(Debug, Clone, Copy)]
+struct ServingReport {
+    frontend: Frontend,
+    clients_served: u64,
+    clients_rejected: u64,
+    connections_current: Option<u64>,
+    connections_peak: u64,
+    cache: Option<(usize, usize)>,
+}
+
+impl ServingReport {
+    fn to_json(self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"frontend\":\"{}\",\"clients_served\":{},\"clients_rejected\":{}",
             self.frontend.name(),
-            self.clients_served(),
-            self.clients_rejected(),
-            self.connections_current(),
-            self.connections_peak(),
-        )
+            self.clients_served,
+            self.clients_rejected
+        );
+        if let Some(current) = self.connections_current {
+            let _ = write!(out, ",\"connections_current\":{current}");
+        }
+        let _ = write!(out, ",\"connections_peak\":{}", self.connections_peak);
+        if let Some((loaded, persisted)) = self.cache {
+            let _ = write!(
+                out,
+                ",\"cache_entries_loaded\":{loaded},\"cache_entries_persisted\":{persisted}"
+            );
+        }
+        out.push('}');
+        out
     }
 }
 
 /// What a finished daemon reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DaemonSummary {
+    /// The front end that served.
+    pub frontend: Frontend,
     /// Connections accepted over the daemon's lifetime.
     pub clients_served: u64,
     /// Connections rejected by the `max_clients` backpressure bound.
@@ -266,6 +313,22 @@ pub struct DaemonSummary {
     /// Entries retained on disk by the shutdown compaction (0 without a
     /// cache).
     pub cache_entries_persisted: usize,
+}
+
+impl DaemonSummary {
+    /// The `cjrc daemon --json` exit-summary line (same serializer as the
+    /// `stats` response's `"daemon"` object).
+    pub fn to_json(&self) -> String {
+        ServingReport {
+            frontend: self.frontend,
+            clients_served: self.clients_served,
+            clients_rejected: self.clients_rejected,
+            connections_current: None,
+            connections_peak: self.connections_peak,
+            cache: Some((self.cache_entries_loaded, self.cache_entries_persisted)),
+        }
+        .to_json()
+    }
 }
 
 pub(crate) enum Listener {
@@ -355,6 +418,8 @@ pub struct Daemon {
     cache_entries_loaded: usize,
     stop: Arc<AtomicBool>,
     stats: Arc<DaemonStats>,
+    telemetry: Arc<crate::telemetry::Telemetry>,
+    metrics_listener: Option<TcpListener>,
 }
 
 impl Daemon {
@@ -414,6 +479,12 @@ impl Daemon {
             None => None,
         };
         let stats = Arc::new(DaemonStats::new(config.frontend));
+        // Bind the scrape endpoint eagerly so `--metrics-addr` failures
+        // surface at startup, and port 0 can be read back before `run`.
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(Daemon {
             listener,
             config,
@@ -422,6 +493,8 @@ impl Daemon {
             cache_entries_loaded,
             stop: Arc::new(AtomicBool::new(false)),
             stats,
+            telemetry: Arc::new(crate::telemetry::Telemetry::new()),
+            metrics_listener,
         })
     }
 
@@ -489,6 +562,20 @@ impl Daemon {
         Arc::clone(&self.stats)
     }
 
+    /// The daemon-wide telemetry hub every connection's server records
+    /// into (request latencies, pass totals, queue waits).
+    pub fn telemetry_handle(&self) -> Arc<crate::telemetry::Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The bound address of the HTTP metrics endpoint (`None` unless
+    /// [`DaemonConfig::metrics_addr`] was set).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// Serves connections until a daemon-scope shutdown arrives (or the
     /// [`stop_handle`](Daemon::stop_handle) is set), then drains
     /// in-flight work, joins every worker, compacts the on-disk cache
@@ -499,7 +586,19 @@ impl Daemon {
     /// Fatal listener/poller errors; individual connection I/O errors
     /// only terminate that connection, and cache flush errors are
     /// reported once at shutdown.
-    pub fn run(self) -> std::io::Result<DaemonSummary> {
+    pub fn run(mut self) -> std::io::Result<DaemonSummary> {
+        // The HTTP scrape endpoint runs on its own reactor thread for the
+        // daemon's whole lifetime, whichever protocol front end serves.
+        let metrics_thread = match self.metrics_listener.take() {
+            Some(listener) => Some(crate::telemetry::spawn_metrics_endpoint(
+                listener,
+                Arc::clone(&self.telemetry),
+                Some(Arc::clone(&self.memo)),
+                Some(Arc::clone(&self.stats)),
+                Arc::clone(&self.stop),
+            )?),
+            None => None,
+        };
         // The periodic cache flush: newly solved SCCs reach disk while
         // the daemon runs, so even a crash (no compaction) loses at most
         // one interval of work. Front-end independent.
@@ -524,10 +623,14 @@ impl Daemon {
             Frontend::Event => event::serve(&self),
         }
         .err();
-        // Unblock the flusher's poll loop even on a fatal listener error.
+        // Unblock the flusher's and metrics endpoint's poll loops even on
+        // a fatal listener error.
         self.stop.store(true, Ordering::SeqCst);
         if let Some(flusher) = flusher {
             let _ = flusher.join();
+        }
+        if let Some(metrics_thread) = metrics_thread {
+            let _ = metrics_thread.join();
         }
         // Final persistence pass: everything solved over the daemon's
         // lifetime reaches the snapshot, bounded by the cache's GC budget.
@@ -544,6 +647,7 @@ impl Daemon {
         match fatal.or(cache_error) {
             Some(e) => Err(e),
             None => Ok(DaemonSummary {
+                frontend: self.config.frontend,
                 clients_served: self.stats.clients_served(),
                 clients_rejected: self.stats.clients_rejected(),
                 connections_peak: self.stats.connections_peak(),

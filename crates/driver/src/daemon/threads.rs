@@ -31,7 +31,9 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
         #[cfg(unix)]
         Listener::Unix(l) => l.set_nonblocking(true)?,
     }
-    let (tx, rx) = mpsc::channel::<Conn>();
+    // Connections carry their accept instant so the worker that picks
+    // one up can charge the queued time to the shared telemetry.
+    let (tx, rx) = mpsc::channel::<(Conn, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
     let workers = daemon.config.workers.max(1);
     let mut handles = Vec::with_capacity(workers);
@@ -43,10 +45,13 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
         let memo = Arc::clone(&daemon.memo);
         let stop = Arc::clone(&daemon.stop);
         let stats = Arc::clone(&daemon.stats);
+        let telemetry = Arc::clone(&daemon.telemetry);
         handles.push(std::thread::spawn(move || loop {
             let conn = rx.lock().expect("daemon queue poisoned").recv();
             match conn {
-                Ok(conn) => {
+                Ok((conn, accepted)) => {
+                    telemetry.record_queue_wait(accepted.elapsed());
+                    cj_trace::record_interval("daemon", "queue-wait", accepted);
                     serve_connection(
                         conn,
                         opts.clone(),
@@ -55,6 +60,7 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
                         &memo,
                         &stop,
                         &stats,
+                        &telemetry,
                     );
                     stats.record_close();
                 }
@@ -90,7 +96,7 @@ pub(super) fn serve(daemon: &Daemon) -> std::io::Result<()> {
                     continue;
                 }
                 daemon.stats.record_accept();
-                if tx.send(conn).is_err() {
+                if tx.send((conn, Instant::now())).is_err() {
                     break;
                 }
             }
@@ -216,6 +222,7 @@ fn serve_connection(
     memo: &Arc<SolveMemo>,
     stop: &AtomicBool,
     stats: &Arc<DaemonStats>,
+    telemetry: &Arc<crate::telemetry::Telemetry>,
 ) {
     debug_assert_eq!(stats.frontend(), Frontend::Threads);
     let Ok(mut read_half) = conn.try_clone() else {
@@ -232,6 +239,7 @@ fn serve_connection(
     ws.set_solve_threads(solve_threads);
     let mut server = Server::with_workspace(ws);
     server.set_daemon_stats(Arc::clone(stats));
+    server.set_telemetry(Arc::clone(telemetry));
     let mut framer = LineFramer::new(MAX_REQUEST_BYTES);
     let mut last_request = Instant::now();
     loop {
@@ -255,7 +263,10 @@ fn serve_connection(
             continue;
         }
         let daemon_stop = is_daemon_shutdown(&request);
-        let response = server.handle_line(request.trim_end_matches(['\n', '\r']));
+        let response = {
+            let _span = cj_trace::span("daemon", "worker-handle");
+            server.handle_line(request.trim_end_matches(['\n', '\r']))
+        };
         if daemon_stop {
             // Before the write: a client hanging up right after asking for
             // a daemon shutdown must still stop the daemon.

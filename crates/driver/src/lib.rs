@@ -61,10 +61,12 @@ pub mod batch;
 pub mod daemon;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 pub mod workspace;
 
 pub use batch::{compile_many, SourceInput};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats, DaemonSummary, Frontend};
 pub use server::{parse_json, Json, Server};
 pub use session::{Compilation, CompileResult, Session, SessionOptions};
+pub use telemetry::Telemetry;
 pub use workspace::{PassCounts, PolicyOutcome, Workspace, FILE_SPAN_STRIDE};

@@ -261,6 +261,9 @@ pub struct Server {
     /// Live daemon serving counters (set only when this server runs
     /// behind `cjrcd`); surfaced under `stats.daemon`.
     daemon_stats: Option<std::sync::Arc<crate::daemon::DaemonStats>>,
+    /// Per-request latency and pass telemetry — a fresh hub by default,
+    /// the daemon-wide shared one behind `cjrcd`.
+    telemetry: std::sync::Arc<crate::telemetry::Telemetry>,
 }
 
 impl Server {
@@ -277,6 +280,7 @@ impl Server {
             ws,
             done: false,
             daemon_stats: None,
+            telemetry: std::sync::Arc::new(crate::telemetry::Telemetry::new()),
         }
     }
 
@@ -285,6 +289,18 @@ impl Server {
     /// rejected, current and peak connection counts).
     pub fn set_daemon_stats(&mut self, stats: std::sync::Arc<crate::daemon::DaemonStats>) {
         self.daemon_stats = Some(stats);
+    }
+
+    /// Replaces this server's telemetry hub with a shared one — how the
+    /// daemon front ends aggregate every connection's request latencies
+    /// into the registry the `--metrics-addr` endpoint scrapes.
+    pub fn set_telemetry(&mut self, telemetry: std::sync::Arc<crate::telemetry::Telemetry>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry hub this server records into.
+    pub fn telemetry(&self) -> &std::sync::Arc<crate::telemetry::Telemetry> {
+        &self.telemetry
     }
 
     /// Whether a `shutdown` request has been processed.
@@ -300,12 +316,24 @@ impl Server {
     /// Processes one request line, returning the response line (without a
     /// trailing newline). Never panics on malformed input.
     pub fn handle_line(&mut self, line: &str) -> String {
+        let started = std::time::Instant::now();
         let before = self.ws.pass_counts();
-        let body = match parse_json(line) {
-            Ok(req) => self.dispatch(&req),
-            Err(e) => Err(format!("malformed request: {e}")),
+        let (kind, body) = match parse_json(line) {
+            Ok(req) => {
+                let kind = crate::telemetry::request_kind(req.get_str("cmd"));
+                let mut span = cj_trace::span("request", kind);
+                let body = self.dispatch(&req);
+                span.add("ok", u64::from(body.is_ok()));
+                (kind, body)
+            }
+            Err(e) => (
+                crate::telemetry::request_kind(None),
+                Err(format!("malformed request: {e}")),
+            ),
         };
         let passes = self.ws.pass_counts().since(before);
+        self.telemetry
+            .record_request(kind, started.elapsed(), passes);
         let revision = self.ws.revision();
         match body {
             Ok(fields) => {
@@ -453,6 +481,12 @@ impl Server {
                     memo.shared_hits(),
                     memo.disk_hits()
                 );
+                let _ = write!(
+                    extra,
+                    ",\"uptime_ms\":{},\"version\":{}",
+                    self.telemetry.uptime_ms(),
+                    json_string(crate::telemetry::Telemetry::version())
+                );
                 if let Some(daemon) = &self.daemon_stats {
                     let _ = write!(extra, ",\"daemon\":{}", daemon.to_json());
                 }
@@ -480,6 +514,22 @@ impl Server {
                     );
                 }
                 Ok(extra)
+            }
+            "metrics" => {
+                // One unified read of the registry every connection's
+                // server records into: request mix + per-kind latency
+                // quantiles + pass totals + memo/daemon gauges. The same
+                // snapshot the `--metrics-addr` HTTP endpoint serves.
+                let memo = self.ws.shared_memo();
+                let snapshot = self
+                    .telemetry
+                    .snapshot(Some(&memo), self.daemon_stats.as_deref());
+                Ok(format!(
+                    "\"uptime_ms\":{},\"version\":{},\"metrics\":{}",
+                    self.telemetry.uptime_ms(),
+                    json_string(crate::telemetry::Telemetry::version()),
+                    snapshot.to_json()
+                ))
             }
             "shutdown" => {
                 // `scope:"daemon"` is acted on by the daemon front end; a

@@ -497,6 +497,7 @@ impl Workspace {
         }
         let base = file.base();
         self.counts.parse += 1;
+        let _span = cj_trace::span("pipeline", "parse");
         let res = match cj_frontend::parser::parse_program(&file.text) {
             Ok(mut program) => {
                 ast::shift_spans(&mut program, base);
@@ -547,6 +548,7 @@ impl Workspace {
         }
         let merged = self.merged_ast()?;
         self.counts.typecheck += 1;
+        let _span = cj_trace::span("pipeline", "typecheck");
         let kernel = cj_frontend::typecheck::check(&merged)?;
         let kernel = Arc::new(kernel);
         self.kernel = Some(Arc::clone(&kernel));
@@ -579,6 +581,7 @@ impl Workspace {
         }
         let kernel = self.typecheck()?;
         self.counts.infer += 1;
+        let mut span = cj_trace::span("pipeline", "infer");
         let state = self.state_mut(opts);
         let (mut program, stats) = cj_infer::infer_with_cache(&kernel, opts, &mut state.cache)
             .map_err(IntoDiagnostics::into_diagnostics)?;
@@ -595,6 +598,9 @@ impl Workspace {
         self.counts.sccs_reused += stats.sccs_reused as u32;
         self.counts.sccs_shared_hits += stats.sccs_shared_hits as u32;
         self.counts.sccs_disk_hits += stats.sccs_disk_hits as u32;
+        span.add("methods_inferred", stats.methods_inferred as u64);
+        span.add("methods_reused", stats.methods_reused as u64);
+        span.add("regions_created", stats.regions_created as u64);
         Ok(compilation)
     }
 
@@ -623,6 +629,7 @@ impl Workspace {
         let compilation = self.infer_with(opts)?;
         if !self.state_mut(opts).checked {
             self.counts.check += 1;
+            let _span = cj_trace::span("pipeline", "check");
             cj_check::check(&compilation.program).map_err(IntoDiagnostics::into_diagnostics)?;
             self.state_mut(opts).checked = true;
         }
@@ -704,6 +711,7 @@ impl Workspace {
             }
             Engine::Interp => {
                 self.counts.run += 1;
+                let _span = cj_trace::span("pipeline", "interp-exec");
                 cj_runtime::run_main_big_stack(&compilation.program, args, run_config)
                     .map_err(IntoDiagnostics::into_diagnostics)
             }

@@ -127,6 +127,7 @@ impl ExtentInference for LivenessExtents {
     }
 
     fn rewrite_program(&self, program: &mut RProgram) -> ExtentStats {
+        let mut span = cj_trace::span("pipeline", "extent-rewrite");
         let mut stats = ExtentStats::default();
         for class_methods in &mut program.methods {
             for m in class_methods.iter_mut() {
@@ -136,6 +137,9 @@ impl ExtentInference for LivenessExtents {
         for m in &mut program.statics {
             stats.absorb(extent::tighten_method(m));
         }
+        span.add("letregs", stats.letregs as u64);
+        span.add("narrowed", stats.narrowed as u64);
+        span.add("dropped", stats.dropped as u64);
         stats
     }
 }

@@ -215,6 +215,16 @@ fn main() -> ExitCode {
         report.protocol_errors,
         report.peak_connections_local,
     );
+    if let Some(server) = &report.server {
+        eprintln!(
+            "loadgen: server side: {} request(s), queue wait p50 {}us / p99 {}us \
+             over {} job(s)",
+            server.requests_total,
+            server.queue_wait_p50_us,
+            server.queue_wait_p99_us,
+            server.queue_wait_count,
+        );
+    }
 
     let mut failed = false;
     if args.assert_zero_errors && report.protocol_errors != 0 {

@@ -337,6 +337,39 @@ pub struct DaemonSnapshot {
     pub memo_disk_hits: u64,
 }
 
+/// Server-side latency of one request kind, scraped from the daemon's
+/// `request_us_<kind>` histogram.
+#[derive(Debug, Clone)]
+pub struct ServerKindStats {
+    /// The protocol command (the daemon folds unknown ones into `other`).
+    pub kind: String,
+    /// Requests of this kind the daemon completed.
+    pub count: u64,
+    /// 99th-percentile handling latency as the daemon measured it.
+    pub p99_us: u64,
+}
+
+/// The daemon's own latency view, scraped from a final `metrics` probe —
+/// numbers the client-side samples cannot see, like how long requests
+/// sat in the worker queue before anyone picked them up.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    /// Daemon uptime when scraped, milliseconds.
+    pub uptime_ms: u64,
+    /// Requests the daemon completed, all kinds and connections.
+    pub requests_total: u64,
+    /// Jobs measured between enqueue and worker pickup.
+    pub queue_wait_count: u64,
+    /// Median queue wait, microseconds.
+    pub queue_wait_p50_us: u64,
+    /// 95th-percentile queue wait.
+    pub queue_wait_p95_us: u64,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99_us: u64,
+    /// Per-kind server-side latency, report order.
+    pub per_kind: Vec<ServerKindStats>,
+}
+
 /// Everything one run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -356,6 +389,8 @@ pub struct LoadReport {
     pub per_kind: Vec<KindStats>,
     /// The daemon's counters, if the `stats` probe succeeded.
     pub daemon: Option<DaemonSnapshot>,
+    /// The daemon's own latency view, if the `metrics` probe succeeded.
+    pub server: Option<ServerMetrics>,
 }
 
 /// Nearest-rank percentile over an already sorted sample, `p` in 0..=100.
@@ -412,6 +447,31 @@ impl LoadReport {
             ));
         }
         out.push_str("  },\n");
+        match &self.server {
+            Some(s) => {
+                out.push_str(&format!(
+                    "  \"server\": {{\"uptime_ms\": {}, \"requests_total\": {}, \
+                     \"queue_wait_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \
+                     \"p99\": {}}}, \"p99_us_by_kind\": {{",
+                    s.uptime_ms,
+                    s.requests_total,
+                    s.queue_wait_count,
+                    s.queue_wait_p50_us,
+                    s.queue_wait_p95_us,
+                    s.queue_wait_p99_us,
+                ));
+                for (i, k) in s.per_kind.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{}\"{}\": {}",
+                        if i > 0 { ", " } else { "" },
+                        k.kind,
+                        k.p99_us,
+                    ));
+                }
+                out.push_str("}},\n");
+            }
+            None => out.push_str("  \"server\": null,\n"),
+        }
         match &self.daemon {
             Some(d) => {
                 let lookups = d.memo_hits + d.memo_misses;
@@ -754,6 +814,7 @@ impl Harness<'_> {
             0.0
         };
         let daemon = probe_stats(config.addr).ok();
+        let server = probe_metrics(config.addr).ok();
         LoadReport {
             clients: config.clients,
             requests,
@@ -763,6 +824,7 @@ impl Harness<'_> {
             peak_connections_local: self.el.peak_connections(),
             per_kind,
             daemon,
+            server,
         }
     }
 }
@@ -789,6 +851,16 @@ fn json_str(response: &str, key: &str) -> String {
         .and_then(|rest| rest.split('"').next())
         .unwrap_or("")
         .to_string()
+}
+
+/// The `{...}` body right after `"name":{` — for scraping one flat
+/// histogram out of a response where field names (`count`, `p99_us`)
+/// repeat across sibling blocks.
+fn json_block<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    let pattern = format!("\"{name}\":{{");
+    let start = response.find(&pattern)? + pattern.len();
+    let end = response[start..].find('}')?;
+    Some(&response[start..start + end])
 }
 
 /// One extra blocking connection that asks the daemon for `stats` and
@@ -825,6 +897,73 @@ pub fn probe_stats(addr: SocketAddr) -> std::io::Result<DaemonSnapshot> {
     let mut bye = String::new();
     let _ = reader.read_line(&mut bye);
     Ok(snapshot)
+}
+
+/// One extra blocking connection that asks the daemon for its `metrics`
+/// registry and scrapes the server-side latency view out of the answer:
+/// the `queue_wait_us` histogram and every per-kind `request_us_<kind>`
+/// p99 — numbers measured where the work happened, to sit beside the
+/// harness's client-side samples in the report.
+pub fn probe_metrics(addr: SocketAddr) -> std::io::Result<ServerMetrics> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(writer, "{{\"cmd\":\"metrics\"}}")?;
+    writer.flush()?;
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if !response.contains("\"histograms\":{") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("metrics probe got a response without histograms: {response}"),
+        ));
+    }
+    let metrics = parse_metrics_response(&response);
+    // Leave the daemon as we found it: a connection-scope goodbye.
+    writeln!(writer, "{{\"cmd\":\"shutdown\"}}")?;
+    writer.flush()?;
+    let mut bye = String::new();
+    let _ = reader.read_line(&mut bye);
+    Ok(metrics)
+}
+
+/// Scrapes the server-side view out of one `metrics` response line.
+fn parse_metrics_response(response: &str) -> ServerMetrics {
+    let mut metrics = ServerMetrics {
+        uptime_ms: json_u64(response, "uptime_ms"),
+        requests_total: json_u64(response, "requests_total"),
+        ..ServerMetrics::default()
+    };
+    if let Some(block) = json_block(response, "queue_wait_us") {
+        metrics.queue_wait_count = json_u64(block, "count");
+        metrics.queue_wait_p50_us = json_u64(block, "p50_us");
+        metrics.queue_wait_p95_us = json_u64(block, "p95_us");
+        metrics.queue_wait_p99_us = json_u64(block, "p99_us");
+    }
+    // Walk every `request_us_<kind>` histogram in report order; the set
+    // of kinds is whatever the daemon actually served, not a fixed list.
+    let mut rest = response;
+    while let Some(at) = rest.find("\"request_us_") {
+        rest = &rest[at + "\"request_us_".len()..];
+        let Some(name_end) = rest.find('"') else {
+            break;
+        };
+        let kind = rest[..name_end].to_string();
+        let after = &rest[name_end..];
+        let Some(open) = after.find('{') else { break };
+        let Some(close) = after[open..].find('}') else {
+            break;
+        };
+        let block = &after[open + 1..open + close];
+        metrics.per_kind.push(ServerKindStats {
+            kind,
+            count: json_u64(block, "count"),
+            p99_us: json_u64(block, "p99_us"),
+        });
+        rest = &after[open + close..];
+    }
+    metrics
 }
 
 /// Asks the daemon at `addr` to shut itself down (daemon scope).
@@ -882,6 +1021,35 @@ mod tests {
         assert_eq!(percentile(&sorted, 100.0), 100);
         assert_eq!(percentile(&[], 99.0), 0);
         assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn metrics_scraping_is_block_scoped() {
+        // `count` and `p99_us` repeat across sibling histograms, so the
+        // scraper must resolve each within its own block, not take the
+        // first match in the whole response.
+        let response = concat!(
+            "{\"ok\":true,\"uptime_ms\":1234,\"version\":\"0.1.0\",\"metrics\":",
+            "{\"counters\":{\"requests_total\":42,\"metrics_scrapes\":1},",
+            "\"histograms\":{",
+            "\"queue_wait_us\":{\"count\":40,\"sum_us\":100,\"p50_us\":2,\"p95_us\":8,\"p99_us\":16},",
+            "\"request_us_check\":{\"count\":10,\"sum_us\":90,\"p50_us\":4,\"p95_us\":16,\"p99_us\":32},",
+            "\"request_us_open\":{\"count\":30,\"sum_us\":10,\"p50_us\":1,\"p95_us\":2,\"p99_us\":4}",
+            "}}}",
+        );
+        let m = parse_metrics_response(response);
+        assert_eq!(m.uptime_ms, 1234);
+        assert_eq!(m.requests_total, 42);
+        assert_eq!(m.queue_wait_count, 40);
+        assert_eq!(m.queue_wait_p50_us, 2);
+        assert_eq!(m.queue_wait_p95_us, 8);
+        assert_eq!(m.queue_wait_p99_us, 16);
+        let kinds: Vec<(&str, u64, u64)> = m
+            .per_kind
+            .iter()
+            .map(|k| (k.kind.as_str(), k.count, k.p99_us))
+            .collect();
+        assert_eq!(kinds, vec![("check", 10, 32), ("open", 30, 4)]);
     }
 
     #[test]

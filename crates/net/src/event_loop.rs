@@ -774,6 +774,11 @@ impl EventLoop {
         let mut readiness = std::mem::take(&mut self.readiness);
         let hint = self.live + 2;
         self.poller.wait(&mut readiness, Some(wait), hint)?;
+        // Span the dispatch half only, and only when the wait actually
+        // returned readiness: timeout-only wakeups would otherwise flood
+        // the trace with empty reactor events.
+        let mut dispatch_span =
+            (!readiness.is_empty()).then(|| cj_trace::span("daemon", "reactor-dispatch"));
         let mut fatal = None;
         for r in &readiness {
             match r.key {
@@ -809,6 +814,9 @@ impl EventLoop {
         self.apply_cmds();
         self.expire_idle(events);
         self.flush_closed(events);
+        if let Some(span) = &mut dispatch_span {
+            span.add("events", (events.len() - before) as u64);
+        }
         Ok(events.len() - before)
     }
 

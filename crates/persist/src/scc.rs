@@ -198,6 +198,7 @@ impl SccDiskCache {
     /// Journal/snapshot write failures (the cache stays consistent; the
     /// same entries are retried by the next flush).
     pub fn flush(&self, memo: &SolveMemo) -> std::io::Result<usize> {
+        let mut span = cj_trace::span("daemon", "persist-flush");
         if self.store.is_read_only() {
             // Writer lease held by another live process: persist nothing
             // and record nothing as persisted.
@@ -231,6 +232,7 @@ impl SccDiskCache {
         state.keys.extend(hashes);
         state.install_mark = Some(stamp);
         let written = records.len();
+        span.add("entries", written as u64);
         if self.store.journal_bytes() > COMPACT_JOURNAL_BYTES {
             // Reuse the export in hand instead of scanning the memo again.
             self.compact_locked(&mut state, exported, stamp)?;

@@ -111,6 +111,8 @@ impl PolicyEngine {
 
     /// Checks every rule of `set` against `program`.
     pub fn check(&mut self, program: &RProgram, set: &PolicySet) -> PolicyReport {
+        let mut span = cj_trace::span("pipeline", "policy-check");
+        span.add("rules", set.rules.len() as u64);
         let mut report = PolicyReport::default();
         let mut resolved = Vec::new();
         for (idx, rule) in set.rules.iter().enumerate() {
@@ -153,6 +155,7 @@ impl PolicyEngine {
                 });
             }
         }
+        span.add("violations", report.violations.len() as u64);
         report
     }
 }

@@ -473,10 +473,19 @@ pub fn solve_scc_memo_as(
     memo: &SolveMemo,
     client: u64,
 ) -> SccOutcome {
+    let mut span = cj_trace::span("pipeline", "solve-scc");
+    span.add("members", names.len() as u64);
     let mut members: Vec<String> = names.to_vec();
     members.sort();
     let key = scc_key(env, &members);
     if let Some((closed, shared, disk)) = memo.lookup(&key, client) {
+        span.add("hit", 1);
+        if shared {
+            span.add("shared", 1);
+        }
+        if disk {
+            span.add("disk", 1);
+        }
         for (name, canonical) in members.iter().zip(closed) {
             let abs = env.get(name).expect("member present").clone();
             let atoms = uncanon_closed(&canonical, &abs.params);
@@ -493,7 +502,9 @@ pub fn solve_scc_memo_as(
             iterations: 0,
         };
     }
+    span.add("miss", 1);
     let iterations = solve_fixpoint(env, names);
+    span.add("iterations", iterations as u64);
     let closed: Vec<ConstraintSet> = members
         .iter()
         .map(|n| canon_closed(env.get(n).expect("member solved")))

@@ -233,7 +233,9 @@ fn run_func(
         regs: 0,
         stack: 0,
     });
+    let mut span = cj_trace::span("pipeline", "vm-exec");
     let value = vm.run()?;
+    span.add("steps", vm.steps);
     Ok(Outcome {
         value: to_value(value),
         space: vm.heap.stats(),

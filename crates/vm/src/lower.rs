@@ -60,6 +60,7 @@ impl LowerCache {
     /// (anything affecting vtable slots, function indices, field layout
     /// or region arities) drops the whole cache first.
     pub fn lower(&mut self, p: &RProgram) -> (CompiledProgram, LowerStats) {
+        let mut span = cj_trace::span("pipeline", "lower");
         let shape = shape_fingerprint(p);
         if self.shape != Some(shape) {
             self.methods.clear();
@@ -91,6 +92,8 @@ impl LowerCache {
             vtables: tables.vtables,
             subclass: tables.subclass,
         };
+        span.add("methods_lowered", stats.methods_lowered as u64);
+        span.add("methods_reused", stats.methods_reused as u64);
         (program, stats)
     }
 }

@@ -14,8 +14,21 @@
 //! cjrc daemon        [--addr H:P | --socket PATH] [--workers N]
 //!                    [--solve-threads N] [--cache-dir DIR]
 //!                    [--max-clients N] [--idle-timeout SECS]
+//!                    [--metrics-addr H:P]
 //!                    [--mode M] [--downcast D] [--extents X]        multi-client compile daemon
+//! cjrc trace-summary <trace.json>                                   self-time table of a trace
 //! ```
+//!
+//! `infer`/`check`/`run`/`serve`/`daemon` accept `--trace-out FILE`:
+//! structured spans from every pipeline phase (parse, typecheck, per-SCC
+//! solve, extent rewriting, policy check, lowering, VM execution) and the
+//! daemon internals (reactor dispatch, queue wait, worker handling,
+//! persist flush) are recorded and written as Chrome trace-event JSON —
+//! load the file in Perfetto / `chrome://tracing`, or render a self-time
+//! table with `cjrc trace-summary`. Tracing off costs one atomic load per
+//! span. `serve`/`daemon` also accept `--metrics-addr H:P`, an HTTP
+//! scrape endpoint (`GET /metrics` text exposition, `GET /metrics.json`)
+//! over the same registry the in-protocol `metrics` request reads.
 //!
 //! `M` ∈ {no-sub, object-sub, field-sub} (default field-sub; the short
 //! aliases none/object/field are accepted); `D` ∈ {reject, equate-first,
@@ -75,7 +88,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match execute(&cli) {
+    if cli.trace_out.is_some() {
+        cj_trace::install();
+    }
+    let outcome = execute(&cli);
+    if let Some(path) = &cli.trace_out {
+        // Every recording thread (daemon workers, reactor, flusher) has
+        // been joined by now; their buffers flushed to the sink on exit.
+        let events = cj_trace::uninstall();
+        match std::fs::write(path, cj_trace::chrome_trace_json(&events)) {
+            Ok(()) => eprintln!("cjrc: wrote {} trace event(s) to {path}", events.len()),
+            Err(e) => eprintln!("cjrc: warning: could not write trace file `{path}`: {e}"),
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(failure) => {
             let Failure { session, diags } = *failure;
@@ -132,6 +158,10 @@ struct Cli {
     query_name: Option<String>,
     /// `query`: positional atom to test against the abstraction.
     entails: Option<String>,
+    /// Chrome trace-event JSON output path (tracing stays off without it).
+    trace_out: Option<String>,
+    /// `serve`/`daemon`: TCP address of the HTTP metrics scrape endpoint.
+    metrics_addr: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +173,7 @@ enum Command {
     Query,
     Serve,
     Daemon,
+    TraceSummary,
 }
 
 /// Default TCP listen address of `cjrc daemon`.
@@ -178,7 +209,9 @@ fn usage() -> String {
          cjrc serve [--mode {m}] [--downcast {d}] [--extents {x}] [--cache-dir DIR]\n       \
          cjrc daemon [--frontend event|threads] [--addr host:port | --socket path] \
          [--workers N] [--solve-threads N] [--cache-dir DIR] [--max-clients N] \
-         [--idle-timeout SECS] [--mode {m}] [--downcast {d}] [--extents {x}] [--json]",
+         [--idle-timeout SECS] [--metrics-addr host:port] \
+         [--mode {m}] [--downcast {d}] [--extents {x}] [--json]\n       \
+         cjrc trace-summary <trace.json>      (any command above accepts --trace-out FILE)",
         m = SubtypeMode::NAMES[..3].join("|"),
         d = DowncastPolicy::NAMES[..3].join("|"),
         x = ExtentMode::NAMES.join("|"),
@@ -196,6 +229,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         Some("query") => Command::Query,
         Some("serve") => Command::Serve,
         Some("daemon") => Command::Daemon,
+        Some("trace-summary") => Command::TraceSummary,
         Some(other) => return Err(CliError::new(format!("unknown command `{other}`"))),
         None => return Err(CliError::new("missing command")),
     };
@@ -218,6 +252,8 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
     let mut policy = None;
     let mut query_name = None;
     let mut entails = None;
+    let mut trace_out = None;
+    let mut metrics_addr = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
@@ -353,6 +389,18 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
                         .ok_or_else(|| CliError::new("--entails needs an atom value"))?,
                 );
             }
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--trace-out needs a file value"))?,
+                );
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    args.next()
+                        .ok_or_else(|| CliError::new("--metrics-addr needs a host:port value"))?,
+                );
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             flag if flag.starts_with("--") => {
@@ -388,6 +436,32 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         return Err(CliError::new(
             "--cache-dir does not apply to `flows` (no region inference to cache)",
         ));
+    }
+    if !matches!(command, Command::Serve | Command::Daemon) && metrics_addr.is_some() {
+        return Err(CliError::new(
+            "--metrics-addr applies to `serve` and `daemon` only",
+        ));
+    }
+    if matches!(
+        command,
+        Command::Flows | Command::Query | Command::TraceSummary
+    ) && trace_out.is_some()
+    {
+        return Err(CliError::new(
+            "--trace-out applies to `infer`, `check`, `run`, `serve` and `daemon`",
+        ));
+    }
+    if matches!(command, Command::TraceSummary) {
+        if stats || json || !run_args.is_empty() || cache_dir.is_some() {
+            return Err(CliError::new(
+                "`trace-summary` accepts no options, just a trace file",
+            ));
+        }
+        if file.is_none() {
+            return Err(CliError::new(
+                "`trace-summary` needs a trace file (written by --trace-out)",
+            ));
+        }
     }
     if !matches!(command, Command::Run)
         && (engine.is_some() || fuel.is_some() || max_depth.is_some())
@@ -462,6 +536,8 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, CliError> {
         policy,
         query_name,
         entails,
+        trace_out,
+        metrics_addr,
     })
 }
 
@@ -528,6 +604,16 @@ fn execute(cli: &Cli) -> Result<(), Box<Failure>> {
                 diags: Diagnostics::from_one(
                     Diagnostic::error(format!("daemon failed: {e}"), Span::DUMMY)
                         .with_code(codes::IO),
+                ),
+            })
+        });
+    }
+    if cli.command == Command::TraceSummary {
+        return trace_summary_cmd(&cli.file).map_err(|message| {
+            Box::new(Failure {
+                session: Session::new("", SessionOptions::default()).with_name(cli.file.clone()),
+                diags: Diagnostics::from_one(
+                    Diagnostic::error(message, Span::DUMMY).with_code(codes::IO),
                 ),
             })
         });
@@ -637,8 +723,8 @@ fn dispatch(cli: &Cli, session: &mut Session) -> Result<(), Diagnostics> {
             }
             Ok(())
         }
-        Command::Serve | Command::Daemon | Command::Query => {
-            unreachable!("serve/daemon/query are dispatched before file loading")
+        Command::Serve | Command::Daemon | Command::Query | Command::TraceSummary => {
+            unreachable!("serve/daemon/query/trace-summary are dispatched before file loading")
         }
         Command::Run => {
             let engine = session.options().run.engine;
@@ -932,6 +1018,7 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
             .idle_timeout
             .map(std::time::Duration::from_secs)
             .unwrap_or(defaults.idle_timeout),
+        metrics_addr: cli.metrics_addr.clone(),
         ..defaults
     };
     let daemon = match &cli.socket {
@@ -963,22 +1050,16 @@ fn daemon(opts: SessionOptions, cli: &Cli) -> std::io::Result<()> {
     }
     println!("cjrcd listening on {}", daemon.describe_addr());
     std::io::stdout().flush()?;
+    if let Some(addr) = daemon.metrics_local_addr() {
+        eprintln!("cjrcd: metrics endpoint on http://{addr}/metrics");
+    }
     let frontend = cli.frontend.unwrap_or_default();
     let summary = daemon.run()?;
     if cli.json {
         // One machine-readable exit summary on stdout (the listening
-        // banner above is the only other stdout line).
-        println!(
-            "{{\"frontend\":\"{}\",\"clients_served\":{},\"clients_rejected\":{},\
-             \"connections_peak\":{},\"cache_entries_loaded\":{},\
-             \"cache_entries_persisted\":{}}}",
-            frontend.name(),
-            summary.clients_served,
-            summary.clients_rejected,
-            summary.connections_peak,
-            summary.cache_entries_loaded,
-            summary.cache_entries_persisted,
-        );
+        // banner above is the only other stdout line) — the same
+        // serializer as the `stats` response's `"daemon"` object.
+        println!("{}", summary.to_json());
         return Ok(());
     }
     if cli.cache_dir.is_some() {
@@ -1007,6 +1088,38 @@ fn serve(opts: SessionOptions, cli: &Cli) -> Result<(), Diagnostics> {
     if let Some(cache) = open_cache(cli)? {
         server.workspace().attach_disk_cache(cache);
     }
+    // The optional HTTP scrape endpoint, over the same telemetry hub the
+    // in-protocol `metrics` request reads.
+    let metrics_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics_thread = match &cli.metrics_addr {
+        Some(addr) => {
+            let io_diag = |e: std::io::Error| {
+                Diagnostics::from_one(
+                    Diagnostic::error(
+                        format!("cannot serve metrics on `{addr}`: {e}"),
+                        Span::DUMMY,
+                    )
+                    .with_code(codes::IO),
+                )
+            };
+            let listener = std::net::TcpListener::bind(addr).map_err(io_diag)?;
+            if let Ok(bound) = listener.local_addr() {
+                eprintln!("cjrc: metrics endpoint on http://{bound}/metrics");
+            }
+            let memo = server.workspace().shared_memo();
+            Some(
+                cj_driver::telemetry::spawn_metrics_endpoint(
+                    listener,
+                    std::sync::Arc::clone(server.telemetry()),
+                    Some(memo),
+                    None,
+                    std::sync::Arc::clone(&metrics_stop),
+                )
+                .map_err(io_diag)?,
+            )
+        }
+        None => None,
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -1021,12 +1134,87 @@ fn serve(opts: SessionOptions, cli: &Cli) -> Result<(), Diagnostics> {
             break;
         }
     }
+    metrics_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(thread) = metrics_thread {
+        let _ = thread.join();
+    }
     if cli.cache_dir.is_some() {
         if let Err(e) = server.workspace().flush_disk_cache() {
             eprintln!("cjrc: warning: could not write compilation cache: {e}");
         }
     }
     Ok(())
+}
+
+/// `cjrc trace-summary <trace.json>`: re-reads a `--trace-out` file and
+/// prints the per-phase count / self-time / total-time table.
+fn trace_summary_cmd(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let events = parse_trace_file(&text).map_err(|e| format!("malformed trace `{path}`: {e}"))?;
+    if events.is_empty() {
+        println!("(no trace events)");
+        return Ok(());
+    }
+    print!(
+        "{}",
+        cj_trace::render_summary(&cj_trace::summarize(&events))
+    );
+    Ok(())
+}
+
+/// Reconstructs [`cj_trace::Event`]s from a Chrome trace-event file.
+/// `Event` borrows its names as `&'static str` (recording must not
+/// allocate); a one-shot CLI read gets them by interning each distinct
+/// name once and leaking it — bounded by the span taxonomy, not the
+/// event count.
+fn parse_trace_file(text: &str) -> Result<Vec<cj_trace::Event>, String> {
+    let root = cj_driver::parse_json(text.trim())?;
+    let Some(cj_driver::Json::Arr(items)) = root.get("traceEvents") else {
+        return Err("missing `traceEvents` array".to_string());
+    };
+    let mut names: std::collections::HashMap<String, &'static str> =
+        std::collections::HashMap::new();
+    let mut intern = move |s: &str| -> &'static str {
+        if let Some(&interned) = names.get(s) {
+            return interned;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        names.insert(s.to_string(), leaked);
+        leaked
+    };
+    let mut events = Vec::with_capacity(items.len());
+    for item in items {
+        if item.get_str("ph") != Some("X") {
+            continue; // only complete events carry durations
+        }
+        let num = |key: &str| -> Result<u64, String> {
+            match item.get(key) {
+                Some(cj_driver::Json::Num(n)) if *n >= 0.0 => Ok(*n as u64),
+                _ => Err(format!("event missing numeric `{key}`")),
+            }
+        };
+        let mut counters = Vec::new();
+        if let Some(cj_driver::Json::Obj(args)) = item.get("args") {
+            for (key, value) in args {
+                if key == "depth" {
+                    continue; // exporter metadata, not a span counter
+                }
+                if let cj_driver::Json::Num(n) = value {
+                    counters.push((intern(key), *n as u64));
+                }
+            }
+        }
+        events.push(cj_trace::Event {
+            cat: intern(item.get_str("cat").unwrap_or("")),
+            name: intern(item.get_str("name").ok_or("event missing `name`")?),
+            tid: num("tid")?,
+            ts_us: num("ts")?,
+            dur_us: num("dur")?,
+            depth: 0, // recomputed by summarize's containment pass
+            counters,
+        });
+    }
+    Ok(events)
 }
 
 fn stats_json(stats: &cj_infer::InferStats) -> String {
@@ -1182,6 +1370,90 @@ mod tests {
             .unwrap_err()
             .message
             .contains("--entails applies to `query` only"));
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse_and_validate() {
+        // --trace-out rides on every compiling command plus serve/daemon.
+        for args in [
+            vec!["infer", "x.cj", "--trace-out", "t.json"],
+            vec!["check", "x.cj", "--trace-out", "t.json"],
+            vec!["run", "x.cj", "--trace-out", "t.json"],
+            vec!["serve", "--trace-out", "t.json"],
+            vec!["daemon", "--trace-out", "t.json"],
+        ] {
+            let cli = parse_cli(argv(&args)).unwrap();
+            assert_eq!(cli.trace_out.as_deref(), Some("t.json"), "{args:?}");
+        }
+        for args in [
+            vec!["flows", "x.cj", "--trace-out", "t.json"],
+            vec!["query", "x.cj", "inv.Pair", "--trace-out", "t.json"],
+        ] {
+            let err = parse_cli(argv(&args)).unwrap_err();
+            assert!(err.message.contains("--trace-out applies"), "{err:?}");
+        }
+        assert!(parse_cli(argv(&["infer", "x.cj", "--trace-out"]))
+            .unwrap_err()
+            .message
+            .contains("--trace-out needs a file value"));
+
+        // --metrics-addr is a serving concern only.
+        let cli = parse_cli(argv(&["daemon", "--metrics-addr", "127.0.0.1:0"])).unwrap();
+        assert_eq!(cli.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        let cli = parse_cli(argv(&["serve", "--metrics-addr", "127.0.0.1:0"])).unwrap();
+        assert_eq!(cli.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        let err = parse_cli(argv(&["infer", "x.cj", "--metrics-addr", "127.0.0.1:0"])).unwrap_err();
+        assert!(
+            err.message
+                .contains("--metrics-addr applies to `serve` and `daemon`"),
+            "{err:?}"
+        );
+
+        // trace-summary takes exactly one trace file.
+        let cli = parse_cli(argv(&["trace-summary", "t.json"])).unwrap();
+        assert_eq!(cli.command, Command::TraceSummary);
+        assert_eq!(cli.file, "t.json");
+        assert!(parse_cli(argv(&["trace-summary"]))
+            .unwrap_err()
+            .message
+            .contains("needs a trace file"));
+        assert!(parse_cli(argv(&["trace-summary", "t.json", "--json"]))
+            .unwrap_err()
+            .message
+            .contains("accepts no options"));
+    }
+
+    #[test]
+    fn trace_file_round_trips_through_the_summary_parser() {
+        // What --trace-out writes, trace-summary must read back.
+        let events = vec![
+            cj_trace::Event {
+                cat: "pipeline",
+                name: "infer",
+                tid: 1,
+                ts_us: 0,
+                dur_us: 100,
+                depth: 0,
+                counters: vec![("methods_inferred", 3)],
+            },
+            cj_trace::Event {
+                cat: "pipeline",
+                name: "solve-scc",
+                tid: 1,
+                ts_us: 10,
+                dur_us: 40,
+                depth: 1,
+                counters: vec![],
+            },
+        ];
+        let parsed = parse_trace_file(&cj_trace::chrome_trace_json(&events)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "infer");
+        assert_eq!(parsed[0].counters, vec![("methods_inferred", 3)]);
+        let rows = cj_trace::summarize(&parsed);
+        let infer = rows.iter().find(|r| r.name == "infer").unwrap();
+        assert_eq!(infer.total_us, 100);
+        assert_eq!(infer.self_us, 60, "child solve-scc time is not self time");
     }
 
     #[test]

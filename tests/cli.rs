@@ -581,3 +581,77 @@ fn query_prints_abstractions_and_entailment() {
     );
     std::fs::remove_file(prog).ok();
 }
+
+// ---- observability ----------------------------------------------------------
+
+#[test]
+fn trace_out_writes_chrome_trace_and_trace_summary_reads_it_back() {
+    let prog = temp_source(
+        "traced.cj",
+        "class Cell { Object item; Object get() { this.item } }
+         class M { static int main(int n) {
+             Cell c = new Cell(null); c.get(); n + 1 } }",
+    );
+    let trace =
+        std::env::temp_dir().join(format!("cjrc-test-{}-run.trace.json", std::process::id()));
+    let out = cjrc(&[
+        "run",
+        prog.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "41",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("42"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("trace event(s)"), "{stderr}");
+
+    // The file is Chrome trace-event JSON with the pipeline phases.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+    for phase in [
+        "\"parse\"",
+        "\"typecheck\"",
+        "\"infer\"",
+        "\"solve-scc\"",
+        "\"lower\"",
+        "\"vm-exec\"",
+    ] {
+        assert!(text.contains(phase), "trace lacks {phase}: {text}");
+    }
+    assert!(text.contains("\"ph\":\"X\""), "{text}");
+
+    // trace-summary renders the per-phase self-time table from it.
+    let out = cjrc(&["trace-summary", trace.to_str().unwrap()]);
+    assert!(out.status.success());
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("phase"), "{table}");
+    assert!(table.contains("self(us)"), "{table}");
+    assert!(table.contains("solve-scc"), "{table}");
+    assert!(table.contains("vm-exec"), "{table}");
+
+    // Malformed input is a structured error, not a panic.
+    let bogus = temp_source("bogus.trace.json", "{\"not\":\"a trace\"}");
+    let out = cjrc(&["trace-summary", bogus.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("malformed trace"), "{stderr}");
+
+    std::fs::remove_file(prog).ok();
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(bogus).ok();
+}
+
+#[test]
+fn tracing_stays_off_without_trace_out() {
+    let prog = temp_source(
+        "untraced.cj",
+        "class M { static int main(int n) { n + 1 } }",
+    );
+    let out = cjrc(&["run", prog.to_str().unwrap(), "1"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("trace event(s)"), "{stderr}");
+    std::fs::remove_file(prog).ok();
+}
