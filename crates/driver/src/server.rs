@@ -328,7 +328,7 @@ impl Server {
             }
             Err(e) => (
                 crate::telemetry::request_kind(None),
-                Err(format!("malformed request: {e}")),
+                Err(ReqError::from(format!("malformed request: {e}"))),
             ),
         };
         let passes = self.ws.pass_counts().since(before);
@@ -346,18 +346,23 @@ impl Server {
                 out.push('}');
                 out
             }
-            Err(error) => format!(
-                "{{\"ok\":false,\"revision\":{revision},\"error\":{},\
-                 \"passes_executed\":{}}}",
-                json_string(&error),
-                passes_json(passes)
-            ),
+            Err(error) => {
+                let mut out = format!(
+                    "{{\"ok\":false,\"revision\":{revision},\"error\":{}",
+                    json_string(&error.msg)
+                );
+                if let Some(code) = error.code {
+                    let _ = write!(out, ",\"code\":\"{code}\"");
+                }
+                let _ = write!(out, ",\"passes_executed\":{}}}", passes_json(passes));
+                out
+            }
         }
     }
 
     /// Dispatches a parsed request; `Ok` carries extra response fields
     /// (already JSON-encoded, comma-separated, no braces).
-    fn dispatch(&mut self, req: &Json) -> Result<String, String> {
+    fn dispatch(&mut self, req: &Json) -> Result<String, ReqError> {
         let cmd = req.get_str("cmd").ok_or("missing `cmd`")?;
         match cmd {
             "open" | "edit" => {
@@ -414,11 +419,17 @@ impl Server {
                         })
                         .collect::<Result<_, _>>()?,
                     None => Vec::new(),
-                    _ => return Err("`args` must be an array".to_string()),
+                    _ => return Err("`args` must be an array".into()),
                 };
                 let opts = self.request_opts(req)?;
+                // An unrecognized engine gets a *coded* error: clients
+                // selecting a tier must distinguish "tier not available"
+                // from ordinary compile failures, not fall back silently.
                 let engine: Engine = match req.get_str("engine") {
-                    Some(name) => name.parse().map_err(|e: String| e)?,
+                    Some(name) => name.parse().map_err(|msg: String| ReqError {
+                        code: Some("unknown-engine"),
+                        msg,
+                    })?,
                     None => self.ws.options().run.engine,
                 };
                 let out = self
@@ -435,7 +446,7 @@ impl Server {
                     out.space.peak_live
                 ))
             }
-            "query" => self.query(req),
+            "query" => self.query(req).map_err(ReqError::from),
             "policy" => {
                 // Inline rules replace the loaded set; without `rules`, the
                 // previously loaded set is re-checked (how an editor polls
@@ -443,13 +454,13 @@ impl Server {
                 if let Some(rules) = req.get_str("rules") {
                     let name = req.get_str("name").unwrap_or("<policy>");
                     if let Err(d) = self.ws.set_policy(name, rules) {
-                        return Err(self.ws.render(&d).trim_end().to_string());
+                        return Err(self.ws.render(&d).trim_end().to_string().into());
                     }
                 }
                 let opts = self.request_opts(req)?;
                 let outcome = match self.ws.check_policy_with(opts) {
                     Ok(outcome) => outcome,
-                    Err(d) => return Err(self.ws.render(&d).trim_end().to_string()),
+                    Err(d) => return Err(self.ws.render(&d).trim_end().to_string().into()),
                 };
                 let status = if outcome.ok() {
                     "policy-ok"
@@ -541,13 +552,14 @@ impl Server {
                     Some(other) => {
                         return Err(format!(
                             "unknown shutdown scope `{other}` (expected `connection` or `daemon`)"
-                        ))
+                        )
+                        .into())
                     }
                 }
                 self.done = true;
                 Ok("\"status\":\"bye\"".to_string())
             }
-            other => Err(format!("unknown command `{other}`")),
+            other => Err(format!("unknown command `{other}`").into()),
         }
     }
 
@@ -618,11 +630,34 @@ impl Server {
     }
 }
 
+/// A dispatch failure: a human-readable message plus an optional stable
+/// machine-readable `code` clients can branch on without parsing prose.
+struct ReqError {
+    code: Option<&'static str>,
+    msg: String,
+}
+
+impl From<String> for ReqError {
+    fn from(msg: String) -> ReqError {
+        ReqError { code: None, msg }
+    }
+}
+
+impl From<&str> for ReqError {
+    fn from(msg: &str) -> ReqError {
+        ReqError {
+            code: None,
+            msg: msg.to_string(),
+        }
+    }
+}
+
 fn passes_json(p: PassCounts) -> String {
     format!(
         "{{\"parse\":{},\"typecheck\":{},\"infer\":{},\"check\":{},\"run\":{},\"lower\":{},\
-         \"methods_inferred\":{},\"methods_reused\":{},\"methods_lowered\":{},\
-         \"methods_lower_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
+         \"rvm_lower\":{},\"methods_inferred\":{},\"methods_reused\":{},\
+         \"methods_lowered\":{},\"methods_lower_reused\":{},\"methods_rvm_lowered\":{},\
+         \"methods_rvm_reused\":{},\"sccs_solved\":{},\"sccs_reused\":{},\
          \"sccs_shared_hits\":{},\"sccs_disk_hits\":{},\"extent_rewrites\":{},\
          \"rules_checked\":{},\"policy_violations\":{}}}",
         p.parse,
@@ -631,10 +666,13 @@ fn passes_json(p: PassCounts) -> String {
         p.check,
         p.run,
         p.lower,
+        p.rvm_lower,
         p.methods_inferred,
         p.methods_reused,
         p.methods_lowered,
         p.methods_lower_reused,
+        p.methods_rvm_lowered,
+        p.methods_rvm_reused,
         p.sccs_solved,
         p.sccs_reused,
         p.sccs_shared_hits,
@@ -872,15 +910,23 @@ mod tests {
             r#"{"cmd":"open","file":"m.cj","text":"class M { static int main(int n) { n * 2 } }"}"#,
         );
         let vm = s.handle_line(r#"{"cmd":"run","args":[21],"engine":"vm"}"#);
+        let rvm = s.handle_line(r#"{"cmd":"run","args":[21],"engine":"rvm"}"#);
         let interp = s.handle_line(r#"{"cmd":"run","args":[21],"engine":"interp"}"#);
         assert!(vm.contains("\"engine\":\"vm\""), "{vm}");
+        assert!(rvm.contains("\"engine\":\"rvm\""), "{rvm}");
         assert!(interp.contains("\"engine\":\"interp\""), "{interp}");
-        for resp in [&vm, &interp] {
+        for resp in [&vm, &rvm, &interp] {
             assert!(resp.contains("\"result\":\"42\""), "{resp}");
         }
+        assert!(rvm.contains("\"rvm_lower\":1"), "{rvm}");
         let bad = s.handle_line(r#"{"cmd":"run","engine":"jit"}"#);
         assert!(bad.contains("\"ok\":false"), "{bad}");
         assert!(bad.contains("unknown engine"), "{bad}");
+        assert!(bad.contains("\"code\":\"unknown-engine\""), "{bad}");
+        // Errors without a registered code carry no `code` field at all.
+        let nocode = s.handle_line(r#"{"cmd":"frobnicate"}"#);
+        assert!(nocode.contains("\"ok\":false"), "{nocode}");
+        assert!(!nocode.contains("\"code\":"), "{nocode}");
     }
 
     #[test]

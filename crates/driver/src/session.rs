@@ -286,6 +286,30 @@ impl Session {
         self.ws.compiled_with(opts)
     }
 
+    /// Register-lowers the program for the rvm tier under the session's
+    /// options (cached; see [`Workspace::rvm_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn rvm_compiled(&mut self) -> CompileResult<Arc<cj_rvm::RvmProgram>> {
+        self.rvm_compiled_with(self.ws.options().infer)
+    }
+
+    /// [`rvm_compiled`](Session::rvm_compiled) under explicit inference
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn rvm_compiled_with(
+        &mut self,
+        opts: InferOptions,
+    ) -> CompileResult<Arc<cj_rvm::RvmProgram>> {
+        self.ingest_ok()?;
+        self.ws.rvm_with(opts)
+    }
+
     /// Stage 5: compiles (through [`check`](Session::check)) and executes
     /// `main` with integer arguments on the configured engine (the
     /// bytecode VM by default).

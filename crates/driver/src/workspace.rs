@@ -97,6 +97,13 @@ pub struct PassCounts {
     pub methods_lowered: u32,
     /// Method bodies reused from the per-method lowering cache.
     pub methods_lower_reused: u32,
+    /// Register-lowering passes (one per distinct [`InferOptions`] per
+    /// revision that executed on the rvm engine).
+    pub rvm_lower: u32,
+    /// Method bodies actually translated to register code.
+    pub methods_rvm_lowered: u32,
+    /// Method bodies reused from the per-method register-lowering cache.
+    pub methods_rvm_reused: u32,
     /// `letreg` bindings narrowed or dropped by the liveness extent pass
     /// (0 under the paper's block-scoped placement).
     pub extent_rewrites: u32,
@@ -138,6 +145,9 @@ impl PassCounts {
             lower: self.lower - earlier.lower,
             methods_lowered: self.methods_lowered - earlier.methods_lowered,
             methods_lower_reused: self.methods_lower_reused - earlier.methods_lower_reused,
+            rvm_lower: self.rvm_lower - earlier.rvm_lower,
+            methods_rvm_lowered: self.methods_rvm_lowered - earlier.methods_rvm_lowered,
+            methods_rvm_reused: self.methods_rvm_reused - earlier.methods_rvm_reused,
             extent_rewrites: self.extent_rewrites - earlier.extent_rewrites,
             methods_inferred: self.methods_inferred - earlier.methods_inferred,
             methods_reused: self.methods_reused - earlier.methods_reused,
@@ -178,6 +188,12 @@ struct InferState {
     lower_cache: cj_vm::LowerCache,
     /// The current revision's lowered program, if the VM engine ran.
     compiled: Option<Arc<cj_vm::CompiledProgram>>,
+    /// Long-lived per-method register-lowering memo (survives revisions;
+    /// keyed off the stack tier's Arc identity, so it inherits that
+    /// memo's α-invariant reuse).
+    rvm_cache: cj_rvm::RvmCache,
+    /// The current revision's register program, if the rvm engine ran.
+    rvm_compiled: Option<Arc<cj_rvm::RvmProgram>>,
     /// Long-lived per-method policy-verdict memo (survives revisions; keys
     /// are α-canonical content hashes, so untouched methods replay across
     /// edits even when their region ids shift).
@@ -446,10 +462,11 @@ impl Workspace {
         for state in self.states.values_mut() {
             state.compilation = None;
             state.checked = false;
-            // The lowered program is revision-bound, but the per-method
-            // lowering memo survives: the next lower pass re-lowers only
-            // the methods the edit actually changed.
+            // The lowered programs are revision-bound, but the per-method
+            // lowering memos survive: the next lower pass re-lowers only
+            // the methods the edit actually changed (both tiers).
             state.compiled = None;
+            state.rvm_compiled = None;
             // Same split for policy: outcomes are revision-bound, the
             // per-method verdict memo survives.
             state.policy_results.clear();
@@ -471,6 +488,8 @@ impl Workspace {
                 checked: false,
                 lower_cache: cj_vm::LowerCache::new(),
                 compiled: None,
+                rvm_cache: cj_rvm::RvmCache::new(),
+                rvm_compiled: None,
                 policy_engine: PolicyEngine::new(),
                 policy_results: HashMap::new(),
             }
@@ -663,6 +682,31 @@ impl Workspace {
         Ok(compiled)
     }
 
+    /// Register-lowers the stack bytecode for the register tier (cached
+    /// per revision; the per-method translation memo survives revisions
+    /// on top of the stack tier's, so an incremental edit re-translates
+    /// only changed methods — observable as
+    /// [`PassCounts::methods_rvm_lowered`] vs
+    /// [`PassCounts::methods_rvm_reused`]).
+    ///
+    /// # Errors
+    ///
+    /// Any compilation diagnostics.
+    pub fn rvm_with(&mut self, opts: InferOptions) -> CompileResult<Arc<cj_rvm::RvmProgram>> {
+        if let Some(r) = self.states.get(&opts).and_then(|s| s.rvm_compiled.clone()) {
+            return Ok(r);
+        }
+        let compiled = self.compiled_with(opts)?;
+        let state = self.state_mut(opts);
+        let (reg, stats) = state.rvm_cache.lower(&compiled);
+        let reg = Arc::new(reg);
+        state.rvm_compiled = Some(Arc::clone(&reg));
+        self.counts.rvm_lower += 1;
+        self.counts.methods_rvm_lowered += stats.methods_lowered as u32;
+        self.counts.methods_rvm_reused += stats.methods_reused as u32;
+        Ok(reg)
+    }
+
     /// Compiles (through [`check`](Workspace::check)) and executes `main`
     /// on the configured engine (the bytecode VM by default; the
     /// interpreter runs on a big-stack worker thread).
@@ -708,6 +752,11 @@ impl Workspace {
                 self.counts.run += 1;
                 cj_vm::run_main(&compiled, args, run_config)
                     .map_err(IntoDiagnostics::into_diagnostics)
+            }
+            Engine::Rvm => {
+                let reg = self.rvm_with(opts)?;
+                self.counts.run += 1;
+                cj_rvm::run_main(&reg, args, run_config).map_err(IntoDiagnostics::into_diagnostics)
             }
             Engine::Interp => {
                 self.counts.run += 1;

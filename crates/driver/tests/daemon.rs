@@ -416,6 +416,44 @@ fn idle_client_does_not_block_daemon_shutdown() {
     assert_eq!(summary.clients_served, 2);
 }
 
+/// Every execution tier is selectable per request over the wire, the
+/// three engines agree on the answer, and an unknown engine comes back
+/// as a *coded* structured error — not a silent fallback to the default
+/// engine and not a bare prose string.
+#[test]
+fn run_requests_select_engines_and_reject_unknown_ones() {
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr().expect("tcp addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    let responses = drive_tcp(
+        addr,
+        &[
+            "{\"cmd\":\"open\",\"file\":\"m.cj\",\"text\":\"class M { static int main(int n) { \
+             int acc = 0; int i = 0; while (i < n) { acc = acc + i; i = i + 1; } acc } }\"}"
+                .to_string(),
+            "{\"cmd\":\"run\",\"args\":[100],\"engine\":\"vm\"}".to_string(),
+            "{\"cmd\":\"run\",\"args\":[100],\"engine\":\"rvm\"}".to_string(),
+            "{\"cmd\":\"run\",\"args\":[100],\"engine\":\"interp\"}".to_string(),
+            "{\"cmd\":\"run\",\"args\":[100],\"engine\":\"jit\"}".to_string(),
+            "{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string(),
+        ],
+    );
+    for (resp, engine) in responses[1..=3].iter().zip(["vm", "rvm", "interp"]) {
+        assert!(resp.contains("\"ok\":true"), "[{engine}] {resp}");
+        assert!(resp.contains("\"result\":\"4950\""), "[{engine}] {resp}");
+        assert!(
+            resp.contains(&format!("\"engine\":\"{engine}\"")),
+            "[{engine}] {resp}"
+        );
+    }
+    let bad = &responses[4];
+    assert!(bad.contains("\"ok\":false"), "{bad}");
+    assert!(bad.contains("\"code\":\"unknown-engine\""), "{bad}");
+    assert!(bad.contains("unknown engine `jit`"), "{bad}");
+    daemon_thread.join().expect("daemon drains");
+}
+
 /// A typo'd shutdown scope must be an error, not a connection-scope
 /// shutdown the client mistakes for a daemon stop.
 #[test]

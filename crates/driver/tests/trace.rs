@@ -93,6 +93,7 @@ fn daemon_request_trace_has_distinct_phase_spans() {
             open_request("cell.cj", PROGRAM),
             "{\"cmd\":\"check\"}".to_string(),
             "{\"cmd\":\"run\",\"args\":[41],\"engine\":\"vm\"}".to_string(),
+            "{\"cmd\":\"run\",\"args\":[41],\"engine\":\"rvm\"}".to_string(),
             "{\"cmd\":\"shutdown\",\"scope\":\"daemon\"}".to_string(),
         ],
     );
@@ -101,6 +102,8 @@ fn daemon_request_trace_has_distinct_phase_spans() {
 
     assert!(responses[1].contains("\"status\":\"well-region-typed\""));
     assert!(responses[2].contains("\"result\":\"42\""));
+    assert!(responses[3].contains("\"result\":\"42\""));
+    assert!(responses[3].contains("\"engine\":\"rvm\""));
 
     // The distinct phases the acceptance criterion names, plus the
     // request/frontend wrappers around them.
@@ -113,6 +116,8 @@ fn daemon_request_trace_has_distinct_phase_spans() {
         ("pipeline", "solve-scc"),
         ("pipeline", "lower"),
         ("pipeline", "vm-exec"),
+        ("pipeline", "rvm-lower"),
+        ("pipeline", "rvm-exec"),
         ("request", "check"),
         ("request", "run"),
     ] {
@@ -125,6 +130,36 @@ fn daemon_request_trace_has_distinct_phase_spans() {
                 .collect::<std::collections::BTreeSet<_>>()
         );
     }
+    // The register tier's spans carry its counters: the lowering span
+    // reports how many methods were translated, the execution span how
+    // many dispatches retired and how many superinstructions hit.
+    let rvm_lower = events.iter().find(|e| e.name == "rvm-lower").unwrap();
+    assert!(
+        rvm_lower
+            .counters
+            .iter()
+            .any(|&(k, v)| k == "methods_lowered" && v >= 1),
+        "rvm-lower counters: {:?}",
+        rvm_lower.counters
+    );
+    let rvm_exec = events.iter().find(|e| e.name == "rvm-exec").unwrap();
+    assert!(
+        rvm_exec
+            .counters
+            .iter()
+            .any(|&(k, v)| k == "dispatches" && v >= 1),
+        "rvm-exec counters: {:?}",
+        rvm_exec.counters
+    );
+    assert!(
+        rvm_exec
+            .counters
+            .iter()
+            .any(|&(k, _)| k == "superinstructions_hit"),
+        "rvm-exec counters: {:?}",
+        rvm_exec.counters
+    );
+
     // Phase spans are distinct events, not aliases: solve, lower and
     // exec each carry their own interval, and the worker-side spans
     // happened on a worker thread, not the reactor/client thread.

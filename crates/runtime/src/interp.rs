@@ -112,22 +112,27 @@ impl From<RegionError> for RuntimeError {
 /// size model, and must produce identical observable behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
-    /// The `cj-vm` bytecode VM with real bump-arena region allocation.
+    /// The `cj-vm` stack-bytecode VM with real bump-arena region
+    /// allocation.
     #[default]
     Vm,
+    /// The `cj-rvm` register-machine tier: stack bytecode re-lowered to
+    /// a register IR with superinstructions, direct-threaded dispatch.
+    Rvm,
     /// The tree-walking reference interpreter in this crate.
     Interp,
 }
 
 impl Engine {
     /// Canonical names accepted by [`FromStr`](std::str::FromStr).
-    pub const NAMES: [&'static str; 2] = ["vm", "interp"];
+    pub const NAMES: [&'static str; 3] = ["vm", "rvm", "interp"];
 }
 
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             Engine::Vm => "vm",
+            Engine::Rvm => "rvm",
             Engine::Interp => "interp",
         })
     }
@@ -139,6 +144,7 @@ impl std::str::FromStr for Engine {
     fn from_str(s: &str) -> Result<Engine, String> {
         match s {
             "vm" => Ok(Engine::Vm),
+            "rvm" => Ok(Engine::Rvm),
             "interp" | "interpreter" => Ok(Engine::Interp),
             other => Err(format!(
                 "unknown engine `{other}` (expected one of: {})",

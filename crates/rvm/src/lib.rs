@@ -1,0 +1,368 @@
+//! # cj-rvm — a register-based direct-threaded execution tier
+//!
+//! Stage 1 of the tiered-execution roadmap: the stack bytecode the
+//! [`cj_vm`] lowering pass produces is translated once more — per
+//! method, with the same memoized, α-invariant reuse discipline — into
+//! a **register IR** ([`code`]) that a **direct-threaded** engine
+//! ([`exec`]) runs:
+//!
+//! - the operand stack disappears: the [lowering pass](lower) simulates
+//!   it at translation time and assigns every value a register (a
+//!   variable slot or a stack-position temporary), so `Const`/`LoadVar`
+//!   /`StoreVar` traffic folds into the consuming instruction's
+//!   operands;
+//! - the hottest stack idioms fuse into superinstructions — compare-
+//!   and-branch, add-immediate, increment-and-loop, and
+//!   load-field-then-call — each retiring several stack instructions in
+//!   one dispatch;
+//! - dispatch indexes a dense function-pointer table with the opcode
+//!   (no `match` over the instruction set in the hot path), and
+//!   `letreg` still compiles to direct bump-arena push/pop against the
+//!   same [`cj_vm::heap`] the stack VM uses.
+//!
+//! Observable behaviour — value, prints,
+//! [`SpaceStats`](cj_runtime::SpaceStats) (including the paper's pinned
+//! space ratios), structured
+//! [`RuntimeError`](cj_runtime::RuntimeError)s with their spans, and
+//! the fuel/depth limits — is bit-identical to both the stack VM and
+//! the tree-walking interpreter; the three-engine differential suites
+//! in `tests/` enforce it. Select the tier with `--engine rvm` on
+//! `cjrc run`, or `"engine": "rvm"` on a daemon run request.
+//!
+//! # Examples
+//!
+//! ```
+//! use cj_infer::{infer_source, InferOptions};
+//! use cj_runtime::{RunConfig, Value};
+//!
+//! let (p, _) = infer_source(
+//!     "class List { int value; List next; }
+//!      class M {
+//!        static List build(int n) {
+//!          if (n == 0) { (List) null } else { new List(n, build(n - 1)) }
+//!        }
+//!        static int sum(List l) {
+//!          if (l == null) { 0 } else { l.value + sum(l.next) }
+//!        }
+//!        static int main(int n) { sum(build(n)) }
+//!      }",
+//!     InferOptions::default(),
+//! ).unwrap();
+//! let stack = cj_vm::lower_program(&p);
+//! let reg = cj_rvm::lower_program(&stack);
+//! let rvm = cj_rvm::run_main(&reg, &[Value::Int(10)], RunConfig::default()).unwrap();
+//! let vm = cj_vm::run_main(&stack, &[Value::Int(10)], RunConfig::default()).unwrap();
+//! assert_eq!(rvm.value, vm.value);
+//! assert_eq!(rvm.space, vm.space);
+//! // Fewer dispatches than stack instructions: superinstructions and
+//! // folded operands do the same work in fewer steps.
+//! assert!(rvm.steps < vm.steps);
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod code;
+pub mod exec;
+pub mod lower;
+
+pub use code::{RInstr, ROp, RvmMethod, RvmProgram};
+pub use exec::{run_main, run_static};
+pub use lower::{lower_program, RvmCache, RvmStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cj_infer::{infer_source, InferOptions, SubtypeMode};
+    use cj_runtime::{Outcome, RunConfig, RuntimeError, Value};
+
+    fn compile(src: &str) -> (cj_infer::RProgram, cj_vm::CompiledProgram, RvmProgram) {
+        let (p, _) = infer_source(src, InferOptions::default()).unwrap();
+        cj_check::check(&p).unwrap_or_else(|e| panic!("checker: {e}"));
+        let stack = cj_vm::lower_program(&p);
+        let reg = lower_program(&stack);
+        (p, stack, reg)
+    }
+
+    fn run_all(src: &str, args: &[Value]) -> Outcome {
+        let (p, stack, reg) = compile(src);
+        let rvm = run_main(&reg, args, RunConfig::default()).unwrap();
+        let vm = cj_vm::run_main(&stack, args, RunConfig::default()).unwrap();
+        let interp = cj_runtime::run_main(&p, args, RunConfig::default()).unwrap();
+        assert_eq!(rvm.value, vm.value, "rvm/vm values diverge");
+        assert_eq!(rvm.prints, vm.prints, "rvm/vm prints diverge");
+        assert_eq!(rvm.space, vm.space, "rvm/vm space stats diverge");
+        assert_eq!(rvm.value, interp.value, "rvm/interp values diverge");
+        assert_eq!(rvm.prints, interp.prints, "rvm/interp prints diverge");
+        assert_eq!(rvm.space, interp.space, "rvm/interp space stats diverge");
+        assert!(
+            rvm.steps <= vm.steps,
+            "register dispatches exceed stack instructions"
+        );
+        rvm
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let out = run_all(
+            "class M { static int main(int n) {
+               int s = 0; int i = 1;
+               while (i <= n) { s = s + i; i = i + 1; }
+               s
+             } }",
+            &[Value::Int(100)],
+        );
+        assert_eq!(out.value, Value::Int(5050));
+    }
+
+    #[test]
+    fn objects_fields_dispatch_and_overrides() {
+        let out = run_all(
+            "class A { int m() { 1 } int twice() { this.m() * 2 } }
+             class B extends A { int m() { 2 } }
+             class C extends B { int extra() { 9 } int m() { 3 } }
+             class M {
+               static int main() {
+                 A a = new A();
+                 A b = new B();
+                 A c = new C();
+                 a.twice() * 100 + b.twice() * 10 + c.twice()
+               }
+             }",
+            &[],
+        );
+        assert_eq!(out.value, Value::Int(246));
+    }
+
+    #[test]
+    fn recursion_regions_and_field_call_fusion() {
+        let out = run_all(
+            "class List { int value; List next; }
+             class M {
+               static List build(int n) {
+                 if (n == 0) { (List) null } else { new List(n, build(n - 1)) }
+               }
+               static int sum(List l) {
+                 if (l == null) { 0 } else { l.value + sum(l.next) }
+               }
+               static int main(int n) { sum(build(n)) }
+             }",
+            &[Value::Int(10)],
+        );
+        assert_eq!(out.value, Value::Int(55));
+    }
+
+    #[test]
+    fn per_iteration_regions_are_reclaimed_for_real() {
+        let out = run_all(
+            "class Box { Object item; }
+             class M {
+               static int main(int n) {
+                 int i = 0;
+                 while (i < n) { Box b = new Box(null); i = i + 1; }
+                 i
+               }
+             }",
+            &[Value::Int(1000)],
+        );
+        assert_eq!(out.space.regions_created, 1000);
+        assert!(out.space.space_ratio() < 0.01);
+    }
+
+    #[test]
+    fn arrays_floats_prints_and_logic() {
+        let out = run_all(
+            "class M { static int main(int n) {
+               int[] a = new int[n];
+               int i = 0;
+               while (i < n) { a[i] = i * i; i = i + 1; }
+               float f = 2.5;
+               print(f * 2.0);
+               print(a[n - 1]);
+               bool ok = n > 1 && a[0] == 0 || n < 0;
+               print(ok);
+               a[n - 1] + a.length
+             } }",
+            &[Value::Int(10)],
+        );
+        assert_eq!(out.value, Value::Int(91));
+        assert_eq!(out.prints, vec!["5", "81", "true"]);
+    }
+
+    #[test]
+    fn runtime_errors_match_the_stack_vm_spans() {
+        let cases = [
+            (
+                "class Cell { int v; }
+                 class M { static int main() { Cell c = (Cell) null; c.v } }",
+                vec![],
+            ),
+            (
+                "class M { static int main(int n) { 10 / n } }",
+                vec![Value::Int(0)],
+            ),
+            (
+                "class M { static int main(int n) { int[] a = new int[2]; a[n] } }",
+                vec![Value::Int(5)],
+            ),
+            (
+                "class M { static int main(int n) { int[] a = new int[n]; a.length } }",
+                vec![Value::Int(-3)],
+            ),
+            (
+                "class A { int x; } class B extends A { int y; }
+                 class M { static int main() { A a = new A(0); B b = (B) a; 1 } }",
+                vec![],
+            ),
+        ];
+        for (src, args) in cases {
+            let (_, stack, reg) = compile(src);
+            let rvm = run_main(&reg, &args, RunConfig::default()).unwrap_err();
+            let vm = cj_vm::run_main(&stack, &args, RunConfig::default()).unwrap_err();
+            assert_eq!(rvm, vm, "error divergence on {src}");
+            assert_eq!(rvm.span(), vm.span(), "span divergence on {src}");
+        }
+    }
+
+    #[test]
+    fn step_and_depth_limits_are_structured() {
+        let (_, _, reg) = compile("class M { static int main() { while (true) { } 0 } }");
+        let err = run_main(
+            &reg,
+            &[],
+            RunConfig {
+                step_limit: 1000,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::StepLimit));
+
+        let (_, _, reg) =
+            compile("class M { static int f(int n) { f(n + 1) } static int main() { f(0) } }");
+        let err = run_main(
+            &reg,
+            &[],
+            RunConfig {
+                max_depth: 64,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::DepthLimit));
+    }
+
+    #[test]
+    fn erase_regions_is_a_noop_on_results() {
+        let (_, _, reg) = compile(
+            "class Pair { Object a; Object b; }
+             class M { static int main(int n) {
+               int i = 0;
+               while (i < n) { Pair p = new Pair(null, null); i = i + 1; }
+               i
+             } }",
+        );
+        let cfg = RunConfig {
+            erase_regions: true,
+            ..RunConfig::default()
+        };
+        let erased = run_main(&reg, &[Value::Int(5)], cfg).unwrap();
+        assert_eq!(erased.value, Value::Int(5));
+        assert_eq!(erased.space.regions_created, 0, "letreg erased");
+        assert!(
+            (erased.space.space_ratio() - 1.0).abs() < 1e-9,
+            "everything lives in the heap"
+        );
+    }
+
+    #[test]
+    fn bad_main_args_and_missing_main() {
+        let (_, _, reg) = compile("class M { static int main(int n) { n } }");
+        assert!(matches!(
+            run_main(&reg, &[], RunConfig::default()).unwrap_err(),
+            RuntimeError::BadMainArgs
+        ));
+        let (_, _, reg) = compile("class M { static int helper(int n) { n } }");
+        assert!(matches!(
+            run_main(&reg, &[], RunConfig::default()).unwrap_err(),
+            RuntimeError::NoMain
+        ));
+    }
+
+    #[test]
+    fn superinstructions_are_fused_and_hit() {
+        let (_, _, reg) = compile(
+            "class List { int value; List next; }
+             class M {
+               static int sum(List l) {
+                 if (l == null) { 0 } else { l.value + sum(l.next) }
+               }
+               static int main(int n) {
+                 int i = 0;
+                 List l = (List) null;
+                 while (i < n) { l = new List(i, l); i = i + 1; }
+                 sum(l)
+               }
+             }",
+        );
+        assert!(reg.fused_count() > 0, "no superinstructions fused");
+        let out = run_main(&reg, &[Value::Int(50)], RunConfig::default()).unwrap();
+        assert_eq!(out.value, Value::Int(1225));
+    }
+
+    #[test]
+    fn rvm_cache_reuses_unchanged_methods() {
+        let src_a = "class Cell { Object item; Object get() { this.item } }
+             class M { static int main() { 1 } }";
+        let src_b = "class Cell { Object item; Object get() { this.item } }
+             class M { static int main() { 2 } }";
+        let (pa, _) = infer_source(src_a, InferOptions::default()).unwrap();
+        let (pb, _) = infer_source(src_b, InferOptions::default()).unwrap();
+        let mut stack_cache = cj_vm::LowerCache::new();
+        let mut cache = RvmCache::new();
+        let (sa, _) = stack_cache.lower(&pa);
+        let (first, s1) = cache.lower(&sa);
+        assert_eq!(s1.methods_reused, 0);
+        assert!(s1.methods_lowered >= 2);
+        // Identical program: the stack tier hands back the same Arcs, so
+        // every register translation replays.
+        let (sa2, _) = stack_cache.lower(&pa);
+        let (again, s2) = cache.lower(&sa2);
+        assert_eq!(s2.methods_lowered, 0);
+        assert_eq!(s2.methods_reused, s1.methods_lowered);
+        assert!(std::ptr::eq(
+            std::sync::Arc::as_ptr(&first.methods[0]),
+            std::sync::Arc::as_ptr(&again.methods[0])
+        ));
+        // One edited body: exactly one method re-translates.
+        let (sb, _) = stack_cache.lower(&pb);
+        let (_, s3) = cache.lower(&sb);
+        assert_eq!(s3.methods_lowered, 1, "{s3:?}");
+        assert_eq!(s3.methods_reused, s1.methods_lowered - 1);
+    }
+
+    #[test]
+    fn lowering_is_deterministic_across_modes() {
+        let src = "class RList { int value; RList next; }
+             class M {
+               static int depth(RList p, int d) {
+                 if (d == 0) { count(p) } else {
+                   RList p2 = new RList(d, p);
+                   depth(p2, d - 1)
+                 }
+               }
+               static int count(RList p) {
+                 if (p == null) { 0 } else { 1 + count(p.next) }
+               }
+               static int main(int d) { depth((RList) null, d) }
+             }";
+        for mode in SubtypeMode::ALL {
+            let (p, _) = infer_source(src, InferOptions::with_mode(mode)).unwrap();
+            let stack = cj_vm::lower_program(&p);
+            let reg = lower_program(&stack);
+            let rvm = run_main(&reg, &[Value::Int(40)], RunConfig::default())
+                .unwrap_or_else(|e| panic!("{mode}: {e}"));
+            let vm = cj_vm::run_main(&stack, &[Value::Int(40)], RunConfig::default()).unwrap();
+            assert_eq!(rvm.value, vm.value, "{mode}");
+            assert_eq!(rvm.space, vm.space, "{mode}");
+        }
+    }
+}

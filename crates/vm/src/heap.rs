@@ -25,8 +25,10 @@ use cj_frontend::types::Prim;
 use cj_runtime::region::{RegionError, RegionId, SpaceStats};
 use cj_runtime::store::object_bytes;
 
-/// The packed-reference null sentinel in `Ref` payload slots.
-pub(crate) const NULL_WORD: u64 = u64::MAX;
+/// The packed-reference null sentinel in `Ref` payload slots (shared
+/// with the register tier in `cj-rvm`, which stores into the same
+/// arenas).
+pub const NULL_WORD: u64 = u64::MAX;
 
 /// Meta-word bit marking an array.
 const ARRAY_BIT: u64 = 1 << 63;
@@ -329,9 +331,10 @@ impl RegionHeap {
     }
 }
 
-/// Packs a reference for storage in a `Ref` payload slot.
+/// Packs a reference for storage in a `Ref` payload slot (the inverse of
+/// [`RegionHeap::unpack_ref`]; public for the `cj-rvm` register tier).
 #[inline]
-pub(crate) fn pack_ref(r: ObjRef) -> u64 {
+pub fn pack_ref(r: ObjRef) -> u64 {
     ((r.region as u64) << 32) | r.word as u64
 }
 

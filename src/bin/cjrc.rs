@@ -6,7 +6,7 @@
 //!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
 //! cjrc query  <file> <inv.C|pre.m|pre.C.m> [--entails ATOM]
 //!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json]
-//! cjrc run    <file> [--engine vm|interp] [--fuel N] [--max-depth N]
+//! cjrc run    <file> [--engine vm|rvm|interp] [--fuel N] [--max-depth N]
 //!                    [--mode M] [--downcast D] [--extents X] [--cache-dir DIR] [--json] [args…]
 //! cjrc flows  <file> [--json]                                       downcast-set report
 //! cjrc serve         [--mode M] [--downcast D] [--extents X] [--cache-dir DIR]
@@ -41,11 +41,13 @@
 //! reporting `sccs_disk_hits` while producing output bit-identical to a
 //! cold build.
 //!
-//! `run` executes on the `cj-vm` bytecode VM by default; `--engine
-//! interp` selects the tree-walking interpreter. Program output, space
-//! statistics and runtime errors are identical across engines (enforced
-//! by the differential test suite). `--fuel` and `--max-depth` bound
-//! execution steps and call depth uniformly on both engines.
+//! `run` executes on the `cj-vm` bytecode VM by default; `--engine rvm`
+//! selects the register-machine tier (`cj-rvm` lowers the stack bytecode
+//! to direct-threaded register code) and `--engine interp` the
+//! tree-walking interpreter. Program output, space statistics and
+//! runtime errors are identical across all three engines (enforced by
+//! the differential test suites). `--fuel` and `--max-depth` bound
+//! execution steps and call depth uniformly on every engine.
 //!
 //! Errors are rendered as caret-style source snippets on stderr, or — with
 //! `--json` — as a JSON array of structured diagnostics (severity, code,
@@ -1607,6 +1609,8 @@ mod tests {
         let cli = parse_cli(argv(&["run", "x.cj", "--engine", "vm"])).unwrap();
         assert_eq!(cli.engine, Some(Engine::Vm));
         assert_eq!(cli.fuel, None, "defaults come from RunConfig");
+        let cli = parse_cli(argv(&["run", "x.cj", "--engine", "rvm"])).unwrap();
+        assert_eq!(cli.engine, Some(Engine::Rvm));
 
         let err = parse_cli(argv(&["run", "x.cj", "--engine", "jit"])).unwrap_err();
         assert!(err.message.contains("unknown engine"));

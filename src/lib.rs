@@ -27,6 +27,9 @@
 //! - [`vm`]: the `cj-vm` bytecode VM — lowering to register-resolved
 //!   bytecode and execution over real bump-arena regions, observationally
 //!   identical to the interpreter but an integer factor faster;
+//! - [`rvm`]: the `cj-rvm` register machine — a second lowering from the
+//!   stack bytecode to fused register instructions, dispatched through a
+//!   dense handler table; the fastest tier, still bit-identical;
 //! - [`benchmarks`]: the Fig 8 and Fig 9 program suites;
 //! - [`driver`]: the demand-driven, incrementally recompiling
 //!   [`driver::Workspace`] (multi-file inputs, per-SCC re-solving, the `Q`
@@ -72,6 +75,7 @@ pub use cj_infer as infer;
 pub use cj_liveness as liveness;
 pub use cj_regions as regions;
 pub use cj_runtime as runtime;
+pub use cj_rvm as rvm;
 pub use cj_vm as vm;
 
 /// One-stop imports for typical use.
@@ -87,6 +91,7 @@ pub mod prelude {
         infer_source, DowncastPolicy, ExtentMode, InferOptions, InferStats, RProgram, SubtypeMode,
     };
     pub use cj_runtime::{run_main, run_main_big_stack, Engine, Outcome, RunConfig, Value};
+    pub use cj_rvm::RvmProgram;
     pub use cj_vm::{lower_program, CompiledProgram};
 }
 

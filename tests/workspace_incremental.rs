@@ -152,6 +152,40 @@ fn one_body_edit_relowers_only_that_files_changed_methods() {
 }
 
 #[test]
+fn one_body_edit_register_relowers_only_that_files_changed_methods() {
+    let mut ws = Workspace::new(SessionOptions::default());
+    ws.set_source("list.cj", LIST_CJ).unwrap();
+    ws.set_source("stack.cj", STACK_CJ).unwrap();
+    ws.set_source("main.cj", MAIN_CJ).unwrap();
+    let opts = ws.options().infer;
+
+    ws.rvm_with(opts).unwrap();
+    let cold = ws.pass_counts();
+    assert_eq!(cold.rvm_lower, 1);
+    assert_eq!(
+        cold.methods_rvm_lowered, 9,
+        "all nine methods register-lowered cold"
+    );
+    assert_eq!(cold.methods_rvm_reused, 0);
+    // Re-requesting the register program is a pure cache read.
+    ws.rvm_with(opts).unwrap();
+    assert_eq!(ws.pass_counts(), cold);
+
+    // Editing one body re-translates exactly that method: the register
+    // memo keys on pointer identity of the per-method stack bytecode,
+    // whose own memo is α-invariant in region ids — so the stack tier
+    // replays eight methods verbatim and the register tier follows.
+    ws.set_source("main.cj", MAIN_EDITED_CJ).unwrap();
+    ws.rvm_with(opts).unwrap();
+    let warm = ws.pass_counts().since(cold);
+    assert_eq!(warm.rvm_lower, 1);
+    assert_eq!(warm.methods_rvm_lowered, 1, "{warm:?}");
+    assert_eq!(warm.methods_rvm_reused, 8, "{warm:?}");
+    assert_eq!(warm.methods_lowered, 1, "{warm:?}");
+    assert_eq!(warm.methods_lower_reused, 8, "{warm:?}");
+}
+
+#[test]
 fn queries_are_demand_driven_and_cached() {
     let mut ws = Workspace::new(SessionOptions::default());
     ws.set_source("list.cj", LIST_CJ).unwrap();
